@@ -1,0 +1,104 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation: Tables 1-2 and Figures 3-7 (workload characterization) and
+// Figures 8-19 (the nine-policy fairness study), followed by a paper-vs-
+// measured comparison and the Results-section claim checklist.
+//
+// Usage:
+//
+//	experiments                 # full-scale sweep (about a minute)
+//	experiments -scale 0.25     # quick quarter-scale sweep
+//	experiments -in ross.swf    # sweep over an existing trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fairsched/internal/core"
+	"fairsched/internal/experiments"
+	"fairsched/internal/fairshare"
+	"fairsched/internal/swf"
+	"fairsched/internal/workload"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input SWF trace (default: generate the synthetic trace)")
+		seed  = flag.Int64("seed", 42, "synthetic workload seed")
+		scale = flag.Float64("scale", 1.0, "synthetic workload scale")
+		nodes = flag.Int("nodes", 0, "system size (default 1000)")
+		burst = flag.Float64("burst", 0, "workload burst gamma (default 0.3)")
+		decay = flag.Float64("decay", 0.5, "fairshare decay factor")
+		csv   = flag.String("csv", "", "also export every artifact as CSV into this directory")
+		mcmp  = flag.Bool("metrics", false, "also compare the §4 fairness metrics (hybrid vs CONS-P) across all policies")
+		sweep = flag.Int("seeds", 0, "also tally claim robustness across this many extra seeds (full study per seed)")
+	)
+	flag.Parse()
+
+	study := core.StudyConfig{
+		SystemSize: *nodes,
+		Fairshare:  fairshare.Config{DecayFactor: *decay},
+	}
+	t0 := time.Now()
+	var res *experiments.Results
+	var err error
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		trace, perr := swf.Parse(f)
+		f.Close()
+		if perr != nil {
+			fatal(perr)
+		}
+		jobs := trace.Jobs()
+		if study.SystemSize <= 0 && trace.Header.MaxNodes > 0 {
+			study.SystemSize = trace.Header.MaxNodes
+		}
+		res, err = experiments.RunOn(study, jobs)
+	} else {
+		res, err = experiments.Run(experiments.Config{
+			Workload: workload.Config{Seed: *seed, Scale: *scale, SystemSize: *nodes, BurstGamma: *burst},
+			Study:    study,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	experiments.WriteReport(os.Stdout, res, time.Since(t0))
+	if *mcmp {
+		rows, err := experiments.CompareMetrics(study, core.AllSpecs(), res.Jobs, false)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderMetricComparison(os.Stdout, rows)
+	}
+	if *csv != "" {
+		if err := experiments.ExportCSV(*csv, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("CSV artifacts written to %s\n", *csv)
+	}
+	if *sweep > 0 {
+		seeds := make([]int64, *sweep)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		tally, err := experiments.SeedSweep(experiments.Config{
+			Workload: workload.Config{Scale: *scale, SystemSize: *nodes, BurstGamma: *burst},
+			Study:    study,
+		}, seeds)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderSeedSweep(os.Stdout, tally, seeds)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command swfanon anonymizes a Standard Workload Format trace the way the
+// paper's authors prepared the CPlant log for public release: user and
+// group ids are replaced sequentially in order of first appearance and
+// executable ids are removed.
+//
+// Usage:
+//
+//	swfanon -in raw.swf -out public.swf
+//	swfanon < raw.swf > public.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fairsched/internal/swf"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "input SWF file (default stdin)")
+		out = flag.String("out", "", "output SWF file (default stdout)")
+		v   = flag.Bool("v", false, "print mapping sizes to stderr")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	trace, err := swf.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	users, groups := swf.Anonymize(trace)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := swf.Write(w, trace); err != nil {
+		fatal(err)
+	}
+	if *v {
+		fmt.Fprintf(os.Stderr, "anonymized %d records: %d users, %d groups\n",
+			len(trace.Records), len(users), len(groups))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swfanon:", err)
+	os.Exit(1)
+}

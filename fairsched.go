@@ -1,0 +1,200 @@
+// Package fairsched reproduces "Parallel Job Scheduling Policies to Improve
+// Fairness: A Case Study" (Leung, Sabin, Sadayappan; SAND2008-1310 / ICPP):
+// a discrete-event parallel job scheduling simulator, the Sandia
+// CPlant/Ross scheduler family (no-guarantee backfilling with a fairshare
+// queue and a starvation queue; conservative backfilling with static and
+// dynamic reservations; 72-hour maximum-runtime limits), the paper's hybrid
+// "fairshare" fair-start-time metric, a synthetic CPlant/Ross workload
+// calibrated to the paper's Tables 1-2 and Figures 3-7, and the harness
+// regenerating every evaluation figure.
+//
+// This package is the public API: type aliases and constructors re-exported
+// from the internal packages, so downstream code needs a single import.
+//
+// Quick start:
+//
+//	jobs, _ := fairsched.GenerateWorkload(fairsched.WorkloadConfig{Seed: 42, Scale: 0.25})
+//	spec, _ := fairsched.PolicyByName("cons.72max")
+//	run, _ := fairsched.Run(fairsched.StudyConfig{}, spec, jobs)
+//	fmt.Printf("%.1f%% unfair, %.0fs avg miss\n",
+//		run.Summary.PercentUnfair, run.Summary.AvgMissTime)
+package fairsched
+
+import (
+	"io"
+
+	"fairsched/internal/core"
+	"fairsched/internal/experiments"
+	"fairsched/internal/fairness"
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+	"fairsched/internal/metrics"
+	"fairsched/internal/sched"
+	"fairsched/internal/sim"
+	"fairsched/internal/swf"
+	"fairsched/internal/workload"
+)
+
+// Core model types.
+type (
+	// Job is a batch job submission (the paper's 2-D rectangle).
+	Job = job.Job
+	// JobID identifies a job within a workload.
+	JobID = job.ID
+	// Record is the outcome of one job in a simulation run.
+	Record = sim.Record
+	// Result is a complete simulation outcome.
+	Result = sim.Result
+	// Summary is the per-policy evaluation (every Figures 8-19 number).
+	Summary = metrics.Summary
+)
+
+// Simulation and policy types.
+type (
+	// SimConfig parameterizes the discrete-event simulator directly.
+	SimConfig = sim.Config
+	// Simulator is the discrete-event cluster simulator.
+	Simulator = sim.Simulator
+	// Env is the interface policies use to act on the simulated system.
+	Env = sim.Env
+	// Policy is a scheduling policy under test; implement it to plug a
+	// custom scheduler into the study (see examples/custompolicy).
+	Policy = sim.Policy
+	// Observer receives simulation lifecycle callbacks.
+	Observer = sim.Observer
+	// BaseObserver is a no-op Observer for embedding.
+	BaseObserver = sim.BaseObserver
+	// RunningJob is a started, uncompleted job.
+	RunningJob = sim.RunningJob
+	// SplitMode selects how maximum-runtime segments are submitted.
+	SplitMode = sim.SplitMode
+	// KillPolicy selects wall-clock-limit kill behaviour.
+	KillPolicy = sim.KillPolicy
+)
+
+// Study types.
+type (
+	// StudyConfig parameterizes a case-study run.
+	StudyConfig = core.StudyConfig
+	// PolicySpec is one named scheduling configuration (§5.5 of the paper).
+	PolicySpec = core.Spec
+	// StudyRun is the outcome of one policy over one workload.
+	StudyRun = core.Run
+	// WorkloadConfig parameterizes the synthetic CPlant/Ross generator.
+	WorkloadConfig = workload.Config
+	// FairshareConfig parameterizes the decaying-usage priority.
+	FairshareConfig = fairshare.Config
+	// HybridFST is the paper's fairness engine (attach as an Observer).
+	HybridFST = fairness.HybridFST
+	// ExperimentResults holds a full nine-policy sweep.
+	ExperimentResults = experiments.Results
+)
+
+// Split modes and kill policies, re-exported.
+const (
+	SplitUpfront   = sim.SplitUpfront
+	SplitStaggered = sim.SplitStaggered
+	SplitChained   = sim.SplitChained
+	KillNever      = sim.KillNever
+	KillWhenNeeded = sim.KillWhenNeeded
+	KillAlways     = sim.KillAlways
+)
+
+// GenerateWorkload builds the synthetic CPlant/Ross trace (DESIGN.md §5).
+func GenerateWorkload(cfg WorkloadConfig) ([]*Job, error) {
+	return workload.Generate(cfg)
+}
+
+// PolicyByName resolves one of the paper's policy names
+// ("cplant24.nomax.all", "cons.72max", ...) or the extra baselines
+// ("fcfs", "easy", "list.fairshare").
+func PolicyByName(name string) (PolicySpec, error) { return core.SpecByKey(name) }
+
+// PolicyNames lists every recognized policy name.
+func PolicyNames() []string { return core.SpecKeys() }
+
+// AllPolicies returns the paper's nine configurations, baseline first.
+func AllPolicies() []PolicySpec { return core.AllSpecs() }
+
+// MinorPolicies returns the five "minor changes" configurations.
+func MinorPolicies() []PolicySpec { return core.MinorSpecs() }
+
+// Run executes one policy over a workload with the hybrid-FST fairness
+// engine and metrics collection attached.
+func Run(cfg StudyConfig, spec PolicySpec, jobs []*Job) (*StudyRun, error) {
+	return core.Execute(cfg, spec, jobs)
+}
+
+// RunAll executes a set of policies sequentially over one workload.
+func RunAll(cfg StudyConfig, specs []PolicySpec, jobs []*Job) ([]*StudyRun, error) {
+	return core.ExecuteAll(cfg, specs, jobs)
+}
+
+// RunExperiments executes the full nine-policy sweep, from which every
+// table and figure of the paper's evaluation can be rendered.
+func RunExperiments(cfg StudyConfig, jobs []*Job) (*ExperimentResults, error) {
+	return experiments.RunOn(cfg, jobs)
+}
+
+// WriteReport renders a complete experiment sweep (tables, figures,
+// paper-vs-measured, claim checklist) to w.
+func WriteReport(w io.Writer, res *ExperimentResults) {
+	experiments.WriteReport(w, res, 0)
+}
+
+// NewSimulator builds a bare simulator for custom policies and observers.
+func NewSimulator(cfg SimConfig, pol Policy, observers ...Observer) *Simulator {
+	return sim.New(cfg, pol, observers...)
+}
+
+// NewHybridFST builds the paper's fairness engine; attach it to a
+// simulator as an observer, then read the fair start times back.
+func NewHybridFST() *HybridFST { return fairness.NewHybridFST() }
+
+// NewEASY, NewFCFS, NewConservative and NewDepthBackfill expose the
+// building-block policies for custom studies.
+func NewEASY() Policy { return sched.NewEASY(sched.OrderFCFS) }
+func NewFCFS() Policy { return sched.NewFCFS() }
+func NewConservative(dynamic bool) Policy {
+	return sched.NewConservative(dynamic)
+}
+
+// NewDepthBackfill returns depth-n backfilling over the fairshare queue:
+// the first depth queued jobs hold reservations (the paper's spectrum
+// between aggressive and conservative backfilling).
+func NewDepthBackfill(depth int) Policy {
+	return sched.NewDepthBackfill(depth, sched.OrderFairshare)
+}
+
+// UserSummary aggregates one user's jobs in a run.
+type UserSummary = metrics.UserSummary
+
+// ByUser aggregates a run per user (jobs, processor-seconds, waits).
+func ByUser(res *Result) []UserSummary { return metrics.ByUser(res) }
+
+// TurnaroundStdDev and the Jain indices are the fairness measures the
+// paper's §4 reviews before introducing the hybrid FST metric.
+func TurnaroundStdDev(res *Result) float64 { return metrics.TurnaroundStdDev(res) }
+
+// JainIndexOfUserService applies Jain, Chiu and Hawe's fairness index to
+// the processor-seconds delivered per user.
+func JainIndexOfUserService(res *Result) float64 { return metrics.JainIndexOfUserService(res) }
+
+// ReadSWF parses a Standard Workload Format trace into jobs, returning the
+// jobs and the declared system size (0 when the header lacks MaxNodes).
+func ReadSWF(r io.Reader) ([]*Job, int, error) {
+	trace, err := swf.Parse(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return trace.Jobs(), trace.Header.MaxNodes, nil
+}
+
+// WriteSWF writes jobs as a Standard Workload Format trace.
+func WriteSWF(w io.Writer, jobs []*Job, systemSize int) error {
+	return swf.Write(w, swf.FromJobs(jobs, swf.Header{
+		Version:  2,
+		MaxNodes: systemSize,
+		MaxProcs: systemSize,
+	}))
+}

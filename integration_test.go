@@ -1,0 +1,131 @@
+package fairsched_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fairsched"
+	"fairsched/internal/core"
+	"fairsched/internal/experiments"
+	"fairsched/internal/workload"
+)
+
+// TestIntegrationHeadlineClaims runs the nine-policy study at half scale
+// and asserts the paper's headline conclusions — the ones EXPERIMENTS.md
+// reports as robust across seeds. Skipped under -short (about 2 s).
+func TestIntegrationHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("half-scale integration study")
+	}
+	jobs, err := workload.Generate(workload.Config{Seed: 42, Scale: 0.5, SystemSize: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.RunOn(core.StudyConfig{SystemSize: 500}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Baseline()
+	get := func(key string) *fairsched.Summary {
+		s, ok := res.ByKey[key]
+		if !ok {
+			t.Fatalf("missing %s", key)
+		}
+		return s
+	}
+
+	// Conservative dynamic has the fewest unfair jobs of all nine.
+	dyn := get("consdyn.nomax")
+	for key, s := range res.ByKey {
+		if key != "consdyn.nomax" && s.PercentUnfair < dyn.PercentUnfair {
+			t.Errorf("%s has fewer unfair jobs (%.2f%%) than consdyn.nomax (%.2f%%)",
+				key, s.PercentUnfair, dyn.PercentUnfair)
+		}
+	}
+	// ... but severe misses, worse than the baseline.
+	if dyn.AvgMissTime <= base.AvgMissTime {
+		t.Errorf("consdyn.nomax avg miss %.0f should exceed baseline %.0f",
+			dyn.AvgMissTime, base.AvgMissTime)
+	}
+	// 72h limits improve turnaround and LOC for the cplant family. (The
+	// full set of Results-section claims, including the miss-time and
+	// combined-policy orderings, holds at full scale — see EXPERIMENTS.md;
+	// this half-scale test asserts only the scale-robust subset.)
+	max72 := get("cplant24.72max.all")
+	if max72.AvgTurnaround >= base.AvgTurnaround {
+		t.Errorf("72max turnaround should beat the baseline")
+	}
+	if max72.LossOfCapacity >= base.LossOfCapacity {
+		t.Errorf("72max LOC should beat the baseline")
+	}
+	// Baseline misses concentrate in the wide categories.
+	if !(base.AvgMissByWidth[9] > base.AvgMissByWidth[4] &&
+		base.AvgMissByWidth[8] > base.AvgMissByWidth[3]) {
+		t.Errorf("baseline wide-job misses should dominate: %v", base.AvgMissByWidth)
+	}
+	// Every policy conserves the workload.
+	for key, s := range res.ByKey {
+		if s.Utilization <= 0 || s.Utilization > 1 {
+			t.Errorf("%s utilization %v out of range", key, s.Utilization)
+		}
+	}
+}
+
+// TestIntegrationDeterministicSweep verifies that the full pipeline is
+// bit-reproducible: two sweeps over the same seed agree on every metric.
+func TestIntegrationDeterministicSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two quarter-scale sweeps")
+	}
+	runOnce := func() map[string][4]float64 {
+		jobs, err := workload.Generate(workload.Config{Seed: 9, Scale: 0.1, SystemSize: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := experiments.RunOn(core.StudyConfig{SystemSize: 100}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][4]float64{}
+		for key, s := range res.ByKey {
+			out[key] = [4]float64{s.PercentUnfair, s.AvgMissTime, s.AvgTurnaround, s.LossOfCapacity}
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for key := range a {
+		if a[key] != b[key] {
+			t.Errorf("%s not deterministic: %v vs %v", key, a[key], b[key])
+		}
+	}
+}
+
+// TestIntegrationSWFPipeline exercises the file-based workflow: generate,
+// write SWF, read back, run a policy — the cmd-tool path without the CLIs.
+func TestIntegrationSWFPipeline(t *testing.T) {
+	jobs, err := fairsched.GenerateWorkload(fairsched.WorkloadConfig{Seed: 3, Scale: 0.05, SystemSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fairsched.WriteSWF(&buf, jobs, 100); err != nil {
+		t.Fatal(err)
+	}
+	back, size, err := fairsched.ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := fairsched.PolicyByName("easy")
+	runA, err := fairsched.Run(fairsched.StudyConfig{SystemSize: size}, spec, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := fairsched.Run(fairsched.StudyConfig{SystemSize: 100}, spec, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runA.Summary.AvgTurnaround != runB.Summary.AvgTurnaround {
+		t.Fatalf("SWF round trip changed the schedule: %v vs %v",
+			runA.Summary.AvgTurnaround, runB.Summary.AvgTurnaround)
+	}
+}

@@ -1,0 +1,280 @@
+// Package core is the case study itself: it names the paper's nine
+// scheduling configurations (§5.5), wires a policy, the hybrid-FST fairness
+// engine and the metrics collector into one simulation, and produces the
+// per-policy Summary that every figure in the evaluation reads from.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fairsched/internal/fairness"
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+	"fairsched/internal/metrics"
+	"fairsched/internal/sched"
+	"fairsched/internal/sim"
+)
+
+// PolicyKind selects the scheduler family.
+type PolicyKind int
+
+const (
+	// KindCPlant is the baseline no-guarantee backfilling scheduler with
+	// the fairshare queue and the starvation queue (§2.1).
+	KindCPlant PolicyKind = iota
+	// KindConservative is conservative backfilling with the fairshare
+	// queue order (§5.3).
+	KindConservative
+	// KindConservativeDynamic adds dynamic reservations (§5.4).
+	KindConservativeDynamic
+	// KindFCFS is strict first-come-first-serve (Figure 1; baseline).
+	KindFCFS
+	// KindEASY is aggressive backfilling over an FCFS queue (Figure 2;
+	// baseline).
+	KindEASY
+	// KindListFairshare is the no-backfill fairshare list scheduler (the
+	// FST reference discipline; validation baseline).
+	KindListFairshare
+	// KindDepth is depth-n backfilling: the first Depth queued jobs hold
+	// reservations (the paper's "variations between conservative and
+	// aggressive backfilling"; extension baseline).
+	KindDepth
+)
+
+// Spec is one named scheduling configuration.
+type Spec struct {
+	// Key is the paper's name, e.g. "cplant24.nomax.all".
+	Key  string
+	Kind PolicyKind
+	// StarvationWait applies to KindCPlant (seconds).
+	StarvationWait int64
+	// FairOnly bars heavy users from the starvation queue (the ".fair"
+	// suffix).
+	FairOnly bool
+	// MaxRuntime, when positive, splits long jobs (the ".72max" middle
+	// token); applied in the simulator, so it composes with every kind.
+	MaxRuntime int64
+	// Depth applies to KindDepth: the number of reserved queue heads.
+	Depth int
+}
+
+// NewPolicy instantiates the scheduler for this spec.
+func (s Spec) NewPolicy() sim.Policy {
+	switch s.Kind {
+	case KindCPlant:
+		p := sched.NewNoGuarantee()
+		p.Label = s.Key
+		if s.StarvationWait > 0 {
+			p.StarvationWait = s.StarvationWait
+		}
+		if s.FairOnly {
+			p.Heavy = fairshare.AboveMean{}
+		}
+		return p
+	case KindConservative, KindConservativeDynamic:
+		p := sched.NewConservative(s.Kind == KindConservativeDynamic)
+		p.Label = s.Key
+		return p
+	case KindFCFS:
+		return sched.NewFCFS()
+	case KindEASY:
+		return sched.NewEASY(sched.OrderFCFS)
+	case KindListFairshare:
+		return sched.NewListFairshare()
+	case KindDepth:
+		d := sched.NewDepthBackfill(s.Depth, sched.OrderFairshare)
+		if s.Key != "" {
+			d.Label = s.Key
+		}
+		return d
+	default:
+		panic(fmt.Sprintf("core: unknown policy kind %d", s.Kind))
+	}
+}
+
+const (
+	hours24 = 24 * 3600
+	hours72 = 72 * 3600
+)
+
+// MinorSpecs are the five policies of the "minor changes" comparison
+// (Figures 8-13), baseline first.
+func MinorSpecs() []Spec {
+	return []Spec{
+		{Key: "cplant24.nomax.all", Kind: KindCPlant, StarvationWait: hours24},
+		{Key: "cplant24.nomax.fair", Kind: KindCPlant, StarvationWait: hours24, FairOnly: true},
+		{Key: "cplant72.nomax.all", Kind: KindCPlant, StarvationWait: hours72},
+		{Key: "cplant24.72max.all", Kind: KindCPlant, StarvationWait: hours24, MaxRuntime: hours72},
+		{Key: "cplant72.72max.fair", Kind: KindCPlant, StarvationWait: hours72, FairOnly: true, MaxRuntime: hours72},
+	}
+}
+
+// ConservativeSpecs are the four conservative configurations (§5.5 items
+// 5-8).
+func ConservativeSpecs() []Spec {
+	return []Spec{
+		{Key: "cons.nomax", Kind: KindConservative},
+		{Key: "consdyn.nomax", Kind: KindConservativeDynamic},
+		{Key: "cons.72max", Kind: KindConservative, MaxRuntime: hours72},
+		{Key: "consdyn.72max", Kind: KindConservativeDynamic, MaxRuntime: hours72},
+	}
+}
+
+// AllSpecs are all nine policies of Figures 14-19, baseline first.
+func AllSpecs() []Spec {
+	return append(MinorSpecs(), ConservativeSpecs()...)
+}
+
+// SpecByKey looks a spec up by its paper name (also accepts the extra
+// baselines "fcfs", "easy" and "list.fairshare").
+func SpecByKey(key string) (Spec, error) {
+	for _, s := range AllSpecs() {
+		if s.Key == key {
+			return s, nil
+		}
+	}
+	switch key {
+	case "fcfs":
+		return Spec{Key: key, Kind: KindFCFS}, nil
+	case "easy":
+		return Spec{Key: key, Kind: KindEASY}, nil
+	case "list.fairshare":
+		return Spec{Key: key, Kind: KindListFairshare}, nil
+	}
+	if depth, ok := parseDepthKey(key); ok {
+		return Spec{Key: key, Kind: KindDepth, Depth: depth}, nil
+	}
+	return Spec{}, fmt.Errorf("core: unknown policy %q (want one of %v)", key, SpecKeys())
+}
+
+// parseDepthKey recognizes "depth<N>" names (depth-n backfilling over the
+// fairshare queue, N >= 1).
+func parseDepthKey(key string) (int, bool) {
+	const prefix = "depth"
+	if !strings.HasPrefix(key, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(key[len(prefix):])
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// SpecKeys lists every recognized policy name. Any "depth<n>" name (n >= 1,
+// e.g. "depth8") also resolves to depth-n backfilling over the fairshare
+// queue; the list shows depth8 as the representative.
+func SpecKeys() []string {
+	var keys []string
+	for _, s := range AllSpecs() {
+		keys = append(keys, s.Key)
+	}
+	keys = append(keys, "fcfs", "easy", "list.fairshare", "depth8")
+	sort.Strings(keys)
+	return keys
+}
+
+// StudyConfig parameterizes a run.
+type StudyConfig struct {
+	// SystemSize is the cluster size (default 1000, matching the
+	// calibrated synthetic workload).
+	SystemSize int
+	// Fairshare configures the priority tracker (default: decay 0.5/24h).
+	Fairshare fairshare.Config
+	// Kill selects wall-clock-limit behaviour (default KillNever).
+	Kill sim.KillPolicy
+	// Split selects how max-runtime segments are submitted (default
+	// SplitUpfront).
+	Split sim.SplitMode
+	// Validate enables simulator invariant checks.
+	Validate bool
+	// SkipFST disables the hybrid-FST engine (faster, no fairness metrics).
+	SkipFST bool
+	// Equality additionally runs the resource-equality observer.
+	Equality bool
+}
+
+// Run is the outcome of one policy over one workload.
+type Run struct {
+	Spec     Spec
+	Result   *sim.Result
+	Summary  *metrics.Summary
+	FST      map[job.ID]int64
+	Equality *fairness.Equality
+}
+
+// Execute runs one spec over the workload and assembles the summary.
+func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
+	if cfg.SystemSize <= 0 {
+		cfg.SystemSize = 1000
+	}
+	simCfg := sim.Config{
+		SystemSize: cfg.SystemSize,
+		Fairshare:  cfg.Fairshare,
+		MaxRuntime: spec.MaxRuntime,
+		Split:      cfg.Split,
+		Kill:       cfg.Kill,
+		Validate:   cfg.Validate,
+	}
+	col := metrics.NewCollector(cfg.SystemSize)
+	observers := []sim.Observer{col}
+	var fst *fairness.HybridFST
+	if !cfg.SkipFST {
+		fst = fairness.NewHybridFST()
+		observers = append(observers, fst)
+	}
+	var eq *fairness.Equality
+	if cfg.Equality {
+		eq = fairness.NewEquality(cfg.SystemSize)
+		observers = append(observers, eq)
+	}
+	s := sim.New(simCfg, spec.NewPolicy(), observers...)
+	res, err := s.Run(workload)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", spec.Key, err)
+	}
+	run := &Run{Spec: spec, Result: res, Equality: eq}
+	if fst != nil {
+		run.FST = fst.Table()
+	}
+	run.Summary = metrics.Summarize(res, run.FST, col)
+	run.Summary.Policy = spec.Key
+	return run, nil
+}
+
+// ExecuteAll runs a list of specs sequentially and returns the runs keyed in
+// input order.
+func ExecuteAll(cfg StudyConfig, specs []Spec, workload []*job.Job) ([]*Run, error) {
+	runs := make([]*Run, 0, len(specs))
+	for _, spec := range specs {
+		r, err := Execute(cfg, spec, workload)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	return runs, nil
+}
+
+// Starts is a fairness.StartsFunc over this study configuration and spec:
+// it re-runs the policy on an arbitrary workload and reports start times.
+// It feeds the Sabin no-later-arrivals FST.
+func Starts(cfg StudyConfig, spec Spec) func(workload []*job.Job) (map[job.ID]int64, error) {
+	return func(workload []*job.Job) (map[job.ID]int64, error) {
+		runCfg := cfg
+		runCfg.SkipFST = true
+		runCfg.Equality = false
+		r, err := Execute(runCfg, spec, workload)
+		if err != nil {
+			return nil, err
+		}
+		starts := make(map[job.ID]int64, len(r.Result.Records))
+		for _, rec := range r.Result.Records {
+			starts[rec.Job.ID] = rec.Start
+		}
+		return starts, nil
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"fairsched/internal/fairness"
+	"fairsched/internal/job"
+)
+
+func TestSpecKeysNamedLikeThePaper(t *testing.T) {
+	want := map[string]bool{
+		"cplant24.nomax.all": true, "cplant24.nomax.fair": true,
+		"cplant72.nomax.all": true, "cplant24.72max.all": true,
+		"cplant72.72max.fair": true, "cons.nomax": true,
+		"consdyn.nomax": true, "cons.72max": true, "consdyn.72max": true,
+	}
+	got := map[string]bool{}
+	for _, s := range AllSpecs() {
+		got[s.Key] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing policy %s", k)
+		}
+	}
+	if len(AllSpecs()) != 9 {
+		t.Errorf("AllSpecs has %d entries", len(AllSpecs()))
+	}
+}
+
+func TestSpecByKey(t *testing.T) {
+	s, err := SpecByKey("cons.72max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != KindConservative || s.MaxRuntime != 72*3600 {
+		t.Fatalf("cons.72max spec wrong: %+v", s)
+	}
+	if _, err := SpecByKey("nonsense"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	for _, extra := range []string{"fcfs", "easy", "list.fairshare"} {
+		if _, err := SpecByKey(extra); err != nil {
+			t.Errorf("extra baseline %s missing: %v", extra, err)
+		}
+	}
+}
+
+func TestEverySpecBuildsAPolicy(t *testing.T) {
+	for _, key := range SpecKeys() {
+		spec, err := SpecByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := spec.NewPolicy()
+		if pol == nil {
+			t.Fatalf("%s built a nil policy", key)
+		}
+		pol.Reset(nil)
+	}
+}
+
+func TestSpecPropertiesMatchNames(t *testing.T) {
+	for _, s := range AllSpecs() {
+		has72max := s.MaxRuntime == 72*3600
+		if has72max != containsToken(s.Key, "72max") {
+			t.Errorf("%s: MaxRuntime inconsistent with name", s.Key)
+		}
+		if s.FairOnly != containsToken(s.Key, "fair") {
+			t.Errorf("%s: FairOnly inconsistent with name", s.Key)
+		}
+		if s.Kind == KindCPlant {
+			wait72 := s.StarvationWait == 72*3600
+			if wait72 != containsToken(s.Key, "cplant72") {
+				t.Errorf("%s: StarvationWait inconsistent with name", s.Key)
+			}
+		}
+	}
+}
+
+func containsToken(key, token string) bool {
+	for i := 0; i+len(token) <= len(key); i++ {
+		if key[i:i+len(token)] == token {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStartsFeedsSabin(t *testing.T) {
+	jobs := tinyWorkload()
+	spec, err := SpecByKey("cplant24.nomax.all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StudyConfig{SystemSize: 128}
+	fst, err := fairness.Sabin(Starts(cfg, spec), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fst) != len(jobs) {
+		t.Fatalf("sabin fst covers %d of %d jobs", len(fst), len(jobs))
+	}
+	// The last-arriving job's Sabin FST equals its start in the full run
+	// (no later arrivals exist to truncate away).
+	full, err := Execute(cfg, spec, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *job.Job
+	for _, j := range jobs {
+		if last == nil || j.Submit > last.Submit {
+			last = j
+		}
+	}
+	var lastStart int64 = -1
+	for _, r := range full.Result.Records {
+		if r.Job.ID == last.ID {
+			lastStart = r.Start
+		}
+	}
+	if fst[last.ID] != lastStart {
+		t.Fatalf("sabin fst for the last job = %d, actual start %d", fst[last.ID], lastStart)
+	}
+}
+
+func TestExecuteAllPreservesOrder(t *testing.T) {
+	runs, err := ExecuteAll(StudyConfig{SystemSize: 128}, MinorSpecs(), tinyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range MinorSpecs() {
+		if runs[i].Spec.Key != s.Key {
+			t.Fatalf("run %d is %s, want %s", i, runs[i].Spec.Key, s.Key)
+		}
+	}
+}
+
+func TestExecuteSkipFST(t *testing.T) {
+	spec, _ := SpecByKey("cplant24.nomax.all")
+	run, err := Execute(StudyConfig{SystemSize: 128, SkipFST: true}, spec, tinyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.FST != nil {
+		t.Fatal("FST computed despite SkipFST")
+	}
+	if run.Summary.PercentUnfair != 0 {
+		t.Fatal("fairness metrics nonzero without FST")
+	}
+}
+
+func TestDepthSpecResolution(t *testing.T) {
+	s, err := SpecByKey("depth4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != KindDepth || s.Depth != 4 {
+		t.Fatalf("depth4 spec wrong: %+v", s)
+	}
+	pol := s.NewPolicy()
+	if pol.Name() != "depth4" {
+		t.Fatalf("policy name = %q", pol.Name())
+	}
+	for _, bad := range []string{"depth0", "depth", "depthx", "depth-3"} {
+		if _, err := SpecByKey(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestExecuteDepthPolicy(t *testing.T) {
+	spec, err := SpecByKey("depth2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Execute(StudyConfig{SystemSize: 128, Validate: true}, spec, tinyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Summary.Jobs != len(tinyWorkload()) {
+		t.Fatalf("jobs = %d", run.Summary.Jobs)
+	}
+}
+
+func TestExecuteWithEquality(t *testing.T) {
+	spec, _ := SpecByKey("easy")
+	run, err := Execute(StudyConfig{SystemSize: 128, Equality: true}, spec, tinyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Equality == nil {
+		t.Fatal("equality observer missing")
+	}
+	if run.Equality.AveragePerJob() < 0 {
+		t.Fatal("negative equality deficit")
+	}
+}

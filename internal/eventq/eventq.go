@@ -1,0 +1,75 @@
+// Package eventq provides the deterministic future event list used by the
+// discrete-event simulator: a binary min-heap ordered by (time, sequence).
+// The sequence number makes same-timestamp events FIFO, which keeps
+// simulation runs exactly reproducible.
+package eventq
+
+import "container/heap"
+
+// Event is the element type stored in the queue. Payload is opaque to the
+// queue. Events at the same time are ordered by ascending Prio, then FIFO:
+// the simulator uses Prio to process completions (which free nodes) before
+// arrivals and wake-ups at the same instant.
+type Event struct {
+	Time    int64
+	Prio    int
+	Seq     int64 // assigned by Push, FIFO tie-break
+	Kind    int
+	Payload interface{}
+}
+
+// Queue is a min-heap of events. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq int64
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push enqueues an event at the given time and returns the assigned
+// sequence number.
+func (q *Queue) Push(e Event) int64 {
+	q.seq++
+	e.Seq = q.seq
+	heap.Push(&q.h, e)
+	return e.Seq
+}
+
+// Pop removes and returns the earliest event. ok is false when empty.
+func (q *Queue) Pop() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return heap.Pop(&q.h).(Event), true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue) Peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, k int) bool {
+	if h[i].Time != h[k].Time {
+		return h[i].Time < h[k].Time
+	}
+	if h[i].Prio != h[k].Prio {
+		return h[i].Prio < h[k].Prio
+	}
+	return h[i].Seq < h[k].Seq
+}
+func (h eventHeap) Swap(i, k int)       { h[i], h[k] = h[k], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,124 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopOrderedByTime(t *testing.T) {
+	var q Queue
+	for _, ts := range []int64{50, 10, 30, 20, 40} {
+		q.Push(Event{Time: ts})
+	}
+	var got []int64
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, e.Time)
+	}
+	want := []int64{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimestampIsFIFO(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(Event{Time: 100, Kind: i})
+	}
+	for i := 0; i < 10; i++ {
+		e, ok := q.Pop()
+		if !ok || e.Kind != i {
+			t.Fatalf("event %d popped out of FIFO order (got kind %d)", i, e.Kind)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 5, Kind: 1})
+	e, ok := q.Peek()
+	if !ok || e.Kind != 1 {
+		t.Fatal("peek failed")
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek removed the event")
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop after peek failed")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty queue succeeded")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 10})
+	q.Push(Event{Time: 5})
+	e, _ := q.Pop()
+	if e.Time != 5 {
+		t.Fatalf("got %d", e.Time)
+	}
+	q.Push(Event{Time: 1})
+	e, _ = q.Pop()
+	if e.Time != 1 {
+		t.Fatalf("got %d", e.Time)
+	}
+	e, _ = q.Pop()
+	if e.Time != 10 {
+		t.Fatalf("got %d", e.Time)
+	}
+}
+
+func TestPushAssignsMonotonicSeq(t *testing.T) {
+	var q Queue
+	s1 := q.Push(Event{Time: 1})
+	s2 := q.Push(Event{Time: 1})
+	if s2 <= s1 {
+		t.Fatalf("sequence numbers not monotonic: %d then %d", s1, s2)
+	}
+}
+
+func TestQuickPopIsSorted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		count := int(n)%100 + 1
+		for i := 0; i < count; i++ {
+			q.Push(Event{Time: rng.Int63n(50)})
+		}
+		var times []int64
+		var seqs []int64
+		prevTime, prevSeq := int64(-1), int64(-1)
+		for {
+			e, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if e.Time < prevTime {
+				return false
+			}
+			if e.Time == prevTime && e.Seq <= prevSeq {
+				return false
+			}
+			prevTime, prevSeq = e.Time, e.Seq
+			times = append(times, e.Time)
+			seqs = append(seqs, e.Seq)
+		}
+		return len(times) == count && sort.SliceIsSorted(times, func(i, k int) bool { return times[i] < times[k] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

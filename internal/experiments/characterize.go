@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math"
+
+	"fairsched/internal/job"
+	"fairsched/internal/stats"
+)
+
+// Characterization holds the workload-description artifacts of the paper's
+// Section 2.2: Tables 1-2 and the data behind Figures 4-7.
+type Characterization struct {
+	Jobs           int
+	TotalProcHours float64
+
+	// Table 1 / Table 2 grids of the characterized trace.
+	Table1 [job.NumWidthCategories][job.NumLengthCategories]int
+	Table2 [job.NumWidthCategories][job.NumLengthCategories]float64
+
+	// Figure 4: runtime vs nodes. StandardAllocFraction is the share of
+	// jobs on power-of-two or perfect-square node counts; LogCorrelation is
+	// Pearson's r between log(runtime) and log(nodes).
+	StandardAllocFraction float64
+	RuntimeNodesLogCorr   float64
+
+	// Figure 5: user estimates vs runtimes.
+	OverestimatedFraction  float64 // estimate > runtime
+	UnderestimatedFraction float64 // estimate < runtime (jobs that overran)
+	MedianOverestimation   float64 // median estimate/runtime factor
+
+	// Figure 6: median overestimation factor per log-spaced runtime bin.
+	RuntimeBinEdges    []float64
+	OverByRuntimeBin   []float64
+	OverRuntimeLogCorr float64 // r between log(runtime) and log(factor)
+
+	// Figure 7: median overestimation factor per log-spaced node bin.
+	NodeBinEdges     []float64
+	OverByNodeBin    []float64
+	OverNodesLogCorr float64 // r between log(nodes) and log(factor)
+}
+
+// Characterize computes the Section 2.2 artifacts for a workload.
+func Characterize(jobs []*job.Job) *Characterization {
+	c := &Characterization{Jobs: len(jobs)}
+	c.Table1 = job.CountGrid(jobs)
+	c.Table2 = job.ProcHourGrid(jobs)
+
+	var logRun, logNodes, logOver []float64
+	var over, under int
+	var factors []float64
+	standard := 0
+	for _, j := range jobs {
+		c.TotalProcHours += float64(j.ProcSeconds()) / 3600
+		if isStandardAlloc(j.Nodes) {
+			standard++
+		}
+		f := j.OverestimationFactor()
+		factors = append(factors, f)
+		logRun = append(logRun, math.Log(float64(j.Runtime)))
+		logNodes = append(logNodes, math.Log(float64(j.Nodes)))
+		logOver = append(logOver, math.Log(f))
+		switch {
+		case j.Estimate > j.Runtime:
+			over++
+		case j.Estimate < j.Runtime:
+			under++
+		}
+	}
+	if len(jobs) > 0 {
+		n := float64(len(jobs))
+		c.StandardAllocFraction = float64(standard) / n
+		c.OverestimatedFraction = float64(over) / n
+		c.UnderestimatedFraction = float64(under) / n
+		c.MedianOverestimation = stats.Median(factors)
+		c.RuntimeNodesLogCorr = stats.PearsonR(logRun, logNodes)
+		c.OverRuntimeLogCorr = stats.PearsonR(logRun, logOver)
+		c.OverNodesLogCorr = stats.PearsonR(logNodes, logOver)
+
+		runtimes := make([]float64, len(jobs))
+		nodes := make([]float64, len(jobs))
+		for i, j := range jobs {
+			runtimes[i] = float64(j.Runtime)
+			nodes[i] = float64(j.Nodes)
+		}
+		c.RuntimeBinEdges = stats.LogBins(1, stats.Max(runtimes), 12)
+		c.OverByRuntimeBin = stats.GroupMedians(c.RuntimeBinEdges, runtimes, factors)
+		c.NodeBinEdges = stats.LogBins(1, stats.Max(nodes), 10)
+		c.OverByNodeBin = stats.GroupMedians(c.NodeBinEdges, nodes, factors)
+	}
+	return c
+}
+
+// isStandardAlloc reports whether n is a power of two or a perfect square —
+// the "standard" node allocations of Figure 4.
+func isStandardAlloc(n int) bool {
+	if n > 0 && n&(n-1) == 0 {
+		return true
+	}
+	r := int(math.Sqrt(float64(n)))
+	for _, k := range []int{r - 1, r, r + 1} {
+		if k > 0 && k*k == n {
+			return true
+		}
+	}
+	return false
+}

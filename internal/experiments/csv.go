@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"fairsched/internal/job"
+)
+
+// CSV export: every figure and table as a comma-separated file, so the
+// series can be re-plotted with any tool. One file per artifact, named
+// after its id (fig8.csv, table1.csv, ...).
+
+// WriteFigureCSV writes one figure: the first column holds the labels, one
+// column per series follows.
+func WriteFigureCSV(w io.Writer, f Figure) error {
+	cw := csv.NewWriter(w)
+	header := []string{"label"}
+	for _, s := range f.Series {
+		name := s.Name
+		if name == "" {
+			name = f.Unit
+		}
+		header = append(header, name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, label := range f.Labels {
+		row := []string{label}
+		for _, s := range f.Series {
+			v := math.NaN()
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable1CSV writes the job-count grid.
+func WriteTable1CSV(w io.Writer, grid [job.NumWidthCategories][job.NumLengthCategories]int) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"nodes"}, job.LengthLabels[:]...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		out := []string{job.WidthLabels[i]}
+		for _, c := range row {
+			out = append(out, strconv.Itoa(c))
+		}
+		if err := cw.Write(out); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV writes the processor-hour grid.
+func WriteTable2CSV(w io.Writer, grid [job.NumWidthCategories][job.NumLengthCategories]float64) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"nodes"}, job.LengthLabels[:]...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		out := []string{job.WidthLabels[i]}
+		for _, c := range row {
+			out = append(out, strconv.FormatFloat(c, 'f', 1, 64))
+		}
+		if err := cw.Write(out); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportCSV writes every artifact of a sweep into dir (created if needed):
+// table1.csv, table2.csv, fig3.csv and fig8.csv through fig19.csv, plus the
+// load-weighted companion figL.csv.
+func ExportCSV(dir string, r *Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		return nil
+	}
+	c := Characterize(r.Jobs)
+	if err := write("table1.csv", func(w io.Writer) error { return WriteTable1CSV(w, c.Table1) }); err != nil {
+		return err
+	}
+	if err := write("table2.csv", func(w io.Writer) error { return WriteTable2CSV(w, c.Table2) }); err != nil {
+		return err
+	}
+	figures := append([]Figure{r.Figure3()}, r.EvaluationFigures()...)
+	figures = append(figures, r.UnfairLoadFigure())
+	for _, fig := range figures {
+		fig := fig
+		if err := write(fig.ID+".csv", func(w io.Writer) error { return WriteFigureCSV(w, fig) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairsched/internal/workload"
+)
+
+func TestWriteFigureCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFigureCSV(&buf, Figure{
+		ID: "fig9", Unit: "seconds",
+		Labels: []string{"a", "b"},
+		Series: []Series{{Name: "seconds", Values: []float64{10.5, 20}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0][0] != "label" || rows[0][1] != "seconds" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][0] != "a" || rows[1][1] != "10.5" {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+}
+
+func TestWriteFigureCSVMultiSeriesWithGaps(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFigureCSV(&buf, Figure{
+		ID:     "fig10",
+		Labels: []string{"1", "2", "3"},
+		Series: []Series{
+			{Name: "p1", Values: []float64{1, 2, 3}},
+			{Name: "p2", Values: []float64{4}}, // short series -> empty cells
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := csv.NewReader(&buf).ReadAll()
+	if rows[2][2] != "" {
+		t.Fatalf("missing value should be empty, got %q", rows[2][2])
+	}
+}
+
+func TestWriteTableCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf, workload.Table1Counts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "513+") {
+		t.Fatal("table1 csv missing width label")
+	}
+	buf.Reset()
+	if err := WriteTable2CSV(&buf, workload.Table2ProcHours); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // header + 11 width categories
+		t.Fatalf("table2 csv has %d rows", len(rows))
+	}
+}
+
+func TestExportCSVWritesEveryArtifact(t *testing.T) {
+	res := smallResults(t)
+	dir := t.TempDir()
+	if err := ExportCSV(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"table1.csv", "table2.csv", "fig3.csv", "fig8.csv",
+		"fig13.csv", "fig19.csv", "figL.csv"}
+	for _, name := range want {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// table1, table2, fig3, fig8..fig19 (12), figL = 16 files.
+	if len(entries) != 16 {
+		t.Errorf("exported %d files, want 16", len(entries))
+	}
+}

@@ -1,0 +1,72 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the workload characterization (Tables 1-2, Figures 3-7), the
+// "minor changes" study (Figures 8-13) and the full nine-policy study
+// (Figures 14-19), plus the qualitative claim checklist recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"fairsched/internal/core"
+	"fairsched/internal/job"
+	"fairsched/internal/metrics"
+	"fairsched/internal/workload"
+)
+
+// Config parameterizes a full experiment sweep.
+type Config struct {
+	// Workload generates the trace (zero value: the calibrated full-scale
+	// synthetic CPlant/Ross trace).
+	Workload workload.Config
+	// Study configures the runs (zero value: calibrated defaults).
+	Study core.StudyConfig
+}
+
+// Results holds everything the figures are built from.
+type Results struct {
+	Jobs      []*job.Job
+	ByKey     map[string]*metrics.Summary
+	Runs      []*core.Run
+	MinorKeys []string
+	AllKeys   []string
+}
+
+// Run executes all nine policies over one generated workload.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Workload.SystemSize <= 0 {
+		cfg.Workload.SystemSize = cfg.Study.SystemSize
+	}
+	jobs, err := workload.Generate(cfg.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return RunOn(cfg.Study, jobs)
+}
+
+// RunOn executes all nine policies over a supplied workload.
+func RunOn(study core.StudyConfig, jobs []*job.Job) (*Results, error) {
+	specs := core.AllSpecs()
+	runs, err := core.ExecuteAll(study, specs, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{
+		Jobs:  jobs,
+		ByKey: make(map[string]*metrics.Summary, len(runs)),
+		Runs:  runs,
+	}
+	for _, r := range runs {
+		res.ByKey[r.Spec.Key] = r.Summary
+	}
+	for _, s := range core.MinorSpecs() {
+		res.MinorKeys = append(res.MinorKeys, s.Key)
+	}
+	for _, s := range specs {
+		res.AllKeys = append(res.AllKeys, s.Key)
+	}
+	return res, nil
+}
+
+// Baseline returns the baseline policy's summary.
+func (r *Results) Baseline() *metrics.Summary { return r.ByKey["cplant24.nomax.all"] }

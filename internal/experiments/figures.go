@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fairsched/internal/job"
+	"fairsched/internal/metrics"
+)
+
+// Figure is the data behind one of the paper's evaluation figures: a set of
+// series over shared x labels. Bar figures (one value per policy) carry one
+// series whose labels are the policy names; category figures carry one
+// series per policy over the 11 width labels; Figure 3 carries two weekly
+// series.
+type Figure struct {
+	ID     string
+	Title  string
+	Unit   string
+	Labels []string
+	Series []Series
+}
+
+// Series is one named sequence of values aligned with the figure's labels.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// widthLabels returns the 11 category labels as a slice.
+func widthLabels() []string {
+	return append([]string(nil), job.WidthLabels[:]...)
+}
+
+// barFigure builds a one-value-per-policy figure.
+func (r *Results) barFigure(id, title, unit string, keys []string, value func(*metrics.Summary) float64) Figure {
+	f := Figure{ID: id, Title: title, Unit: unit}
+	s := Series{Name: unit}
+	for _, k := range keys {
+		f.Labels = append(f.Labels, k)
+		s.Values = append(s.Values, value(r.ByKey[k]))
+	}
+	f.Series = []Series{s}
+	return f
+}
+
+// widthFigure builds a per-width-category figure with one series per policy.
+func (r *Results) widthFigure(id, title, unit string, keys []string, values func(*metrics.Summary) [job.NumWidthCategories]float64) Figure {
+	f := Figure{ID: id, Title: title, Unit: unit, Labels: widthLabels()}
+	for _, k := range keys {
+		v := values(r.ByKey[k])
+		f.Series = append(f.Series, Series{Name: k, Values: v[:]})
+	}
+	return f
+}
+
+// Figure3 is the weekly offered load and actual utilization of the baseline
+// run, as percentages of weekly capacity.
+func (r *Results) Figure3() Figure {
+	base := r.Baseline()
+	f := Figure{
+		ID:    "fig3",
+		Title: "Offered load and actual utilization of the CPlant/Ross workload",
+		Unit:  "% of weekly capacity",
+	}
+	offered := Series{Name: "Offered Load"}
+	util := Series{Name: "Actual Utilization"}
+	for w := range base.WeeklyOfferedLoad {
+		f.Labels = append(f.Labels, fmt.Sprintf("Week %d", w))
+		offered.Values = append(offered.Values, 100*base.WeeklyOfferedLoad[w])
+		u := 0.0
+		if w < len(base.WeeklyUtilization) {
+			u = 100 * base.WeeklyUtilization[w]
+		}
+		util.Values = append(util.Values, u)
+	}
+	f.Series = []Series{offered, util}
+	return f
+}
+
+// Figure8 is the percent of unfair jobs for the minor-change policies.
+func (r *Results) Figure8() Figure {
+	return r.barFigure("fig8", "Percentage of jobs that missed the fair start time (minor changes)",
+		"% unfair jobs", r.MinorKeys, func(s *metrics.Summary) float64 { return s.PercentUnfair })
+}
+
+// Figure9 is the average miss time for the minor-change policies.
+func (r *Results) Figure9() Figure {
+	return r.barFigure("fig9", "Average fair start miss time (minor changes)",
+		"seconds", r.MinorKeys, func(s *metrics.Summary) float64 { return s.AvgMissTime })
+}
+
+// Figure10 is the average miss time by width category, minor changes.
+func (r *Results) Figure10() Figure {
+	return r.widthFigure("fig10", "Average fair start miss time by width (minor changes)",
+		"seconds", r.MinorKeys, func(s *metrics.Summary) [job.NumWidthCategories]float64 { return s.AvgMissByWidth })
+}
+
+// Figure11 is the average turnaround time for the minor-change policies.
+func (r *Results) Figure11() Figure {
+	return r.barFigure("fig11", "Average turnaround time (minor changes)",
+		"seconds", r.MinorKeys, func(s *metrics.Summary) float64 { return s.AvgTurnaround })
+}
+
+// Figure12 is the average turnaround time by width, minor changes.
+func (r *Results) Figure12() Figure {
+	return r.widthFigure("fig12", "Average turnaround time by width (minor changes)",
+		"seconds", r.MinorKeys, func(s *metrics.Summary) [job.NumWidthCategories]float64 { return s.AvgTATByWidth })
+}
+
+// Figure13 is the loss of capacity for the minor-change policies.
+func (r *Results) Figure13() Figure {
+	return r.barFigure("fig13", "Loss of capacity (minor changes)",
+		"% of capacity", r.MinorKeys, func(s *metrics.Summary) float64 { return 100 * s.LossOfCapacity })
+}
+
+// Figure14 is the percent of unfair jobs for all nine policies.
+func (r *Results) Figure14() Figure {
+	return r.barFigure("fig14", "Percentage of jobs that missed the fair start time (all policies)",
+		"% unfair jobs", r.AllKeys, func(s *metrics.Summary) float64 { return s.PercentUnfair })
+}
+
+// Figure15 is the average miss time for all nine policies.
+func (r *Results) Figure15() Figure {
+	return r.barFigure("fig15", "Average fair start miss time (all policies)",
+		"seconds", r.AllKeys, func(s *metrics.Summary) float64 { return s.AvgMissTime })
+}
+
+// conservativeComparisonKeys are the baseline plus the conservative
+// configurations, the series of Figures 16 and 18.
+func (r *Results) conservativeComparisonKeys() []string {
+	return []string{"cplant24.nomax.all", "cons.nomax", "consdyn.nomax", "cons.72max", "consdyn.72max"}
+}
+
+// Figure16 is the average miss time by width for the conservative set.
+func (r *Results) Figure16() Figure {
+	return r.widthFigure("fig16", "Average miss time by width (conservative backfilling)",
+		"seconds", r.conservativeComparisonKeys(),
+		func(s *metrics.Summary) [job.NumWidthCategories]float64 { return s.AvgMissByWidth })
+}
+
+// Figure17 is the average turnaround time for all nine policies.
+func (r *Results) Figure17() Figure {
+	return r.barFigure("fig17", "Average turnaround time (all policies)",
+		"seconds", r.AllKeys, func(s *metrics.Summary) float64 { return s.AvgTurnaround })
+}
+
+// Figure18 is the average turnaround time by width for the conservative set.
+func (r *Results) Figure18() Figure {
+	return r.widthFigure("fig18", "Average turnaround time by width (conservative backfilling)",
+		"seconds", r.conservativeComparisonKeys(),
+		func(s *metrics.Summary) [job.NumWidthCategories]float64 { return s.AvgTATByWidth })
+}
+
+// Figure19 is the loss of capacity for all nine policies.
+func (r *Results) Figure19() Figure {
+	return r.barFigure("fig19", "Loss of capacity (all policies)",
+		"% of capacity", r.AllKeys, func(s *metrics.Summary) float64 { return 100 * s.LossOfCapacity })
+}
+
+// UnfairLoadFigure is the §4 load-weighted companion of Figures 8/14: the
+// percentage of offered processor-seconds belonging to jobs that missed
+// their FST. Not a paper figure, but recorded because the job-count and
+// load-weighted variants can rank policies differently (see EXPERIMENTS.md).
+func (r *Results) UnfairLoadFigure() Figure {
+	return r.barFigure("figL", "Percentage of load that missed the fair start time (all policies)",
+		"% unfair load", r.AllKeys, func(s *metrics.Summary) float64 { return s.PercentUnfairLoad })
+}
+
+// EvaluationFigures returns Figures 8-19 in paper order.
+func (r *Results) EvaluationFigures() []Figure {
+	return []Figure{
+		r.Figure8(), r.Figure9(), r.Figure10(), r.Figure11(), r.Figure12(), r.Figure13(),
+		r.Figure14(), r.Figure15(), r.Figure16(), r.Figure17(), r.Figure18(), r.Figure19(),
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"fairsched/internal/job"
+)
+
+// RenderFigure writes a figure as an aligned text table with horizontal
+// bars (bar figures) or a plain series table (multi-series figures).
+func RenderFigure(w io.Writer, f Figure) {
+	fmt.Fprintf(w, "%s — %s (%s)\n", strings.ToUpper(f.ID), f.Title, f.Unit)
+	if len(f.Series) == 1 {
+		renderBars(w, f.Labels, f.Series[0].Values)
+		fmt.Fprintln(w)
+		return
+	}
+	renderSeriesTable(w, f)
+	fmt.Fprintln(w)
+}
+
+func renderBars(w io.Writer, labels []string, values []float64) {
+	maxVal := 0.0
+	width := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > width {
+			width = len(labels[i])
+		}
+	}
+	const barWidth = 48
+	for i, v := range values {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(v / maxVal * barWidth))
+		}
+		fmt.Fprintf(w, "  %-*s %12.2f  %s\n", width, labels[i], v, strings.Repeat("#", n))
+	}
+}
+
+func renderSeriesTable(w io.Writer, f Figure) {
+	nameWidth := 0
+	for _, s := range f.Series {
+		if len(s.Name) > nameWidth {
+			nameWidth = len(s.Name)
+		}
+	}
+	fmt.Fprintf(w, "  %-*s", nameWidth, "")
+	for _, l := range f.Labels {
+		fmt.Fprintf(w, " %10s", l)
+	}
+	fmt.Fprintln(w)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "  %-*s", nameWidth, s.Name)
+		for i := range f.Labels {
+			v := math.NaN()
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			if math.IsNaN(v) {
+				fmt.Fprintf(w, " %10s", "-")
+			} else {
+				fmt.Fprintf(w, " %10.1f", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTable1 writes the job-count grid in the paper's Table 1 layout.
+func RenderTable1(w io.Writer, grid [job.NumWidthCategories][job.NumLengthCategories]int) {
+	fmt.Fprintln(w, "TABLE 1 — Number of jobs in each length/width category")
+	fmt.Fprintf(w, "  %-14s", "")
+	for _, l := range job.LengthLabels {
+		fmt.Fprintf(w, " %10s", l)
+	}
+	fmt.Fprintln(w)
+	for i, row := range grid {
+		fmt.Fprintf(w, "  %-14s", job.WidthLabels[i]+" nodes")
+		for _, c := range row {
+			fmt.Fprintf(w, " %10d", c)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTable2 writes the processor-hour grid in the paper's Table 2 layout.
+func RenderTable2(w io.Writer, grid [job.NumWidthCategories][job.NumLengthCategories]float64) {
+	fmt.Fprintln(w, "TABLE 2 — Processor-hours in each length/width category")
+	fmt.Fprintf(w, "  %-14s", "")
+	for _, l := range job.LengthLabels {
+		fmt.Fprintf(w, " %10s", l)
+	}
+	fmt.Fprintln(w)
+	for i, row := range grid {
+		fmt.Fprintf(w, "  %-14s", job.WidthLabels[i]+" nodes")
+		for _, c := range row {
+			fmt.Fprintf(w, " %10.0f", c)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCharacterization writes the Figures 4-7 summaries.
+func RenderCharacterization(w io.Writer, c *Characterization) {
+	fmt.Fprintf(w, "WORKLOAD — %d jobs, %.0f processor-hours\n", c.Jobs, c.TotalProcHours)
+	fmt.Fprintf(w, "FIG4 — runtime vs nodes: standard allocations %.1f%%, log-log correlation r=%.3f\n",
+		100*c.StandardAllocFraction, c.RuntimeNodesLogCorr)
+	fmt.Fprintf(w, "FIG5 — estimates: %.1f%% overestimated, %.1f%% overran their limit, median factor %.1fx\n",
+		100*c.OverestimatedFraction, 100*c.UnderestimatedFraction, c.MedianOverestimation)
+	fmt.Fprintf(w, "FIG6 — median overestimation by runtime (r=%.3f, falling with runtime):\n", c.OverRuntimeLogCorr)
+	renderBinRow(w, c.RuntimeBinEdges, c.OverByRuntimeBin, "s")
+	fmt.Fprintf(w, "FIG7 — median overestimation by nodes (r=%.3f, unrelated to width):\n", c.OverNodesLogCorr)
+	renderBinRow(w, c.NodeBinEdges, c.OverByNodeBin, "")
+	fmt.Fprintln(w)
+}
+
+func renderBinRow(w io.Writer, edges, medians []float64, unit string) {
+	for i, m := range medians {
+		if math.IsNaN(m) {
+			continue
+		}
+		fmt.Fprintf(w, "    %9.0f-%.0f%s: %6.1fx\n", edges[i], edges[i+1], unit, m)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fairsched/internal/workload"
+)
+
+// Seed-sweep robustness: the paper is a single-trace case study, so every
+// bar chart carries trace-level variance. SeedSweep re-generates the
+// synthetic workload under several seeds, re-runs the nine policies and
+// tallies how often each Results-section claim holds — the evidence behind
+// EXPERIMENTS.md's "robust across seeds" statements.
+
+// ClaimTally is one claim's pass count across a sweep.
+type ClaimTally struct {
+	ID        string
+	Statement string
+	Passed    int
+	Total     int
+}
+
+// SeedSweep runs the full study once per seed and tallies the claims.
+// The workload config's Seed field is overridden per run.
+func SeedSweep(cfg Config, seeds []int64) ([]ClaimTally, error) {
+	claims := Claims()
+	tally := make([]ClaimTally, len(claims))
+	for i, c := range claims {
+		tally[i] = ClaimTally{ID: c.ID, Statement: c.Statement}
+	}
+	for _, seed := range seeds {
+		wl := cfg.Workload
+		wl.Seed = seed
+		if wl.SystemSize <= 0 {
+			wl.SystemSize = cfg.Study.SystemSize
+		}
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		res, err := RunOn(cfg.Study, jobs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		for i, c := range claims {
+			tally[i].Total++
+			if c.Check(res) {
+				tally[i].Passed++
+			}
+		}
+	}
+	return tally, nil
+}
+
+// RenderSeedSweep writes the tally as a table, most robust claims first
+// order preserved (paper order).
+func RenderSeedSweep(w io.Writer, tally []ClaimTally, seeds []int64) {
+	fmt.Fprintf(w, "SEED SWEEP — claim robustness across %d synthetic traces %v\n", len(seeds), seeds)
+	pass := 0
+	for _, t := range tally {
+		marker := " "
+		if t.Passed == t.Total {
+			marker = "*"
+			pass++
+		}
+		fmt.Fprintf(w, "  %s %d/%d %-32s %s\n", marker, t.Passed, t.Total, t.ID, t.Statement)
+	}
+	fmt.Fprintf(w, "  %d/%d claims hold under every seed (* = unanimous)\n", pass, len(tally))
+}
+
+// HoldsUnanimously reports whether the claim with the given id passed under
+// every seed of the sweep.
+func HoldsUnanimously(tally []ClaimTally, id string) bool {
+	for _, t := range tally {
+		if t.ID == id {
+			return t.Total > 0 && t.Passed == t.Total
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fairsched/internal/core"
+	"fairsched/internal/workload"
+)
+
+func TestSeedSweepTallies(t *testing.T) {
+	cfg := Config{
+		Workload: workload.Config{Scale: 0.1, SystemSize: 100},
+		Study:    core.StudyConfig{SystemSize: 100},
+	}
+	seeds := []int64{1, 2}
+	tally, err := SeedSweep(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tally) != len(Claims()) {
+		t.Fatalf("tally covers %d claims, want %d", len(tally), len(Claims()))
+	}
+	for _, c := range tally {
+		if c.Total != len(seeds) {
+			t.Errorf("%s evaluated %d times, want %d", c.ID, c.Total, len(seeds))
+		}
+		if c.Passed < 0 || c.Passed > c.Total {
+			t.Errorf("%s pass count %d out of range", c.ID, c.Passed)
+		}
+	}
+}
+
+func TestRenderSeedSweep(t *testing.T) {
+	tally := []ClaimTally{
+		{ID: "a", Statement: "always holds", Passed: 3, Total: 3},
+		{ID: "b", Statement: "sometimes holds", Passed: 1, Total: 3},
+	}
+	var buf bytes.Buffer
+	RenderSeedSweep(&buf, tally, []int64{1, 2, 3})
+	out := buf.String()
+	if !strings.Contains(out, "* 3/3 a") {
+		t.Fatalf("unanimous claim not starred: %q", out)
+	}
+	if !strings.Contains(out, "1/3 b") {
+		t.Fatalf("partial claim missing: %q", out)
+	}
+	if !strings.Contains(out, "1/2 claims hold under every seed") {
+		t.Fatalf("summary line wrong: %q", out)
+	}
+}
+
+func TestHoldsUnanimously(t *testing.T) {
+	tally := []ClaimTally{
+		{ID: "a", Passed: 2, Total: 2},
+		{ID: "b", Passed: 1, Total: 2},
+	}
+	if !HoldsUnanimously(tally, "a") {
+		t.Error("a should be unanimous")
+	}
+	if HoldsUnanimously(tally, "b") || HoldsUnanimously(tally, "missing") {
+		t.Error("b/missing should not be unanimous")
+	}
+}

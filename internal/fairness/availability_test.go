@@ -1,0 +1,128 @@
+package fairness
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+func TestAvailabilityInitFromState(t *testing.T) {
+	running := []sim.RunningJob{
+		{Job: &job.Job{ID: 1, Nodes: 4, Runtime: 100}, Start: 50},
+		{Job: &job.Job{ID: 2, Nodes: 2, Runtime: 300}, Start: 0},
+	}
+	a := newAvailability(100, 10, running)
+	if a.Total() != 16 {
+		t.Fatalf("total = %d, want 16", a.Total())
+	}
+}
+
+func TestAllocateImmediate(t *testing.T) {
+	a := newAvailability(100, 8, nil)
+	start, err := a.allocate(4, 60)
+	if err != nil || start != 100 {
+		t.Fatalf("allocate = %d,%v want 100", start, err)
+	}
+	// 4 nodes free now, 4 more at 160.
+	start, err = a.allocate(8, 10)
+	if err != nil || start != 160 {
+		t.Fatalf("second allocate = %d,%v want 160", start, err)
+	}
+}
+
+func TestAllocateNthSmallest(t *testing.T) {
+	running := []sim.RunningJob{
+		{Job: &job.Job{ID: 1, Nodes: 3, Runtime: 100}, Start: 0}, // frees at 100
+		{Job: &job.Job{ID: 2, Nodes: 3, Runtime: 200}, Start: 0}, // frees at 200
+	}
+	a := newAvailability(10, 2, running)
+	// Needs 4: 2 free now + 2 of the 3 freeing at 100 -> start 100.
+	start, err := a.allocate(4, 50)
+	if err != nil || start != 100 {
+		t.Fatalf("allocate = %d,%v want 100", start, err)
+	}
+	// Needs 4: leftover 1 at 100, next free at 150 (3 from the first
+	// allocation) -> cumulative 4 at 150.
+	start, err = a.allocate(4, 10)
+	if err != nil || start != 150 {
+		t.Fatalf("allocate = %d,%v want 150", start, err)
+	}
+}
+
+func TestAllocateTooWide(t *testing.T) {
+	a := newAvailability(0, 4, nil)
+	if _, err := a.allocate(5, 10); err == nil {
+		t.Fatal("allocation beyond total accepted")
+	}
+}
+
+func TestAllocateConservesTotal(t *testing.T) {
+	a := newAvailability(0, 8, nil)
+	for i := 0; i < 20; i++ {
+		if _, err := a.allocate(3, 50); err != nil {
+			t.Fatal(err)
+		}
+		if a.Total() != 8 {
+			t.Fatalf("total drifted to %d", a.Total())
+		}
+	}
+}
+
+// TestQuickAllocateMatchesPerNodeReference checks the RLE multiset against
+// a brute-force per-node list scheduler (the paper's formulation).
+func TestQuickAllocateMatchesPerNodeReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(20) + 4
+		now := rng.Int63n(100)
+
+		// Reference: per-node completion times.
+		nodes := make([]int64, size)
+		for i := range nodes {
+			if rng.Intn(2) == 0 {
+				nodes[i] = now + rng.Int63n(200)
+			} else {
+				nodes[i] = now
+			}
+		}
+		// Build the RLE multiset with the same initial times.
+		a := &availability{}
+		for _, ct := range nodes {
+			a.add(ct, 1)
+		}
+
+		for step := 0; step < 15; step++ {
+			need := rng.Intn(size) + 1
+			runtime := rng.Int63n(100) + 1
+
+			// Reference: the job starts at the need-th smallest completion
+			// time and occupies the `need` earliest-available nodes (equal
+			// times are interchangeable).
+			idx := make([]int, size)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(i, k int) bool { return nodes[idx[i]] < nodes[idx[k]] })
+			wantStart := nodes[idx[need-1]]
+			for _, i := range idx[:need] {
+				nodes[i] = wantStart + runtime
+			}
+
+			got, err := a.allocate(need, runtime)
+			if err != nil {
+				return false
+			}
+			if got != wantStart {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package fairness
+
+import (
+	"fmt"
+	"sort"
+
+	"fairsched/internal/job"
+)
+
+// StartsFunc runs the scheduler under test on a workload and returns each
+// job's start time. core.Run provides one; tests supply toy versions.
+type StartsFunc func(workload []*job.Job) (map[job.ID]int64, error)
+
+// Sabin computes the Sabin/Sadayappan fair start times reviewed in §4: a
+// job's FST is its start time in a schedule produced by the *same* policy
+// with no later-arriving jobs. It re-simulates the truncated workload once
+// per job — O(n) simulations — so it is intended for moderate workloads
+// (the hybrid metric exists precisely to avoid this cost and the resulting
+// scheduler dependence).
+//
+// "Later arriving" means a strictly later submit time, or an equal submit
+// time with a larger id (matching the simulator's deterministic ordering).
+func Sabin(run StartsFunc, jobs []*job.Job) (map[job.ID]int64, error) {
+	ordered := append([]*job.Job(nil), jobs...)
+	sort.SliceStable(ordered, func(i, k int) bool {
+		if ordered[i].Submit != ordered[k].Submit {
+			return ordered[i].Submit < ordered[k].Submit
+		}
+		return ordered[i].ID < ordered[k].ID
+	})
+	fst := make(map[job.ID]int64, len(ordered))
+	for i, target := range ordered {
+		prefix := ordered[:i+1]
+		starts, err := run(prefix)
+		if err != nil {
+			return nil, fmt.Errorf("fairness: Sabin: truncated run for job %d: %w", target.ID, err)
+		}
+		s, ok := starts[target.ID]
+		if !ok {
+			return nil, fmt.Errorf("fairness: Sabin: job %d missing from truncated run", target.ID)
+		}
+		fst[target.ID] = s
+	}
+	return fst, nil
+}

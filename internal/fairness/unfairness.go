@@ -1,0 +1,83 @@
+package fairness
+
+import (
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// Unfairness aggregates an FST table against actual start times: the
+// percent of jobs that missed their fair start time and the average miss
+// time over all submitted jobs (Equation 5), overall and per width category
+// (Figures 8-10 and 14-16). Section 4 of the paper notes the aggregate can
+// equivalently be taken over "the percentage of the load" — the
+// processor-second-weighted variant is tracked alongside the job count.
+type Unfairness struct {
+	Jobs        int
+	UnfairJobs  int
+	TotalMiss   float64 // seconds, summed over unfair jobs
+	TotalLoad   float64 // processor-seconds over all measured jobs
+	UnfairLoad  float64 // processor-seconds of jobs that missed their FST
+	MissByWidth [job.NumWidthCategories]float64
+	JobsByWidth [job.NumWidthCategories]int
+}
+
+// Measure computes unfairness for every record with an FST entry. Split
+// segments without an FST entry (chain restarts) are skipped: the chain was
+// measured once, at its first segment, with its full runtime.
+func Measure(records []*sim.Record, fst map[job.ID]int64) Unfairness {
+	var u Unfairness
+	for _, r := range records {
+		t, ok := fst[r.Job.ID]
+		if !ok {
+			continue
+		}
+		w := job.WidthCategory(r.Job.Nodes)
+		load := float64(r.Job.Nodes) * float64(r.Job.EffectiveRuntime())
+		u.Jobs++
+		u.JobsByWidth[w]++
+		u.TotalLoad += load
+		if miss := r.Start - t; miss > 0 {
+			u.UnfairJobs++
+			u.TotalMiss += float64(miss)
+			u.UnfairLoad += load
+			u.MissByWidth[w] += float64(miss)
+		}
+	}
+	return u
+}
+
+// PercentUnfair returns the share of jobs that missed their FST, 0..100.
+func (u Unfairness) PercentUnfair() float64 {
+	if u.Jobs == 0 {
+		return 0
+	}
+	return 100 * float64(u.UnfairJobs) / float64(u.Jobs)
+}
+
+// PercentUnfairLoad returns the share of the offered load (processor-
+// seconds) belonging to jobs that missed their FST, 0..100.
+func (u Unfairness) PercentUnfairLoad() float64 {
+	if u.TotalLoad == 0 {
+		return 0
+	}
+	return 100 * u.UnfairLoad / u.TotalLoad
+}
+
+// AvgMissTime returns Equation 5: total miss over all submitted jobs.
+func (u Unfairness) AvgMissTime() float64 {
+	if u.Jobs == 0 {
+		return 0
+	}
+	return u.TotalMiss / float64(u.Jobs)
+}
+
+// AvgMissTimeByWidth returns Equation 5 restricted to each width category.
+func (u Unfairness) AvgMissTimeByWidth() [job.NumWidthCategories]float64 {
+	var out [job.NumWidthCategories]float64
+	for w := range out {
+		if u.JobsByWidth[w] > 0 {
+			out[w] = u.MissByWidth[w] / float64(u.JobsByWidth[w])
+		}
+	}
+	return out
+}

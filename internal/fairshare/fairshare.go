@@ -1,0 +1,179 @@
+// Package fairshare implements the Sandia "fairshare" queuing priority: a
+// per-user historical sum of processor-seconds that decays on a regular
+// basis (every 24 hours on CPlant). Users with lower decayed usage get
+// higher queue priority, so users who have not recently used the machine run
+// first.
+package fairshare
+
+import (
+	"fmt"
+	"sort"
+
+	"fairsched/internal/job"
+)
+
+// Config parameterizes the tracker. The paper fixes the decay interval at 24
+// hours; the decay factor is not published, so it is configurable (default
+// 0.5, the conventional half-life-per-day fairshare).
+type Config struct {
+	DecayFactor   float64 // usage multiplier applied every interval, in (0,1]
+	DecayInterval int64   // seconds between decays; 0 means 24h
+}
+
+// DefaultConfig returns the documented defaults.
+func DefaultConfig() Config {
+	return Config{DecayFactor: 0.5, DecayInterval: 24 * 3600}
+}
+
+func (c Config) withDefaults() Config {
+	if c.DecayInterval <= 0 {
+		c.DecayInterval = 24 * 3600
+	}
+	if c.DecayFactor <= 0 || c.DecayFactor > 1 {
+		c.DecayFactor = 0.5
+	}
+	return c
+}
+
+// Usage is one running job's contribution stream: Nodes processor-seconds
+// accrue per second of wall time for user User.
+type Usage struct {
+	User  int
+	Nodes int
+}
+
+// Tracker accumulates decayed processor-seconds per user. The simulator
+// calls Accrue for every interval between events with the set of running
+// jobs during that interval; Accrue splits the interval at decay boundaries
+// so usage earned before a boundary decays at it.
+type Tracker struct {
+	cfg   Config
+	epoch int64 // decay boundaries are epoch + k*interval
+	now   int64 // accrual frontier
+	usage map[int]float64
+}
+
+// NewTracker creates a tracker whose decay boundaries align to epoch.
+func NewTracker(cfg Config, epoch int64) *Tracker {
+	return &Tracker{
+		cfg:   cfg.withDefaults(),
+		epoch: epoch,
+		now:   epoch,
+		usage: make(map[int]float64),
+	}
+}
+
+// Now returns the accrual frontier (the time up to which usage is settled).
+func (t *Tracker) Now() int64 { return t.now }
+
+// Usage returns user's decayed processor-seconds as of the accrual frontier.
+func (t *Tracker) Usage(user int) float64 { return t.usage[user] }
+
+// Users returns the ids of all users with recorded usage, sorted.
+func (t *Tracker) Users() []int {
+	out := make([]int, 0, len(t.usage))
+	for u := range t.usage {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Accrue advances the frontier from its current position to now, charging
+// each stream Nodes proc-seconds per second and applying the decay factor at
+// every interval boundary crossed. It is an error to move time backwards.
+func (t *Tracker) Accrue(now int64, running []Usage) error {
+	if now < t.now {
+		return fmt.Errorf("fairshare: time moved backwards: %d < %d", now, t.now)
+	}
+	// Per-user node counts for this interval.
+	var perUser map[int]int
+	if len(running) > 0 {
+		perUser = make(map[int]int, len(running))
+		for _, u := range running {
+			perUser[u.User] += u.Nodes
+		}
+	}
+	for t.now < now {
+		next := t.nextBoundary(t.now)
+		end := now
+		atBoundary := false
+		if next <= now {
+			end = next
+			atBoundary = true
+		}
+		dt := float64(end - t.now)
+		if dt > 0 && perUser != nil {
+			for user, nodes := range perUser {
+				t.usage[user] += float64(nodes) * dt
+			}
+		}
+		t.now = end
+		if atBoundary {
+			t.decay()
+		}
+	}
+	return nil
+}
+
+// nextBoundary returns the first decay boundary strictly after ts.
+func (t *Tracker) nextBoundary(ts int64) int64 {
+	k := (ts - t.epoch) / t.cfg.DecayInterval
+	b := t.epoch + k*t.cfg.DecayInterval
+	for b <= ts {
+		b += t.cfg.DecayInterval
+	}
+	return b
+}
+
+func (t *Tracker) decay() {
+	for u, v := range t.usage {
+		v *= t.cfg.DecayFactor
+		if v < 1e-9 {
+			delete(t.usage, u) // drop vanishing entries to keep the map small
+			continue
+		}
+		t.usage[u] = v
+	}
+}
+
+// NextBoundaryAfter exposes the next decay boundary strictly after ts, so
+// the simulator can schedule re-evaluation wake-ups at decay instants.
+func (t *Tracker) NextBoundaryAfter(ts int64) int64 { return t.nextBoundary(ts) }
+
+// Charge adds raw (undecayed) processor-seconds to a user immediately. Used
+// by tests and by warm-start scenarios.
+func (t *Tracker) Charge(user int, procSeconds float64) {
+	if procSeconds != 0 {
+		t.usage[user] += procSeconds
+	}
+}
+
+// Less is the fairshare queue order: lower decayed usage first, then earlier
+// submission, then lower job id. It is a strict weak ordering for distinct
+// jobs.
+func (t *Tracker) Less(a, b *job.Job) bool {
+	ua, ub := t.usage[a.User], t.usage[b.User]
+	if ua != ub {
+		return ua < ub
+	}
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+// SortJobs sorts jobs into fairshare priority order (stable, deterministic).
+func (t *Tracker) SortJobs(jobs []*job.Job) {
+	sort.SliceStable(jobs, func(i, k int) bool { return t.Less(jobs[i], jobs[k]) })
+}
+
+// Snapshot returns a copy of the per-user usage map (for metric engines that
+// must not observe later mutation).
+func (t *Tracker) Snapshot() map[int]float64 {
+	out := make(map[int]float64, len(t.usage))
+	for u, v := range t.usage {
+		out[u] = v
+	}
+	return out
+}

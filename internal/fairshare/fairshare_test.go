@@ -1,0 +1,187 @@
+package fairshare
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairsched/internal/job"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestAccrueChargesProcSeconds(t *testing.T) {
+	tr := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 86400}, 0)
+	if err := tr.Accrue(100, []Usage{{User: 1, Nodes: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Usage(1); !almost(got, 1000) {
+		t.Fatalf("usage = %v, want 1000", got)
+	}
+	if got := tr.Usage(2); got != 0 {
+		t.Fatalf("untouched user has usage %v", got)
+	}
+}
+
+func TestAccrueMergesStreamsOfSameUser(t *testing.T) {
+	tr := NewTracker(DefaultConfig(), 0)
+	if err := tr.Accrue(10, []Usage{{User: 1, Nodes: 4}, {User: 1, Nodes: 6}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Usage(1); !almost(got, 100) {
+		t.Fatalf("usage = %v, want 100", got)
+	}
+}
+
+func TestDecayAtBoundary(t *testing.T) {
+	tr := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 100}, 0)
+	if err := tr.Accrue(100, []Usage{{User: 1, Nodes: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// At t=100 the boundary fires: 100 proc-sec decay to 50.
+	if got := tr.Usage(1); !almost(got, 50) {
+		t.Fatalf("usage after boundary = %v, want 50", got)
+	}
+}
+
+func TestAccrueSplitsAtBoundaries(t *testing.T) {
+	tr := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 100}, 0)
+	// 250 seconds at 1 node crosses two boundaries:
+	// [0,100): 100, decays to 50; [100,200): +100 -> 150, decays to 75;
+	// [200,250): +50 -> 125.
+	if err := tr.Accrue(250, []Usage{{User: 1, Nodes: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Usage(1); !almost(got, 125) {
+		t.Fatalf("usage = %v, want 125", got)
+	}
+}
+
+func TestAccrueIdleStillDecays(t *testing.T) {
+	tr := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 100}, 0)
+	tr.Charge(1, 1000)
+	if err := tr.Accrue(200, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Usage(1); !almost(got, 250) {
+		t.Fatalf("usage = %v, want 250 after two decays", got)
+	}
+}
+
+func TestAccrueRejectsTimeReversal(t *testing.T) {
+	tr := NewTracker(DefaultConfig(), 0)
+	if err := tr.Accrue(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Accrue(50, nil); err == nil {
+		t.Fatal("time reversal accepted")
+	}
+}
+
+func TestVanishingUsageIsDropped(t *testing.T) {
+	tr := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 1}, 0)
+	tr.Charge(1, 1e-6)
+	if err := tr.Accrue(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Users()); got != 0 {
+		t.Fatalf("vanishing user retained: %d users", got)
+	}
+}
+
+func TestNextBoundaryAfter(t *testing.T) {
+	tr := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 100}, 50)
+	cases := []struct{ ts, want int64 }{
+		{50, 150}, {149, 150}, {150, 250}, {151, 250},
+	}
+	for _, tc := range cases {
+		if got := tr.NextBoundaryAfter(tc.ts); got != tc.want {
+			t.Errorf("NextBoundaryAfter(%d) = %d, want %d", tc.ts, got, tc.want)
+		}
+	}
+}
+
+func TestLessOrdersByUsageThenSubmitThenID(t *testing.T) {
+	tr := NewTracker(DefaultConfig(), 0)
+	tr.Charge(1, 100)
+	tr.Charge(2, 50)
+	a := &job.Job{ID: 1, User: 1, Submit: 0}
+	b := &job.Job{ID: 2, User: 2, Submit: 100}
+	if !tr.Less(b, a) {
+		t.Error("lower usage should rank first despite later submit")
+	}
+	c := &job.Job{ID: 3, User: 2, Submit: 50}
+	if !tr.Less(c, b) {
+		t.Error("same usage: earlier submit should rank first")
+	}
+	d := &job.Job{ID: 4, User: 2, Submit: 50}
+	if !tr.Less(c, d) || tr.Less(d, c) {
+		t.Error("same usage and submit: lower id should rank first")
+	}
+}
+
+func TestSortJobsIsDeterministic(t *testing.T) {
+	tr := NewTracker(DefaultConfig(), 0)
+	tr.Charge(1, 10)
+	tr.Charge(2, 20)
+	tr.Charge(3, 5)
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0},
+		{ID: 2, User: 2, Submit: 0},
+		{ID: 3, User: 3, Submit: 0},
+		{ID: 4, User: 1, Submit: 5},
+	}
+	tr.SortJobs(jobs)
+	wantIDs := []job.ID{3, 1, 4, 2}
+	for i, w := range wantIDs {
+		if jobs[i].ID != w {
+			t.Fatalf("order %v, want %v at %d", jobs[i].ID, w, i)
+		}
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	tr := NewTracker(DefaultConfig(), 0)
+	tr.Charge(7, 42)
+	snap := tr.Snapshot()
+	snap[7] = 999
+	if got := tr.Usage(7); !almost(got, 42) {
+		t.Fatalf("snapshot mutation leaked: %v", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tr := NewTracker(Config{}, 0)
+	tr.Charge(1, 100)
+	if err := tr.Accrue(24*3600, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Usage(1); !almost(got, 50) {
+		t.Fatalf("default decay after 24h = %v, want 50", got)
+	}
+}
+
+func TestQuickUsageNonNegativeAndMonotoneDecay(t *testing.T) {
+	f := func(charges []uint16, steps uint8) bool {
+		tr := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 10}, 0)
+		for i, c := range charges {
+			tr.Charge(i%5, float64(c))
+		}
+		now := int64(0)
+		for s := 0; s < int(steps%20); s++ {
+			now += 7
+			if err := tr.Accrue(now, []Usage{{User: 1, Nodes: 2}}); err != nil {
+				return false
+			}
+			for _, u := range tr.Users() {
+				if tr.Usage(u) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package fairshare
+
+import "sort"
+
+// HeavyClassifier decides whether a user counts as "heavy"/"unfair" for the
+// purpose of barring them from the starvation queue (paper §5.2). The paper
+// does not pin down the rule, so three classifiers are provided; AboveMean
+// is the default used by the *.fair policies.
+type HeavyClassifier interface {
+	// IsHeavy reports whether user is heavy given the tracker state and the
+	// set of users who currently have live (queued or running) work.
+	IsHeavy(t *Tracker, user int, liveUsers []int) bool
+	Name() string
+}
+
+// AboveMean marks a user heavy when their decayed usage exceeds Factor
+// times the mean decayed usage over live users. Factor <= 0 means 1.0.
+type AboveMean struct{ Factor float64 }
+
+// Name implements HeavyClassifier.
+func (a AboveMean) Name() string { return "above-mean" }
+
+// IsHeavy implements HeavyClassifier.
+func (a AboveMean) IsHeavy(t *Tracker, user int, liveUsers []int) bool {
+	f := a.Factor
+	if f <= 0 {
+		f = 1.0
+	}
+	if len(liveUsers) == 0 {
+		return false
+	}
+	var sum float64
+	for _, u := range liveUsers {
+		sum += t.Usage(u)
+	}
+	mean := sum / float64(len(liveUsers))
+	if mean <= 0 {
+		return false
+	}
+	return t.Usage(user) > f*mean
+}
+
+// AboveQuantile marks a user heavy when their decayed usage is above the
+// q-th quantile (0..1) of live users' usages. Defaults to the 0.75
+// quantile when Q is outside (0,1).
+type AboveQuantile struct{ Q float64 }
+
+// Name implements HeavyClassifier.
+func (a AboveQuantile) Name() string { return "above-quantile" }
+
+// IsHeavy implements HeavyClassifier.
+func (a AboveQuantile) IsHeavy(t *Tracker, user int, liveUsers []int) bool {
+	q := a.Q
+	if q <= 0 || q >= 1 {
+		q = 0.75
+	}
+	if len(liveUsers) == 0 {
+		return false
+	}
+	us := make([]float64, 0, len(liveUsers))
+	for _, u := range liveUsers {
+		us = append(us, t.Usage(u))
+	}
+	sort.Float64s(us)
+	idx := int(q * float64(len(us)-1))
+	threshold := us[idx]
+	if threshold <= 0 {
+		return false
+	}
+	return t.Usage(user) > threshold
+}
+
+// AboveAbsolute marks a user heavy when their decayed usage exceeds a fixed
+// processor-second threshold.
+type AboveAbsolute struct{ ProcSeconds float64 }
+
+// Name implements HeavyClassifier.
+func (a AboveAbsolute) Name() string { return "above-absolute" }
+
+// IsHeavy implements HeavyClassifier.
+func (a AboveAbsolute) IsHeavy(t *Tracker, user int, _ []int) bool {
+	return t.Usage(user) > a.ProcSeconds
+}
+
+// Never marks no one heavy (the *.all policies).
+type Never struct{}
+
+// Name implements HeavyClassifier.
+func (Never) Name() string { return "never" }
+
+// IsHeavy implements HeavyClassifier.
+func (Never) IsHeavy(*Tracker, int, []int) bool { return false }

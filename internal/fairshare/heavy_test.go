@@ -1,0 +1,95 @@
+package fairshare
+
+import "testing"
+
+func trackerWithUsage(usages map[int]float64) *Tracker {
+	tr := NewTracker(DefaultConfig(), 0)
+	for u, v := range usages {
+		tr.Charge(u, v)
+	}
+	return tr
+}
+
+func TestAboveMean(t *testing.T) {
+	tr := trackerWithUsage(map[int]float64{1: 100, 2: 50, 3: 0})
+	live := []int{1, 2, 3}
+	c := AboveMean{}
+	if !c.IsHeavy(tr, 1, live) {
+		t.Error("user 1 (100 vs mean 50) should be heavy")
+	}
+	if c.IsHeavy(tr, 2, live) {
+		t.Error("user 2 (50 = mean) should not be heavy")
+	}
+	if c.IsHeavy(tr, 3, live) {
+		t.Error("user 3 (0) should not be heavy")
+	}
+}
+
+func TestAboveMeanFactor(t *testing.T) {
+	tr := trackerWithUsage(map[int]float64{1: 100, 2: 50, 3: 0})
+	live := []int{1, 2, 3}
+	c := AboveMean{Factor: 3}
+	if c.IsHeavy(tr, 1, live) {
+		t.Error("factor 3 raises the bar to 150; user 1 at 100 is not heavy")
+	}
+}
+
+func TestAboveMeanEdgeCases(t *testing.T) {
+	tr := trackerWithUsage(nil)
+	c := AboveMean{}
+	if c.IsHeavy(tr, 1, nil) {
+		t.Error("no live users: no one is heavy")
+	}
+	if c.IsHeavy(tr, 1, []int{1, 2}) {
+		t.Error("zero mean: no one is heavy")
+	}
+}
+
+func TestAboveQuantile(t *testing.T) {
+	tr := trackerWithUsage(map[int]float64{1: 10, 2: 20, 3: 30, 4: 40, 5: 1000})
+	live := []int{1, 2, 3, 4, 5}
+	c := AboveQuantile{Q: 0.75}
+	if !c.IsHeavy(tr, 5, live) {
+		t.Error("top user should be heavy at q=0.75")
+	}
+	if c.IsHeavy(tr, 1, live) {
+		t.Error("bottom user should not be heavy")
+	}
+	// Default quantile when Q invalid.
+	d := AboveQuantile{}
+	if !d.IsHeavy(tr, 5, live) {
+		t.Error("default quantile should still flag the top user")
+	}
+}
+
+func TestAboveAbsolute(t *testing.T) {
+	tr := trackerWithUsage(map[int]float64{1: 100})
+	c := AboveAbsolute{ProcSeconds: 50}
+	if !c.IsHeavy(tr, 1, nil) {
+		t.Error("usage 100 > 50 should be heavy")
+	}
+	if c.IsHeavy(tr, 2, nil) {
+		t.Error("unknown user should not be heavy")
+	}
+}
+
+func TestNever(t *testing.T) {
+	tr := trackerWithUsage(map[int]float64{1: 1e12})
+	if (Never{}).IsHeavy(tr, 1, []int{1}) {
+		t.Error("Never classified someone as heavy")
+	}
+}
+
+func TestClassifierNames(t *testing.T) {
+	names := map[string]HeavyClassifier{
+		"above-mean":     AboveMean{},
+		"above-quantile": AboveQuantile{},
+		"above-absolute": AboveAbsolute{},
+		"never":          Never{},
+	}
+	for want, c := range names {
+		if c.Name() != want {
+			t.Errorf("Name() = %q, want %q", c.Name(), want)
+		}
+	}
+}

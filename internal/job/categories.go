@@ -1,0 +1,110 @@
+package job
+
+// The paper buckets jobs into 11 width (node-count) categories and 8 length
+// (runtime) categories (Tables 1 and 2, Figures 10/12/16/18).
+
+// NumWidthCategories and NumLengthCategories are the grid dimensions of the
+// paper's Tables 1 and 2.
+const (
+	NumWidthCategories  = 11
+	NumLengthCategories = 8
+)
+
+// WidthLabels are the paper's row labels, narrowest first.
+var WidthLabels = [NumWidthCategories]string{
+	"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65-128",
+	"129-256", "257-512", "513+",
+}
+
+// LengthLabels are the paper's column labels, shortest first.
+var LengthLabels = [NumLengthCategories]string{
+	"0-15 mins", "15-60 mins", "1-4 hrs", "4-8 hrs", "8-16 hrs",
+	"16-24 hrs", "1-2 days", "2+ days",
+}
+
+// widthUpper[i] is the inclusive upper node bound of width category i; the
+// last category is open-ended.
+var widthUpper = [NumWidthCategories - 1]int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// lengthUpper[i] is the exclusive upper runtime bound (seconds) of length
+// category i; the last category is open-ended.
+var lengthUpper = [NumLengthCategories - 1]int64{
+	15 * 60,       // 0-15 mins
+	60 * 60,       // 15-60 mins
+	4 * 3600,      // 1-4 hrs
+	8 * 3600,      // 4-8 hrs
+	16 * 3600,     // 8-16 hrs
+	24 * 3600,     // 16-24 hrs
+	2 * 24 * 3600, // 1-2 days
+}
+
+// WidthCategory returns the index (0..10) of the paper's width category for
+// the given node count. Node counts below 1 map to category 0.
+func WidthCategory(nodes int) int {
+	for i, up := range widthUpper {
+		if nodes <= up {
+			return i
+		}
+	}
+	return NumWidthCategories - 1
+}
+
+// LengthCategory returns the index (0..7) of the paper's length category for
+// the given runtime in seconds.
+func LengthCategory(runtime int64) int {
+	for i, up := range lengthUpper {
+		if runtime < up {
+			return i
+		}
+	}
+	return NumLengthCategories - 1
+}
+
+// WidthBounds returns the inclusive node range [lo, hi] of width category i.
+// The open-ended last category reports hi = 0 (meaning "no upper bound").
+func WidthBounds(i int) (lo, hi int) {
+	if i <= 0 {
+		return 1, 1
+	}
+	if i >= NumWidthCategories-1 {
+		return widthUpper[NumWidthCategories-2] + 1, 0
+	}
+	return widthUpper[i-1] + 1, widthUpper[i]
+}
+
+// LengthBounds returns the runtime range [lo, hi) in seconds of length
+// category i. The open-ended last category reports hi = 0.
+func LengthBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 1, lengthUpper[0]
+	}
+	if i >= NumLengthCategories-1 {
+		return lengthUpper[NumLengthCategories-2], 0
+	}
+	return lengthUpper[i-1], lengthUpper[i]
+}
+
+// Cell returns the (width, length) category pair for a job.
+func (j *Job) Cell() (w, l int) {
+	return WidthCategory(j.Nodes), LengthCategory(j.Runtime)
+}
+
+// CountGrid tallies jobs into the Table 1 grid.
+func CountGrid(jobs []*Job) [NumWidthCategories][NumLengthCategories]int {
+	var g [NumWidthCategories][NumLengthCategories]int
+	for _, j := range jobs {
+		w, l := j.Cell()
+		g[w][l]++
+	}
+	return g
+}
+
+// ProcHourGrid tallies processor-hours into the Table 2 grid.
+func ProcHourGrid(jobs []*Job) [NumWidthCategories][NumLengthCategories]float64 {
+	var g [NumWidthCategories][NumLengthCategories]float64
+	for _, j := range jobs {
+		w, l := j.Cell()
+		g[w][l] += float64(j.ProcSeconds()) / 3600
+	}
+	return g
+}

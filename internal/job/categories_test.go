@@ -1,0 +1,161 @@
+package job
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthCategoryBoundaries(t *testing.T) {
+	cases := []struct {
+		nodes int
+		want  int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4},
+		{17, 5}, {32, 5}, {33, 6}, {64, 6}, {65, 7}, {128, 7}, {129, 8},
+		{256, 8}, {257, 9}, {512, 9}, {513, 10}, {10000, 10},
+	}
+	for _, tc := range cases {
+		if got := WidthCategory(tc.nodes); got != tc.want {
+			t.Errorf("WidthCategory(%d) = %d, want %d", tc.nodes, got, tc.want)
+		}
+	}
+}
+
+func TestLengthCategoryBoundaries(t *testing.T) {
+	cases := []struct {
+		runtime int64
+		want    int
+	}{
+		{1, 0}, {899, 0}, {900, 1}, {3599, 1}, {3600, 2}, {4*3600 - 1, 2},
+		{4 * 3600, 3}, {8 * 3600, 4}, {16 * 3600, 5}, {24 * 3600, 6},
+		{48*3600 - 1, 6}, {48 * 3600, 7}, {1 << 40, 7},
+	}
+	for _, tc := range cases {
+		if got := LengthCategory(tc.runtime); got != tc.want {
+			t.Errorf("LengthCategory(%d) = %d, want %d", tc.runtime, got, tc.want)
+		}
+	}
+}
+
+func TestWidthBoundsRoundTrip(t *testing.T) {
+	for cat := 0; cat < NumWidthCategories; cat++ {
+		lo, hi := WidthBounds(cat)
+		if got := WidthCategory(lo); got != cat {
+			t.Errorf("cat %d: lower bound %d classifies as %d", cat, lo, got)
+		}
+		if hi == 0 {
+			if cat != NumWidthCategories-1 {
+				t.Errorf("cat %d: only the last category is open-ended", cat)
+			}
+			continue
+		}
+		if got := WidthCategory(hi); got != cat {
+			t.Errorf("cat %d: upper bound %d classifies as %d", cat, hi, got)
+		}
+		if got := WidthCategory(hi + 1); got != cat+1 {
+			t.Errorf("cat %d: %d should classify into the next category", cat, hi+1)
+		}
+	}
+}
+
+func TestLengthBoundsRoundTrip(t *testing.T) {
+	for cat := 0; cat < NumLengthCategories; cat++ {
+		lo, hi := LengthBounds(cat)
+		if got := LengthCategory(lo); got != cat {
+			t.Errorf("cat %d: lower bound %d classifies as %d", cat, lo, got)
+		}
+		if hi == 0 {
+			if cat != NumLengthCategories-1 {
+				t.Errorf("cat %d: only the last category is open-ended", cat)
+			}
+			continue
+		}
+		if got := LengthCategory(hi - 1); got != cat {
+			t.Errorf("cat %d: %d (just below bound) classifies as %d", cat, hi-1, got)
+		}
+		if got := LengthCategory(hi); got != cat+1 {
+			t.Errorf("cat %d: bound %d should classify into the next category", cat, hi)
+		}
+	}
+}
+
+func TestCell(t *testing.T) {
+	j := &Job{Nodes: 40, Runtime: 5 * 3600}
+	w, l := j.Cell()
+	if w != 6 || l != 3 {
+		t.Fatalf("Cell() = (%d,%d), want (6,3)", w, l)
+	}
+}
+
+func TestCountGrid(t *testing.T) {
+	jobs := []*Job{
+		{Nodes: 1, Runtime: 60},
+		{Nodes: 1, Runtime: 60},
+		{Nodes: 600, Runtime: 3 * 24 * 3600},
+	}
+	g := CountGrid(jobs)
+	if g[0][0] != 2 {
+		t.Errorf("grid[0][0] = %d, want 2", g[0][0])
+	}
+	if g[10][7] != 1 {
+		t.Errorf("grid[10][7] = %d, want 1", g[10][7])
+	}
+	total := 0
+	for _, row := range g {
+		for _, c := range row {
+			total += c
+		}
+	}
+	if total != len(jobs) {
+		t.Errorf("grid total = %d, want %d", total, len(jobs))
+	}
+}
+
+func TestProcHourGrid(t *testing.T) {
+	jobs := []*Job{{Nodes: 10, Runtime: 3600}}
+	g := ProcHourGrid(jobs)
+	if got := g[4][2]; got != 10 {
+		t.Fatalf("grid[4][2] = %v proc-hours, want 10", got)
+	}
+}
+
+func TestCategoryQuickProperties(t *testing.T) {
+	widthInRange := func(nodes uint16) bool {
+		n := int(nodes)
+		if n < 1 {
+			n = 1
+		}
+		cat := WidthCategory(n)
+		lo, hi := WidthBounds(cat)
+		return n >= lo && (hi == 0 || n <= hi)
+	}
+	if err := quick.Check(widthInRange, nil); err != nil {
+		t.Error(err)
+	}
+	lengthInRange := func(runtime uint32) bool {
+		r := int64(runtime)
+		if r < 1 {
+			r = 1
+		}
+		cat := LengthCategory(r)
+		lo, hi := LengthBounds(cat)
+		return r >= lo && (hi == 0 || r < hi)
+	}
+	if err := quick.Check(lengthInRange, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelsCoverCategories(t *testing.T) {
+	if len(WidthLabels) != NumWidthCategories {
+		t.Fatal("width labels mismatch")
+	}
+	if len(LengthLabels) != NumLengthCategories {
+		t.Fatal("length labels mismatch")
+	}
+	for _, l := range WidthLabels {
+		if l == "" {
+			t.Fatal("empty width label")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package metrics computes the paper's standard user and system metrics
+// (§3.2): wait time, turnaround time (Equation 1), bounded slowdown,
+// utilization (Equation 2), makespan (Equation 3) and loss of capacity
+// (Equation 4), plus the weekly offered-load/utilization series of Figure 3
+// and the per-width-category breakdowns of Figures 10/12/16/18.
+package metrics
+
+import (
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// WeekSeconds is the bin width of the weekly load series.
+const WeekSeconds = 7 * 24 * 3600
+
+// Collector is a simulation observer that integrates the time-dependent
+// quantities a post-run summary cannot reconstruct from job records alone:
+// the loss-of-capacity numerator and the weekly submitted/executed
+// processor-second series.
+type Collector struct {
+	sim.BaseObserver
+	systemSize int
+
+	// lostProcSec integrates min(queued demand, idle nodes) dt — the
+	// numerator of Equation 4.
+	lostProcSec float64
+	// busyProcSec integrates nodes-in-use dt.
+	busyProcSec float64
+	// weeklySubmitted[w] sums Nodes*Runtime of jobs submitted in week w.
+	weeklySubmitted []float64
+	// weeklyExecuted[w] integrates nodes-in-use dt within week w.
+	weeklyExecuted []float64
+	// span of observed simulated time.
+	firstTime int64
+	lastTime  int64
+	sawTime   bool
+}
+
+// NewCollector creates a collector for a system of the given size.
+func NewCollector(systemSize int) *Collector {
+	return &Collector{systemSize: systemSize}
+}
+
+// SystemSize returns the configured node count.
+func (c *Collector) SystemSize() int { return c.systemSize }
+
+func (c *Collector) week(t int64) int {
+	if t < 0 {
+		return 0
+	}
+	return int(t / WeekSeconds)
+}
+
+func (c *Collector) growWeeks(w int) {
+	for len(c.weeklySubmitted) <= w {
+		c.weeklySubmitted = append(c.weeklySubmitted, 0)
+	}
+	for len(c.weeklyExecuted) <= w {
+		c.weeklyExecuted = append(c.weeklyExecuted, 0)
+	}
+}
+
+// JobArrived implements sim.Observer.
+func (c *Collector) JobArrived(env sim.Env, j *job.Job, _ []*job.Job) {
+	w := c.week(j.Submit)
+	c.growWeeks(w)
+	c.weeklySubmitted[w] += float64(j.ProcSeconds())
+	c.observe(env.Now())
+}
+
+// Interval implements sim.Observer.
+func (c *Collector) Interval(from, to int64, usedNodes, queuedNodes int) {
+	c.observe(from)
+	c.observe(to)
+	dt := to - from
+	if dt <= 0 {
+		return
+	}
+	c.busyProcSec += float64(usedNodes) * float64(dt)
+	idle := c.systemSize - usedNodes
+	lost := queuedNodes
+	if idle < lost {
+		lost = idle
+	}
+	if lost > 0 {
+		c.lostProcSec += float64(lost) * float64(dt)
+	}
+	// Split the executed processor-seconds across week bins.
+	t := from
+	for t < to {
+		w := c.week(t)
+		end := int64(w+1) * WeekSeconds
+		if end > to {
+			end = to
+		}
+		c.growWeeks(w)
+		c.weeklyExecuted[w] += float64(usedNodes) * float64(end-t)
+		t = end
+	}
+}
+
+func (c *Collector) observe(t int64) {
+	if !c.sawTime {
+		c.firstTime, c.lastTime, c.sawTime = t, t, true
+		return
+	}
+	if t < c.firstTime {
+		c.firstTime = t
+	}
+	if t > c.lastTime {
+		c.lastTime = t
+	}
+}
+
+// LostProcSeconds returns the Equation 4 numerator.
+func (c *Collector) LostProcSeconds() float64 { return c.lostProcSec }
+
+// BusyProcSeconds returns the integral of nodes-in-use over time.
+func (c *Collector) BusyProcSeconds() float64 { return c.busyProcSec }
+
+// Weeks returns the number of weekly bins observed.
+func (c *Collector) Weeks() int { return len(c.weeklySubmitted) }
+
+// WeeklySubmitted returns processor-seconds submitted per week.
+func (c *Collector) WeeklySubmitted() []float64 { return c.weeklySubmitted }
+
+// WeeklyExecuted returns processor-seconds executed per week.
+func (c *Collector) WeeklyExecuted() []float64 { return c.weeklyExecuted }

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+func userResult() *sim.Result {
+	return &sim.Result{
+		SystemSize: 10,
+		Makespan:   300,
+		Records: []*sim.Record{
+			{Job: &job.Job{ID: 1, User: 1, Nodes: 5, Runtime: 100}, Submit: 0, Start: 0, Complete: 100, Finished: true},
+			{Job: &job.Job{ID: 2, User: 1, Nodes: 5, Runtime: 100}, Submit: 0, Start: 100, Complete: 200, Finished: true},
+			{Job: &job.Job{ID: 3, User: 2, Nodes: 2, Runtime: 50}, Submit: 10, Start: 10, Complete: 60, Finished: true},
+		},
+	}
+}
+
+func TestByUser(t *testing.T) {
+	per := ByUser(userResult())
+	if len(per) != 2 {
+		t.Fatalf("got %d users", len(per))
+	}
+	u1 := per[0]
+	if u1.User != 1 || u1.Jobs != 2 {
+		t.Fatalf("user 1 summary wrong: %+v", u1)
+	}
+	if u1.ProcSeconds != 1000 {
+		t.Errorf("user 1 proc-seconds = %v", u1.ProcSeconds)
+	}
+	if u1.AvgWait != 50 {
+		t.Errorf("user 1 avg wait = %v", u1.AvgWait)
+	}
+	if u1.AvgTurnaround != 150 {
+		t.Errorf("user 1 avg turnaround = %v", u1.AvgTurnaround)
+	}
+	u2 := per[1]
+	if u2.User != 2 || u2.ProcSeconds != 100 || u2.AvgWait != 0 {
+		t.Fatalf("user 2 summary wrong: %+v", u2)
+	}
+}
+
+func TestTurnaroundStdDev(t *testing.T) {
+	// Turnarounds: 100, 200, 50 -> mean 350/3; population stddev computed
+	// directly for the check.
+	xs := []float64{100, 200, 50}
+	mean := (100.0 + 200 + 50) / 3
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	want := math.Sqrt(ss / 3)
+	if got := TurnaroundStdDev(userResult()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", got, want)
+	}
+}
+
+func TestJainIndexOfUserService(t *testing.T) {
+	// User 1 received 1000 proc-sec, user 2 received 100: index =
+	// (1100)^2 / (2 * (1000^2 + 100^2)) = 1210000/2020000.
+	want := 1210000.0 / 2020000.0
+	if got := JainIndexOfUserService(userResult()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("jain service index = %v, want %v", got, want)
+	}
+}
+
+func TestJainIndexOfUserSlowdownEqualService(t *testing.T) {
+	res := &sim.Result{
+		Records: []*sim.Record{
+			{Job: &job.Job{ID: 1, User: 1, Nodes: 1, Runtime: 100}, Submit: 0, Start: 0, Complete: 100, Finished: true},
+			{Job: &job.Job{ID: 2, User: 2, Nodes: 1, Runtime: 100}, Submit: 0, Start: 0, Complete: 100, Finished: true},
+		},
+	}
+	if got := JainIndexOfUserSlowdown(res); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("equal slowdowns should give index 1, got %v", got)
+	}
+}
+
+func TestJainIndexOfUserSlowdownSkewed(t *testing.T) {
+	res := &sim.Result{
+		Records: []*sim.Record{
+			// User 1: no wait (slowdown 1); user 2: waited 9x its runtime.
+			{Job: &job.Job{ID: 1, User: 1, Nodes: 1, Runtime: 100}, Submit: 0, Start: 0, Complete: 100, Finished: true},
+			{Job: &job.Job{ID: 2, User: 2, Nodes: 1, Runtime: 100}, Submit: 0, Start: 900, Complete: 1000, Finished: true},
+		},
+	}
+	got := JainIndexOfUserSlowdown(res)
+	if got >= 0.99 {
+		t.Fatalf("skewed slowdowns should lower the index, got %v", got)
+	}
+}
+
+func TestByUserEmpty(t *testing.T) {
+	if got := ByUser(&sim.Result{}); len(got) != 0 {
+		t.Fatalf("empty result produced %d users", len(got))
+	}
+}

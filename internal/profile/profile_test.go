@@ -1,0 +1,201 @@
+package profile
+
+import (
+	"testing"
+)
+
+func TestNewFullCapacity(t *testing.T) {
+	p := New(0, 100, 100)
+	if p.FreeAt(0) != 100 || p.FreeAt(1<<40) != 100 {
+		t.Fatal("fresh profile should be full everywhere")
+	}
+	if p.SteadyFree() != 100 {
+		t.Fatal("steady capacity wrong")
+	}
+}
+
+func TestOccupyAndFreeAt(t *testing.T) {
+	p := New(0, 100, 100)
+	if err := p.Occupy(10, 20, 30); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    int64
+		want int
+	}{
+		{0, 100}, {9, 100}, {10, 70}, {15, 70}, {19, 70}, {20, 100}, {100, 100},
+	}
+	for _, tc := range cases {
+		if got := p.FreeAt(tc.t); got != tc.want {
+			t.Errorf("FreeAt(%d) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupyOverlapping(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Occupy(0, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Occupy(5, 15, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.FreeAt(7); got != 2 {
+		t.Fatalf("FreeAt(7) = %d, want 2", got)
+	}
+	if got := p.FreeAt(12); got != 6 {
+		t.Fatalf("FreeAt(12) = %d, want 6", got)
+	}
+}
+
+func TestOccupyRejectsOverflow(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Occupy(0, 10, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Occupy(5, 6, 3); err == nil {
+		t.Fatal("overcommit accepted")
+	}
+	// The failed occupy must not have modified anything.
+	if got := p.FreeAt(5); got != 2 {
+		t.Fatalf("failed occupy mutated profile: FreeAt(5) = %d", got)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupyRejectsBadIntervals(t *testing.T) {
+	p := New(100, 10, 10)
+	if err := p.Occupy(50, 60, 1); err == nil {
+		t.Error("interval before origin accepted")
+	}
+	if err := p.Occupy(200, 200, 1); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if err := p.Occupy(300, 200, 1); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}
+
+func TestReleaseRestores(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Occupy(10, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(10, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	times, free := p.Breakpoints()
+	if len(times) != 1 || free[0] != 10 {
+		t.Fatalf("release did not coalesce back: times=%v free=%v", times, free)
+	}
+}
+
+func TestReleaseRejectsExceedingSize(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Release(5, 10, 1); err == nil {
+		t.Fatal("release beyond system size accepted")
+	}
+}
+
+func TestEarliestFitImmediate(t *testing.T) {
+	p := New(0, 10, 10)
+	s, ok := p.EarliestFit(0, 100, 10)
+	if !ok || s != 0 {
+		t.Fatalf("EarliestFit = %d,%v want 0,true", s, ok)
+	}
+}
+
+func TestEarliestFitAfterRelease(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Occupy(0, 50, 8); err != nil {
+		t.Fatal(err)
+	}
+	// 5 nodes for 10s: only 2 free until t=50.
+	s, ok := p.EarliestFit(0, 10, 5)
+	if !ok || s != 50 {
+		t.Fatalf("EarliestFit = %d,%v want 50,true", s, ok)
+	}
+}
+
+func TestEarliestFitUsesHole(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Occupy(0, 10, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Occupy(30, 60, 8); err != nil {
+		t.Fatal(err)
+	}
+	// A 5-node 20s job fits exactly in the [10,30) hole.
+	s, ok := p.EarliestFit(0, 20, 5)
+	if !ok || s != 10 {
+		t.Fatalf("EarliestFit = %d,%v want 10,true", s, ok)
+	}
+	// A 5-node 25s job does not fit the hole; it must wait until t=60.
+	s, ok = p.EarliestFit(0, 25, 5)
+	if !ok || s != 60 {
+		t.Fatalf("EarliestFit = %d,%v want 60,true", s, ok)
+	}
+}
+
+func TestEarliestFitRespectsAfter(t *testing.T) {
+	p := New(0, 10, 10)
+	s, ok := p.EarliestFit(25, 5, 3)
+	if !ok || s != 25 {
+		t.Fatalf("EarliestFit = %d,%v want 25,true", s, ok)
+	}
+}
+
+func TestEarliestFitTooWide(t *testing.T) {
+	p := New(0, 10, 10)
+	if _, ok := p.EarliestFit(0, 5, 11); ok {
+		t.Fatal("fit wider than the system accepted")
+	}
+}
+
+func TestEarliestFitZeroDuration(t *testing.T) {
+	p := New(0, 10, 10)
+	s, ok := p.EarliestFit(5, 0, 3)
+	if !ok || s != 5 {
+		t.Fatalf("zero duration fit = %d,%v", s, ok)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Occupy(0, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	if err := q.Occupy(0, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeAt(5) != 5 {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if q.FreeAt(5) != 0 {
+		t.Fatal("clone did not record its own occupation")
+	}
+}
+
+func TestCoalesceMergesAdjacentEqualCapacity(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Occupy(10, 20, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Occupy(20, 30, 3); err != nil {
+		t.Fatal(err)
+	}
+	times, _ := p.Breakpoints()
+	// Expect breakpoints at 0, 10, 30 only (20 coalesced away).
+	if len(times) != 3 {
+		t.Fatalf("breakpoints = %v, want 3 entries", times)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

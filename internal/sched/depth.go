@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"fairsched/internal/job"
+	"fairsched/internal/profile"
+	"fairsched/internal/sim"
+)
+
+// DepthBackfill is the spectrum between aggressive and conservative
+// backfilling the paper's introduction describes: "Many production
+// schedulers use variations between conservative and aggressive
+// backfilling, giving the first n jobs in the queue a reservation."
+//
+// At every scheduling event the queue is sorted (fairshare or FCFS); the
+// first Depth jobs receive reservations built left-to-right on the running
+// jobs' estimated completions; every other job may start only where it
+// does not delay any of those reservations. Depth 1 over an FCFS queue is
+// EASY; Depth >= queue length approaches dynamic conservative backfilling.
+type DepthBackfill struct {
+	// Depth is the number of queue heads holding reservations (>= 1).
+	Depth int
+	// Order selects the queue priority (default OrderFairshare).
+	Order QueueOrder
+	// Label overrides Name.
+	Label string
+
+	queue []*job.Job
+}
+
+// NewDepthBackfill returns a depth-n backfilling policy.
+func NewDepthBackfill(depth int, order QueueOrder) *DepthBackfill {
+	if depth < 1 {
+		depth = 1
+	}
+	return &DepthBackfill{Depth: depth, Order: order}
+}
+
+// Name implements sim.Policy.
+func (p *DepthBackfill) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return fmt.Sprintf("depth%d.%s", p.Depth, p.Order)
+}
+
+// Reset implements sim.Policy.
+func (p *DepthBackfill) Reset(sim.Env) {
+	p.queue = nil
+	if p.Depth < 1 {
+		p.Depth = 1
+	}
+}
+
+// Arrive implements sim.Policy.
+func (p *DepthBackfill) Arrive(env sim.Env, j *job.Job) {
+	p.queue = append(p.queue, j)
+	p.schedule(env)
+}
+
+// Complete implements sim.Policy.
+func (p *DepthBackfill) Complete(env sim.Env, _ *job.Job) { p.schedule(env) }
+
+// Wake implements sim.Policy.
+func (p *DepthBackfill) Wake(env sim.Env) { p.schedule(env) }
+
+// NextWake implements sim.Policy.
+func (p *DepthBackfill) NextWake(int64) (int64, bool) { return 0, false }
+
+// Queued implements sim.Policy.
+func (p *DepthBackfill) Queued() []*job.Job { return p.queue }
+
+func (p *DepthBackfill) sortQueue(env sim.Env) {
+	if p.Order == OrderFairshare {
+		sortFairshare(env, p.queue)
+		return
+	}
+	sortFCFS(p.queue)
+}
+
+func (p *DepthBackfill) schedule(env sim.Env) {
+	now := env.Now()
+	p.sortQueue(env)
+	// Start queue heads while they fit.
+	for len(p.queue) > 0 && p.queue[0].Nodes <= env.FreeNodes() {
+		if err := env.Start(p.queue[0]); err != nil {
+			panic(err)
+		}
+		p.queue = p.queue[1:]
+	}
+	if len(p.queue) == 0 {
+		return
+	}
+	// Build a profile of the running jobs and reserve the first Depth jobs
+	// left to right.
+	prof := baseProfile(env)
+	depth := p.Depth
+	if depth > len(p.queue) {
+		depth = len(p.queue)
+	}
+	for _, r := range p.queue[:depth] {
+		s, ok := prof.EarliestFit(now, r.Estimate, r.Nodes)
+		if !ok {
+			panic(fmt.Sprintf("sched: depth reservation impossible for %v", r))
+		}
+		if err := prof.Occupy(s, s+r.Estimate, r.Nodes); err != nil {
+			panic(fmt.Sprintf("sched: depth reserve: %v", err))
+		}
+	}
+	// Backfill the rest: a candidate may start now only if its rectangle
+	// fits the reserved profile starting immediately.
+	kept := p.queue[:depth]
+	for _, c := range p.queue[depth:] {
+		if c.Nodes <= env.FreeNodes() && fitsNow(prof, now, c) {
+			if err := prof.Occupy(now, now+c.Estimate, c.Nodes); err != nil {
+				panic(fmt.Sprintf("sched: depth backfill: %v", err))
+			}
+			if err := env.Start(c); err != nil {
+				panic(err)
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	p.queue = kept
+}
+
+// fitsNow reports whether a job starting immediately fits the profile for
+// its whole estimated duration.
+func fitsNow(prof *profile.Profile, now int64, c *job.Job) bool {
+	s, ok := prof.EarliestFit(now, c.Estimate, c.Nodes)
+	return ok && s == now
+}
+
+// Reservations exposes the current reservation starts of the first Depth
+// queued jobs for tests: computed fresh from a snapshot profile.
+func (p *DepthBackfill) Reservations(env sim.Env) map[job.ID]int64 {
+	now := env.Now()
+	prof := baseProfile(env)
+	q := append([]*job.Job(nil), p.queue...)
+	if p.Order == OrderFairshare {
+		env.Fairshare().SortJobs(q)
+	} else {
+		sort.SliceStable(q, func(i, k int) bool {
+			if q[i].Submit != q[k].Submit {
+				return q[i].Submit < q[k].Submit
+			}
+			return q[i].ID < q[k].ID
+		})
+	}
+	depth := p.Depth
+	if depth > len(q) {
+		depth = len(q)
+	}
+	out := make(map[job.ID]int64, depth)
+	for _, r := range q[:depth] {
+		s, ok := prof.EarliestFit(now, r.Estimate, r.Nodes)
+		if !ok {
+			continue
+		}
+		if err := prof.Occupy(s, s+r.Estimate, r.Nodes); err != nil {
+			continue
+		}
+		out[r.ID] = s
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// QueueOrder selects the priority order of a policy's main queue.
+type QueueOrder int
+
+const (
+	// OrderFCFS sorts by submission time.
+	OrderFCFS QueueOrder = iota
+	// OrderFairshare sorts by the Sandia decaying-usage priority.
+	OrderFairshare
+)
+
+func (o QueueOrder) String() string {
+	if o == OrderFairshare {
+		return "fairshare"
+	}
+	return "fcfs"
+}
+
+// EASY is aggressive backfilling (Figure 2 semantics; Lifka's EASY): only
+// the job at the head of the queue holds a reservation; any other job may
+// leap forward as long as it does not delay that head. Provided as a
+// reference baseline (the paper's CPlant starvation queue head behaves this
+// way).
+type EASY struct {
+	order QueueOrder
+	queue []*job.Job
+}
+
+// NewEASY returns an EASY policy with the given queue order.
+func NewEASY(order QueueOrder) *EASY { return &EASY{order: order} }
+
+// Name implements sim.Policy.
+func (p *EASY) Name() string { return "easy." + p.order.String() }
+
+// Reset implements sim.Policy.
+func (p *EASY) Reset(sim.Env) { p.queue = nil }
+
+// Arrive implements sim.Policy.
+func (p *EASY) Arrive(env sim.Env, j *job.Job) {
+	p.queue = append(p.queue, j)
+	p.schedule(env)
+}
+
+// Complete implements sim.Policy.
+func (p *EASY) Complete(env sim.Env, _ *job.Job) { p.schedule(env) }
+
+// Wake implements sim.Policy.
+func (p *EASY) Wake(env sim.Env) { p.schedule(env) }
+
+// NextWake implements sim.Policy.
+func (p *EASY) NextWake(int64) (int64, bool) { return 0, false }
+
+// Queued implements sim.Policy.
+func (p *EASY) Queued() []*job.Job { return p.queue }
+
+func (p *EASY) sortQueue(env sim.Env) {
+	if p.order == OrderFairshare {
+		sortFairshare(env, p.queue)
+		return
+	}
+	sortFCFS(p.queue)
+}
+
+func (p *EASY) schedule(env sim.Env) {
+	p.sortQueue(env)
+	// Start heads while they fit.
+	for len(p.queue) > 0 && p.queue[0].Nodes <= env.FreeNodes() {
+		if err := env.Start(p.queue[0]); err != nil {
+			panic(err)
+		}
+		p.queue = p.queue[1:]
+	}
+	if len(p.queue) == 0 {
+		return
+	}
+	// The blocked head gets the reservation; backfill the rest against it.
+	head := p.queue[0]
+	resAt, shadow := aggressiveReservation(env, head.Nodes)
+	rest := p.queue[1:]
+	kept := rest[:0]
+	for _, c := range rest {
+		if canBackfill(env, c, resAt, shadow) {
+			if env.Now()+c.Estimate > resAt {
+				shadow -= c.Nodes
+			}
+			if err := env.Start(c); err != nil {
+				panic(err)
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	p.queue = append(p.queue[:1], kept...)
+}

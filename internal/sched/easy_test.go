@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// headTracker records, for every job, the earliest aggressive reservation
+// computed for it while it was the blocked queue head.
+type headTracker struct {
+	sim.BaseObserver
+	pol      *EASY
+	env      sim.Env
+	earliest map[job.ID]int64
+}
+
+func (h *headTracker) snapshot(env sim.Env) {
+	q := h.pol.Queued()
+	if len(q) == 0 {
+		return
+	}
+	head := q[0]
+	if head.Nodes <= env.FreeNodes() {
+		return // not blocked
+	}
+	at, _ := aggressiveReservation(env, head.Nodes)
+	if prev, ok := h.earliest[head.ID]; !ok || at < prev {
+		h.earliest[head.ID] = at
+	}
+}
+
+func (h *headTracker) JobArrived(env sim.Env, _ *job.Job, _ []*job.Job) { h.snapshot(env) }
+func (h *headTracker) JobStarted(env sim.Env, _ *job.Job)               { h.snapshot(env) }
+func (h *headTracker) JobCompleted(env sim.Env, _ *job.Job, _ int64)    { h.snapshot(env) }
+
+// TestEASYHeadNeverMissesItsReservation: with perfect estimates, a blocked
+// head starts no later than the earliest reservation it was ever promised —
+// backfilled jobs are exactly those that cannot delay it.
+func TestEASYHeadNeverMissesItsReservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 16
+		n := rng.Intn(25) + 5
+		jobs := make([]*job.Job, n)
+		for i := range jobs {
+			runtime := rng.Int63n(500) + 1
+			jobs[i] = &job.Job{
+				ID:       job.ID(i + 1),
+				User:     rng.Intn(4) + 1,
+				Submit:   rng.Int63n(1500),
+				Runtime:  runtime,
+				Estimate: runtime, // perfect estimates
+				Nodes:    rng.Intn(size) + 1,
+			}
+		}
+		pol := NewEASY(OrderFCFS)
+		tracker := &headTracker{pol: pol, earliest: map[job.ID]int64{}}
+		res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, pol, tracker).Run(jobs)
+		if err != nil {
+			return false
+		}
+		for _, r := range res.Records {
+			if promised, ok := tracker.earliest[r.Job.ID]; ok && r.Start > promised {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEASYFairshareOrderPrefersLightUsers(t *testing.T) {
+	day := int64(86400)
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 2 * day, Estimate: 2 * day, Nodes: 8}, // usage for user 1
+		{ID: 2, User: 1, Submit: 100, Runtime: 1000, Estimate: 1000, Nodes: 8},
+		{ID: 3, User: 2, Submit: 200, Runtime: 1000, Estimate: 1000, Nodes: 8},
+	}
+	starts := runPolicy(t, NewEASY(OrderFairshare), 8, jobs)
+	if !(starts[3] < starts[2]) {
+		t.Fatalf("fairshare EASY should run the light user first: job3=%d job2=%d",
+			starts[3], starts[2])
+	}
+}
+
+func TestEASYDrainsQueueCompletely(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 8
+		n := rng.Intn(40) + 1
+		jobs := make([]*job.Job, n)
+		for i := range jobs {
+			runtime := rng.Int63n(300) + 1
+			est := runtime + rng.Int63n(600)
+			jobs[i] = &job.Job{
+				ID:       job.ID(i + 1),
+				User:     rng.Intn(6) + 1,
+				Submit:   rng.Int63n(1000),
+				Runtime:  runtime,
+				Estimate: est,
+				Nodes:    rng.Intn(size) + 1,
+			}
+		}
+		res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, NewEASY(OrderFCFS)).Run(jobs)
+		if err != nil {
+			return false
+		}
+		return len(res.Records) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// FCFS is the strict first-come-first-serve policy of Figure 1: jobs start
+// in arrival order only; a blocked head blocks everything behind it, even
+// when enough nodes are idle. "Fair" but poor utilization, as the paper's
+// introduction illustrates.
+type FCFS struct {
+	queue []*job.Job
+}
+
+// NewFCFS returns a strict FCFS policy.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements sim.Policy.
+func (p *FCFS) Name() string { return "fcfs" }
+
+// Reset implements sim.Policy.
+func (p *FCFS) Reset(sim.Env) { p.queue = nil }
+
+// Arrive implements sim.Policy.
+func (p *FCFS) Arrive(env sim.Env, j *job.Job) {
+	p.queue = append(p.queue, j)
+	p.schedule(env)
+}
+
+// Complete implements sim.Policy.
+func (p *FCFS) Complete(env sim.Env, _ *job.Job) { p.schedule(env) }
+
+// Wake implements sim.Policy.
+func (p *FCFS) Wake(env sim.Env) { p.schedule(env) }
+
+// NextWake implements sim.Policy.
+func (p *FCFS) NextWake(int64) (int64, bool) { return 0, false }
+
+// Queued implements sim.Policy.
+func (p *FCFS) Queued() []*job.Job { return p.queue }
+
+func (p *FCFS) schedule(env sim.Env) {
+	for len(p.queue) > 0 && p.queue[0].Nodes <= env.FreeNodes() {
+		head := p.queue[0]
+		if err := env.Start(head); err != nil {
+			panic(err) // capacity was checked; a failure is a policy bug
+		}
+		p.queue = p.queue[1:]
+	}
+}
+
+// ListFairshare is the no-backfill list scheduler with the fairshare queue
+// order: the reference discipline of the hybrid FST metric (paper §4.1). At
+// each event the queue is sorted by fairshare priority and heads are started
+// while they fit; the first blocked head blocks the rest (no backfilling).
+type ListFairshare struct {
+	queue []*job.Job
+}
+
+// NewListFairshare returns the FST reference policy.
+func NewListFairshare() *ListFairshare { return &ListFairshare{} }
+
+// Name implements sim.Policy.
+func (p *ListFairshare) Name() string { return "list.fairshare" }
+
+// Reset implements sim.Policy.
+func (p *ListFairshare) Reset(sim.Env) { p.queue = nil }
+
+// Arrive implements sim.Policy.
+func (p *ListFairshare) Arrive(env sim.Env, j *job.Job) {
+	p.queue = append(p.queue, j)
+	p.schedule(env)
+}
+
+// Complete implements sim.Policy.
+func (p *ListFairshare) Complete(env sim.Env, _ *job.Job) { p.schedule(env) }
+
+// Wake implements sim.Policy.
+func (p *ListFairshare) Wake(env sim.Env) { p.schedule(env) }
+
+// NextWake implements sim.Policy.
+func (p *ListFairshare) NextWake(int64) (int64, bool) { return 0, false }
+
+// Queued implements sim.Policy.
+func (p *ListFairshare) Queued() []*job.Job { return p.queue }
+
+func (p *ListFairshare) schedule(env sim.Env) {
+	sortFairshare(env, p.queue)
+	for len(p.queue) > 0 && p.queue[0].Nodes <= env.FreeNodes() {
+		head := p.queue[0]
+		if err := env.Start(head); err != nil {
+			panic(err)
+		}
+		p.queue = p.queue[1:]
+	}
+}

@@ -1,0 +1,247 @@
+package sched
+
+import (
+	"fmt"
+
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// NoGuarantee is the baseline CPlant scheduler (paper §2.1) with the §5.2
+// knobs:
+//
+//   - the main queue is processed in fairshare priority order at every
+//     scheduling event; any job that fits in the free nodes starts
+//     (no-guarantee backfilling — no internal reservations);
+//   - a job queued longer than StarvationWait moves to the FCFS starvation
+//     queue, unless its user is classified heavy by Heavy;
+//   - the starvation queue's head holds an aggressive reservation; all other
+//     jobs may start only if they do not delay it.
+type NoGuarantee struct {
+	// StarvationWait is the queueing time after which a job becomes
+	// eligible for the starvation queue (24h on CPlant; §5.5 also uses 72h).
+	StarvationWait int64
+	// Heavy bars heavy users' jobs from the starvation queue (§5.2);
+	// fairshare.Never admits everyone (the *.all policies).
+	Heavy fairshare.HeavyClassifier
+	// ReserveDepth is the number of starvation-queue heads holding
+	// reservations. CPlant reserved only the head (1, the default); larger
+	// depths are an extension that strengthens the starvation guarantee at
+	// a utilization cost (see the ablation benches).
+	ReserveDepth int
+	// Label overrides Name (the paper's cplant24.nomax.all style names).
+	Label string
+
+	main    []*job.Job
+	starved []*job.Job
+}
+
+// NewNoGuarantee returns the baseline CPlant policy: 24h starvation wait,
+// all users admitted to the starvation queue.
+func NewNoGuarantee() *NoGuarantee {
+	return &NoGuarantee{StarvationWait: 24 * 3600, Heavy: fairshare.Never{}}
+}
+
+// Name implements sim.Policy.
+func (p *NoGuarantee) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return fmt.Sprintf("cplant%d.%s", p.StarvationWait/3600, p.Heavy.Name())
+}
+
+// Reset implements sim.Policy.
+func (p *NoGuarantee) Reset(sim.Env) {
+	p.main, p.starved = nil, nil
+	if p.Heavy == nil {
+		p.Heavy = fairshare.Never{}
+	}
+	if p.StarvationWait <= 0 {
+		p.StarvationWait = 24 * 3600
+	}
+	if p.ReserveDepth < 1 {
+		p.ReserveDepth = 1
+	}
+}
+
+// Arrive implements sim.Policy.
+func (p *NoGuarantee) Arrive(env sim.Env, j *job.Job) {
+	p.main = append(p.main, j)
+	p.schedule(env)
+}
+
+// Complete implements sim.Policy.
+func (p *NoGuarantee) Complete(env sim.Env, _ *job.Job) { p.schedule(env) }
+
+// Wake implements sim.Policy.
+func (p *NoGuarantee) Wake(env sim.Env) { p.schedule(env) }
+
+// NextWake implements sim.Policy: the next starvation-promotion instant.
+func (p *NoGuarantee) NextWake(now int64) (int64, bool) {
+	var t int64
+	have := false
+	for _, j := range p.main {
+		e := j.Submit + p.StarvationWait
+		if e > now && (!have || e < t) {
+			t, have = e, true
+		}
+	}
+	return t, have
+}
+
+// StarvedLen reports the current starvation-queue length (diagnostics).
+func (p *NoGuarantee) StarvedLen() int { return len(p.starved) }
+
+// Queued implements sim.Policy: starvation queue first, then the main queue.
+func (p *NoGuarantee) Queued() []*job.Job {
+	out := make([]*job.Job, 0, len(p.starved)+len(p.main))
+	out = append(out, p.starved...)
+	out = append(out, p.main...)
+	return out
+}
+
+// liveUsers returns the distinct users with queued or running jobs, for the
+// heavy classifier.
+func (p *NoGuarantee) liveUsers(env sim.Env) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(u int) {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	for _, r := range env.Running() {
+		add(r.Job.User)
+	}
+	for _, j := range p.starved {
+		add(j.User)
+	}
+	for _, j := range p.main {
+		add(j.User)
+	}
+	return out
+}
+
+// promote moves starvation-eligible jobs from the main queue to the FCFS
+// starvation queue. Heavy users' jobs stay in the main queue and are
+// re-evaluated at later events ("temporarily restricted").
+func (p *NoGuarantee) promote(env sim.Env) {
+	now := env.Now()
+	var live []int
+	kept := p.main[:0]
+	for _, j := range p.main {
+		if now-j.Submit < p.StarvationWait {
+			kept = append(kept, j)
+			continue
+		}
+		if _, isNever := p.Heavy.(fairshare.Never); !isNever {
+			if live == nil {
+				live = p.liveUsers(env)
+			}
+			if p.Heavy.IsHeavy(env.Fairshare(), j.User, live) {
+				kept = append(kept, j)
+				continue
+			}
+		}
+		p.starved = append(p.starved, j)
+	}
+	p.main = kept
+	sortFCFS(p.starved)
+}
+
+func (p *NoGuarantee) schedule(env sim.Env) {
+	p.promote(env)
+	// Drain starvation-queue heads that fit right now.
+	for len(p.starved) > 0 && p.starved[0].Nodes <= env.FreeNodes() {
+		if err := env.Start(p.starved[0]); err != nil {
+			panic(err)
+		}
+		p.starved = p.starved[1:]
+	}
+	sortFairshare(env, p.main)
+	if len(p.starved) == 0 {
+		// No reservations at all: start everything that fits, in fairshare
+		// priority order (no-guarantee backfilling).
+		kept := p.main[:0]
+		for _, c := range p.main {
+			if c.Nodes <= env.FreeNodes() {
+				if err := env.Start(c); err != nil {
+					panic(err)
+				}
+				continue
+			}
+			kept = append(kept, c)
+		}
+		p.main = kept
+		return
+	}
+	// The first ReserveDepth starvation-queue jobs hold reservations built
+	// left to right on the running jobs' estimated completions (CPlant
+	// reserved only the head); everything else (rest of the starvation
+	// queue FCFS, then the main queue in fairshare order) may start only
+	// where it does not delay any reservation.
+	depth := p.ReserveDepth
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > len(p.starved) {
+		depth = len(p.starved)
+	}
+	if depth == 1 {
+		// The production fast path: a single reservation needs no profile.
+		head := p.starved[0]
+		resAt, shadow := aggressiveReservation(env, head.Nodes)
+		backfill := func(q []*job.Job) []*job.Job {
+			kept := q[:0]
+			for _, c := range q {
+				if canBackfill(env, c, resAt, shadow) {
+					if env.Now()+c.Estimate > resAt {
+						shadow -= c.Nodes
+					}
+					if err := env.Start(c); err != nil {
+						panic(err)
+					}
+					continue
+				}
+				kept = append(kept, c)
+			}
+			return kept
+		}
+		rest := backfill(p.starved[1:])
+		p.starved = append(p.starved[:1], rest...)
+		p.main = backfill(p.main)
+		return
+	}
+	prof := baseProfile(env)
+	now := env.Now()
+	for _, r := range p.starved[:depth] {
+		s, ok := prof.EarliestFit(now, r.Estimate, r.Nodes)
+		if !ok {
+			panic(fmt.Sprintf("sched: starvation reservation impossible for %v", r))
+		}
+		if err := prof.Occupy(s, s+r.Estimate, r.Nodes); err != nil {
+			panic(fmt.Sprintf("sched: starvation reserve: %v", err))
+		}
+	}
+	backfill := func(q []*job.Job) []*job.Job {
+		kept := q[:0]
+		for _, c := range q {
+			if c.Nodes <= env.FreeNodes() && fitsNow(prof, now, c) {
+				if err := prof.Occupy(now, now+c.Estimate, c.Nodes); err != nil {
+					panic(fmt.Sprintf("sched: starvation backfill: %v", err))
+				}
+				if err := env.Start(c); err != nil {
+					panic(err)
+				}
+				continue
+			}
+			kept = append(kept, c)
+		}
+		return kept
+	}
+	rest := backfill(p.starved[depth:])
+	p.starved = append(p.starved[:depth], rest...)
+	p.main = backfill(p.main)
+}

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"testing"
+
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+func TestNoGuaranteeStartsAnythingThatFits(t *testing.T) {
+	// No reservations: the narrow later job starts immediately even though
+	// a wide job is blocked ahead of it (no starvation queue yet).
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 6},
+		{ID: 2, User: 2, Submit: 10, Runtime: 500, Estimate: 500, Nodes: 6},
+		{ID: 3, User: 3, Submit: 20, Runtime: 400, Estimate: 400, Nodes: 2},
+	}
+	starts := runPolicy(t, NewNoGuarantee(), 8, jobs)
+	if starts[3] != 20 {
+		t.Fatalf("no-guarantee backfilling should start job 3 at 20, got %d", starts[3])
+	}
+}
+
+func TestNoGuaranteeFairshareOrder(t *testing.T) {
+	// Two jobs fit one slot; the lower-usage user's job starts first.
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 1000, Estimate: 1000, Nodes: 8}, // user 1 builds usage
+		{ID: 2, User: 1, Submit: 10, Runtime: 100, Estimate: 100, Nodes: 8},
+		{ID: 3, User: 2, Submit: 20, Runtime: 100, Estimate: 100, Nodes: 8},
+	}
+	starts := runPolicy(t, NewNoGuarantee(), 8, jobs)
+	if !(starts[3] < starts[2]) {
+		t.Fatalf("fairshare order violated: user2 job at %d, user1 job at %d", starts[3], starts[2])
+	}
+}
+
+func TestStarvationPromotionGivesReservation(t *testing.T) {
+	// A wide job starves behind a stream of narrow jobs; after 24h it
+	// enters the starvation queue, gets a reservation, and the stream can
+	// no longer pass it.
+	day := int64(24 * 3600)
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 10 * day, Estimate: 10 * day, Nodes: 5},
+		{ID: 2, User: 2, Submit: 10, Runtime: 10 * day, Estimate: 10 * day, Nodes: 6}, // starves
+		// A stream of narrow long jobs that would keep starting without the
+		// starvation queue (3 free nodes).
+		{ID: 3, User: 3, Submit: 20, Runtime: 10 * day, Estimate: 10 * day, Nodes: 3},
+		{ID: 4, User: 4, Submit: day + 100, Runtime: 10 * day, Estimate: 10 * day, Nodes: 3},
+	}
+	starts := runPolicy(t, NewNoGuarantee(), 8, jobs)
+	// Job 4 arrives after job 2 was promoted (24h). Starting job 4 (3 nodes,
+	// est 10d) would delay job 2's reservation at 10d: it must wait.
+	if starts[4] < 10*day {
+		t.Fatalf("job 4 started at %d, delaying the starved head", starts[4])
+	}
+}
+
+func TestHeavyUserBarredFromStarvationQueue(t *testing.T) {
+	day := int64(24 * 3600)
+	mk := func(heavy fairshare.HeavyClassifier) map[job.ID]int64 {
+		pol := NewNoGuarantee()
+		pol.Heavy = heavy
+		jobs := []*job.Job{
+			// User 1 builds heavy usage on half the machine; user 9 keeps a
+			// small job running so the mean usage stays low.
+			{ID: 1, User: 1, Submit: 0, Runtime: 5 * day, Estimate: 5 * day, Nodes: 7},
+			{ID: 2, User: 9, Submit: 0, Runtime: 5 * day, Estimate: 5 * day, Nodes: 1},
+			// User 1's second job wants the whole machine and waits > 24h.
+			{ID: 3, User: 1, Submit: 10, Runtime: day, Estimate: day, Nodes: 8},
+		}
+		return runPolicy(t, pol, 8, jobs)
+	}
+	admitted := mk(fairshare.Never{})
+	barred := mk(fairshare.AboveMean{})
+	// With everyone admitted the wide job starts when jobs 1+2 end (5d);
+	// the classifier cannot make it later on this tiny workload, but the
+	// policy paths differ: ensure both complete and the barred run is not
+	// earlier than the admitted run.
+	if barred[3] < admitted[3] {
+		t.Fatalf("barring a heavy user must not start their job earlier (%d vs %d)", barred[3], admitted[3])
+	}
+}
+
+func TestNoGuaranteeNextWake(t *testing.T) {
+	pol := NewNoGuarantee()
+	pol.Reset(nil)
+	pol.main = []*job.Job{
+		{ID: 1, Submit: 100},
+		{ID: 2, Submit: 500},
+	}
+	next, ok := pol.NextWake(0)
+	if !ok || next != 100+24*3600 {
+		t.Fatalf("NextWake = %d,%v", next, ok)
+	}
+	// Once past both promotion instants there is nothing to wake for.
+	if _, ok := pol.NextWake(600 + 24*3600); ok {
+		t.Fatal("stale wake requested")
+	}
+}
+
+func TestNoGuaranteeQueuedOrdersStarvedFirst(t *testing.T) {
+	pol := NewNoGuarantee()
+	pol.Reset(nil)
+	pol.main = []*job.Job{{ID: 1}}
+	pol.starved = []*job.Job{{ID: 2}}
+	q := pol.Queued()
+	if len(q) != 2 || q[0].ID != 2 || q[1].ID != 1 {
+		t.Fatalf("Queued() = %v", q)
+	}
+	if pol.StarvedLen() != 1 {
+		t.Fatal("StarvedLen wrong")
+	}
+}
+
+func TestNoGuaranteeLabelOverridesName(t *testing.T) {
+	pol := NewNoGuarantee()
+	pol.Label = "cplant24.nomax.all"
+	if pol.Name() != "cplant24.nomax.all" {
+		t.Fatal("label ignored")
+	}
+}
+
+func TestNoGuaranteeResetDefaults(t *testing.T) {
+	pol := &NoGuarantee{}
+	pol.Reset(nil)
+	if pol.StarvationWait != 24*3600 {
+		t.Fatalf("default starvation wait = %d", pol.StarvationWait)
+	}
+	if pol.Heavy == nil {
+		t.Fatal("nil heavy classifier after reset")
+	}
+}
+
+var _ sim.Policy = (*NoGuarantee)(nil)

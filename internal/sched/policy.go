@@ -1,0 +1,108 @@
+// Package sched implements the scheduling policies the paper studies:
+//
+//   - the baseline CPlant scheduler: no-guarantee backfilling over a
+//     fairshare-ordered queue plus an FCFS starvation queue whose head holds
+//     an aggressive reservation (paper §2.1);
+//   - the paper's "minor change" variants: longer starvation-entry delay and
+//     heavy-user exclusion (§5.2);
+//   - conservative backfilling with the fairshare queue order (§5.3) and its
+//     dynamic-reservation variant (§5.4);
+//   - reference baselines: strict FCFS (Figure 1 semantics), EASY aggressive
+//     backfilling (Figure 2 semantics), and the no-backfill fairshare list
+//     scheduler that defines the hybrid FST.
+//
+// Maximum-runtime limits (§5.1) are a workload transformation implemented in
+// the simulator, composable with any policy here.
+package sched
+
+import (
+	"sort"
+
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// remove deletes the job with the given id from a queue slice, preserving
+// order, and reports whether it was present.
+func remove(q []*job.Job, id job.ID) ([]*job.Job, bool) {
+	for i, j := range q {
+		if j.ID == id {
+			return append(q[:i], q[i+1:]...), true
+		}
+	}
+	return q, false
+}
+
+// sortFairshare orders jobs by the fairshare priority (lowest decayed usage
+// first; ties FCFS then by id).
+func sortFairshare(env sim.Env, q []*job.Job) {
+	env.Fairshare().SortJobs(q)
+}
+
+// sortFCFS orders jobs by submission time then id.
+func sortFCFS(q []*job.Job) {
+	sort.SliceStable(q, func(i, k int) bool {
+		if q[i].Submit != q[k].Submit {
+			return q[i].Submit < q[k].Submit
+		}
+		return q[i].ID < q[k].ID
+	})
+}
+
+// aggressiveReservation computes the earliest time a job needing `nodes`
+// nodes could start, given only the running jobs' estimated completions (no
+// queued-job reservations) — the reservation EASY backfilling and the
+// starvation-queue head use. It returns the reservation time and the
+// "shadow" capacity: the nodes left over at that time after the job is
+// placed, which bounds what backfilled jobs running past the reservation may
+// consume.
+func aggressiveReservation(env sim.Env, nodes int) (at int64, shadow int) {
+	free := env.FreeNodes()
+	now := env.Now()
+	if nodes <= free {
+		return now, free - nodes
+	}
+	type release struct {
+		t int64
+		n int
+	}
+	running := env.Running()
+	rel := make([]release, 0, len(running))
+	for _, r := range running {
+		rel = append(rel, release{t: r.EstimatedCompletion(now), n: r.Job.Nodes})
+	}
+	sort.Slice(rel, func(i, k int) bool {
+		if rel[i].t != rel[k].t {
+			return rel[i].t < rel[k].t
+		}
+		return rel[i].n < rel[k].n
+	})
+	cum := free
+	for i, r := range rel {
+		cum += r.n
+		// Absorb simultaneous releases before testing.
+		if i+1 < len(rel) && rel[i+1].t == r.t {
+			continue
+		}
+		if cum >= nodes {
+			return r.t, cum - nodes
+		}
+	}
+	// Unreachable for valid jobs: all running jobs complete eventually and
+	// nodes <= system size.
+	return now, env.SystemSize() - nodes
+}
+
+// canBackfill reports whether candidate c may start now without delaying a
+// reservation at resAt with the given shadow capacity: either c completes
+// (by its estimate) before the reservation, or it fits into the shadow
+// nodes.
+func canBackfill(env sim.Env, c *job.Job, resAt int64, shadow int) bool {
+	if c.Nodes > env.FreeNodes() {
+		return false
+	}
+	if env.Now()+c.Estimate <= resAt {
+		return true
+	}
+	return c.Nodes <= shadow
+}

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+func TestStarvationReserveDepthProtectsSecondStarvedJob(t *testing.T) {
+	day := int64(24 * 3600)
+	// Jobs 2 and 3 both starve behind a 10-day wall; with depth 2 the
+	// backfill stream cannot delay either of their reservations.
+	mk := func(depth int) map[job.ID]int64 {
+		pol := NewNoGuarantee()
+		pol.ReserveDepth = depth
+		jobs := []*job.Job{
+			{ID: 1, User: 1, Submit: 0, Runtime: 10 * day, Estimate: 10 * day, Nodes: 5},
+			{ID: 2, User: 2, Submit: 10, Runtime: day, Estimate: day, Nodes: 6}, // starves
+			{ID: 3, User: 3, Submit: 20, Runtime: day, Estimate: day, Nodes: 7}, // starves
+			// Arrives after both promotions; with depth 1 only job 2's
+			// reservation binds, so this 2-node long job may run past job
+			// 3's slot; with depth 2 it must wait.
+			{ID: 4, User: 4, Submit: day + 100, Runtime: 30 * day, Estimate: 30 * day, Nodes: 2},
+		}
+		return runPolicy(t, pol, 8, jobs)
+	}
+	d1 := mk(1)
+	d2 := mk(2)
+	if d2[4] < d1[4] {
+		t.Fatalf("deeper reservations must not admit the backfill earlier: depth1=%d depth2=%d",
+			d1[4], d2[4])
+	}
+	// With depth 2, job 3's start must not be later than with depth 1.
+	if d2[3] > d1[3] {
+		t.Fatalf("protected job started later under deeper reservations: %d vs %d", d2[3], d1[3])
+	}
+}
+
+func TestStarvationReserveDepthCompletesRandomWorkloads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 16
+		n := rng.Intn(25) + 5
+		jobs := make([]*job.Job, n)
+		for i := range jobs {
+			runtime := rng.Int63n(2*86400) + 1
+			jobs[i] = &job.Job{
+				ID:       job.ID(i + 1),
+				User:     rng.Intn(4) + 1,
+				Submit:   rng.Int63n(3 * 86400),
+				Runtime:  runtime,
+				Estimate: runtime + rng.Int63n(86400),
+				Nodes:    rng.Intn(size) + 1,
+			}
+		}
+		for _, depth := range []int{1, 3} {
+			pol := NewNoGuarantee()
+			pol.ReserveDepth = depth
+			res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, pol).Run(jobs)
+			if err != nil {
+				return false
+			}
+			for _, r := range res.Records {
+				if !r.Finished {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarvationReserveDepthDefault(t *testing.T) {
+	pol := &NoGuarantee{}
+	pol.Reset(nil)
+	if pol.ReserveDepth != 1 {
+		t.Fatalf("default reserve depth = %d, want 1", pol.ReserveDepth)
+	}
+}

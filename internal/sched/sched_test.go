@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"testing"
+
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// runPolicy executes a policy over a workload on a small validated system
+// and returns start times by job id.
+func runPolicy(t *testing.T, pol sim.Policy, size int, jobs []*job.Job) map[job.ID]int64 {
+	t.Helper()
+	res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, pol).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := make(map[job.ID]int64, len(res.Records))
+	for _, r := range res.Records {
+		starts[r.Job.ID] = r.Start
+	}
+	return starts
+}
+
+// Figure 1: strict FCFS — jobB cannot start even though nodes are free,
+// because jobA (ahead of it) does not fit.
+func TestFigure1FCFSBlocks(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 6}, // running
+		{ID: 2, User: 2, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 6},  // jobA: blocked
+		{ID: 3, User: 3, Submit: 20, Runtime: 30, Estimate: 30, Nodes: 2},  // jobB: would fit
+	}
+	starts := runPolicy(t, NewFCFS(), 8, jobs)
+	if starts[3] < starts[2] {
+		t.Fatalf("strict FCFS must not let jobB (start %d) pass jobA (start %d)", starts[3], starts[2])
+	}
+	if starts[2] != 100 {
+		t.Fatalf("jobA should start when the running job completes, got %d", starts[2])
+	}
+}
+
+// Figure 2: backfilling — jobB leaps forward into the hole because it does
+// not delay jobA's reservation.
+func TestFigure2BackfillStarts(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 6},
+		{ID: 2, User: 2, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 6},
+		{ID: 3, User: 3, Submit: 20, Runtime: 30, Estimate: 30, Nodes: 2},
+	}
+	starts := runPolicy(t, NewEASY(OrderFCFS), 8, jobs)
+	if starts[3] != 20 {
+		t.Fatalf("jobB should backfill immediately at 20, got %d", starts[3])
+	}
+	if starts[2] != 100 {
+		t.Fatalf("jobA must still start at its reservation, got %d", starts[2])
+	}
+}
+
+func TestEASYDeniesDelayingBackfill(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 6},
+		{ID: 2, User: 2, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 6},
+		// Would run past jobA's reservation (t=100) and does not fit the
+		// shadow (8-6=2 free at the reservation): denied.
+		{ID: 3, User: 3, Submit: 20, Runtime: 300, Estimate: 300, Nodes: 3},
+	}
+	starts := runPolicy(t, NewEASY(OrderFCFS), 8, jobs)
+	if starts[3] < 100 {
+		t.Fatalf("backfill would delay the head reservation; started at %d", starts[3])
+	}
+	if starts[2] != 100 {
+		t.Fatalf("head delayed to %d", starts[2])
+	}
+}
+
+func TestEASYShadowBackfill(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 6},
+		{ID: 2, User: 2, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 6},
+		// Runs past the reservation but fits the 2-node shadow: allowed.
+		{ID: 3, User: 3, Submit: 20, Runtime: 300, Estimate: 300, Nodes: 2},
+	}
+	starts := runPolicy(t, NewEASY(OrderFCFS), 8, jobs)
+	if starts[3] != 20 {
+		t.Fatalf("shadow backfill denied; started at %d", starts[3])
+	}
+}
+
+func TestListFairshareRunsInPriorityOrder(t *testing.T) {
+	// User 1 burns usage first; then both users queue jobs behind a wall.
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 1000, Estimate: 1000, Nodes: 8}, // wall + usage for user 1
+		{ID: 2, User: 1, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 4},
+		{ID: 3, User: 2, Submit: 20, Runtime: 50, Estimate: 50, Nodes: 4},
+	}
+	starts := runPolicy(t, NewListFairshare(), 8, jobs)
+	if !(starts[3] <= starts[2]) {
+		t.Fatalf("user 2 (no usage) should start no later: job3=%d job2=%d", starts[3], starts[2])
+	}
+}
+
+func TestListFairshareDoesNotBackfill(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 6},
+		{ID: 2, User: 2, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 6},
+		{ID: 3, User: 3, Submit: 20, Runtime: 30, Estimate: 30, Nodes: 2},
+	}
+	starts := runPolicy(t, NewListFairshare(), 8, jobs)
+	// Job 3 has the same (zero) usage as job 2 but arrived later; the list
+	// scheduler may not let it jump the blocked head.
+	if starts[3] < 100 {
+		t.Fatalf("no-backfill list scheduler backfilled: job3 at %d", starts[3])
+	}
+}
+
+func TestAggressiveReservationMath(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 3},
+		{ID: 2, User: 2, Submit: 0, Runtime: 200, Estimate: 200, Nodes: 3},
+		// Head needs 7: free=2, +3 at t=100, +3 at t=200 -> reservation 200,
+		// shadow = 8-7 = 1.
+		{ID: 3, User: 3, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 7},
+		// 1-node job runs past 200 but fits the shadow.
+		{ID: 4, User: 4, Submit: 20, Runtime: 1000, Estimate: 1000, Nodes: 1},
+		// 2-node long job would eat the head's nodes: denied until the head starts.
+		{ID: 5, User: 5, Submit: 30, Runtime: 1000, Estimate: 1000, Nodes: 2},
+	}
+	starts := runPolicy(t, NewEASY(OrderFCFS), 8, jobs)
+	if starts[3] != 200 {
+		t.Fatalf("head reservation should be met at 200, got %d", starts[3])
+	}
+	if starts[4] != 20 {
+		t.Fatalf("shadow-fitting job delayed to %d", starts[4])
+	}
+	if starts[5] < 200 {
+		t.Fatalf("delaying job started at %d before the head", starts[5])
+	}
+}
+
+func TestQueueOrderString(t *testing.T) {
+	if OrderFCFS.String() != "fcfs" || OrderFairshare.String() != "fairshare" {
+		t.Fatal("queue order names wrong")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewFCFS().Name() != "fcfs" {
+		t.Error("fcfs name")
+	}
+	if NewListFairshare().Name() != "list.fairshare" {
+		t.Error("list name")
+	}
+	if NewEASY(OrderFairshare).Name() != "easy.fairshare" {
+		t.Error("easy name")
+	}
+	ng := NewNoGuarantee()
+	ng.Reset(nil)
+	if ng.Name() == "" {
+		t.Error("noguarantee name empty")
+	}
+	if NewConservative(false).Name() != "cons" || NewConservative(true).Name() != "consdyn" {
+		t.Error("conservative names")
+	}
+}
+
+var _ = fairshare.Never{} // keep the import for the label test below

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"fairsched/internal/job"
+)
+
+// Failure-injection tests: broken policies must be detected, not silently
+// tolerated.
+
+// lazyPolicy never starts anything.
+type lazyPolicy struct{ queue []*job.Job }
+
+func (p *lazyPolicy) Name() string                 { return "lazy" }
+func (p *lazyPolicy) Reset(Env)                    { p.queue = nil }
+func (p *lazyPolicy) Arrive(_ Env, j *job.Job)     { p.queue = append(p.queue, j) }
+func (p *lazyPolicy) Complete(Env, *job.Job)       {}
+func (p *lazyPolicy) Wake(Env)                     {}
+func (p *lazyPolicy) NextWake(int64) (int64, bool) { return 0, false }
+func (p *lazyPolicy) Queued() []*job.Job           { return p.queue }
+
+func TestSimulatorDetectsLostJobs(t *testing.T) {
+	jobs := []*job.Job{{ID: 1, User: 1, Submit: 0, Runtime: 10, Estimate: 10, Nodes: 1}}
+	_, err := New(Config{SystemSize: 4}, &lazyPolicy{}).Run(jobs)
+	if err == nil || !strings.Contains(err.Error(), "never completed") {
+		t.Fatalf("lost job not detected: %v", err)
+	}
+}
+
+// doubleStarter starts the same job twice.
+type doubleStarter struct {
+	greedy
+	err error
+}
+
+func (p *doubleStarter) Arrive(env Env, j *job.Job) {
+	if err := env.Start(j); err != nil {
+		p.err = err
+		return
+	}
+	p.err = env.Start(j) // must fail
+}
+
+func TestStartRejectsDoubleStart(t *testing.T) {
+	pol := &doubleStarter{}
+	jobs := []*job.Job{{ID: 1, User: 1, Submit: 0, Runtime: 10, Estimate: 10, Nodes: 1}}
+	if _, err := New(Config{SystemSize: 4}, pol).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if pol.err == nil || !strings.Contains(pol.err.Error(), "already started") {
+		t.Fatalf("double start not rejected: %v", pol.err)
+	}
+}
+
+// overCommitter starts jobs beyond the free capacity.
+type overCommitter struct {
+	greedy
+	err error
+}
+
+func (p *overCommitter) Arrive(env Env, j *job.Job) {
+	if err := env.Start(j); err != nil {
+		if p.err == nil {
+			p.err = err
+		}
+		// Keep the job queued; the embedded greedy retries it on the next
+		// completion, so the run still finishes.
+		p.queue = append(p.queue, j)
+	}
+}
+
+func TestStartRejectsOvercommit(t *testing.T) {
+	pol := &overCommitter{}
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 1000, Estimate: 1000, Nodes: 4},
+		{ID: 2, User: 2, Submit: 1, Runtime: 10, Estimate: 10, Nodes: 4},
+	}
+	res, err := New(Config{SystemSize: 4}, pol).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.err == nil || !strings.Contains(pol.err.Error(), "nodes") {
+		t.Fatalf("overcommit not rejected: %v", pol.err)
+	}
+	// The rejected job recovered via the retry at job 1's completion.
+	if got := res.Records[1].Start; got != 1000 {
+		t.Fatalf("job 2 started at %d, want 1000", got)
+	}
+}
+
+// foreignStarter starts a job the simulator never saw.
+type foreignStarter struct {
+	greedy
+	err error
+}
+
+func (p *foreignStarter) Arrive(env Env, j *job.Job) {
+	p.err = env.Start(&job.Job{ID: 999, User: 1, Runtime: 10, Estimate: 10, Nodes: 1})
+	p.greedy.Arrive(env, j)
+}
+
+func TestStartRejectsUnknownJob(t *testing.T) {
+	pol := &foreignStarter{}
+	jobs := []*job.Job{{ID: 1, User: 1, Submit: 0, Runtime: 10, Estimate: 10, Nodes: 1}}
+	if _, err := New(Config{SystemSize: 4}, pol).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if pol.err == nil || !strings.Contains(pol.err.Error(), "never arrived") {
+		t.Fatalf("unknown job not rejected: %v", pol.err)
+	}
+}
+
+// queueLiar reports a started job as still queued; the validator catches it.
+type queueLiar struct {
+	greedy
+	started []*job.Job
+}
+
+func (p *queueLiar) Arrive(env Env, j *job.Job) {
+	p.greedy.Arrive(env, j)
+	p.started = append(p.started, j)
+}
+func (p *queueLiar) Queued() []*job.Job { return p.started }
+
+func TestValidatorCatchesQueueLies(t *testing.T) {
+	jobs := []*job.Job{{ID: 1, User: 1, Submit: 0, Runtime: 10, Estimate: 10, Nodes: 1}}
+	_, err := New(Config{SystemSize: 4, Validate: true}, &queueLiar{}).Run(jobs)
+	if err == nil || !strings.Contains(err.Error(), "already started") {
+		t.Fatalf("queue lie not detected: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"fairsched/internal/job"
+)
+
+// recordingObserver captures the callback sequence and interval coverage.
+type recordingObserver struct {
+	BaseObserver
+	events    []string
+	intervals [][2]int64
+	doneSeen  bool
+}
+
+func (o *recordingObserver) JobArrived(_ Env, j *job.Job, _ []*job.Job) {
+	o.events = append(o.events, "arrive")
+}
+func (o *recordingObserver) JobStarted(_ Env, j *job.Job) {
+	o.events = append(o.events, "start")
+}
+func (o *recordingObserver) JobCompleted(_ Env, j *job.Job, _ int64) {
+	o.events = append(o.events, "complete")
+}
+func (o *recordingObserver) Interval(from, to int64, _, _ int) {
+	o.intervals = append(o.intervals, [2]int64{from, to})
+}
+func (o *recordingObserver) Done(Env) { o.doneSeen = true }
+
+func TestObserverCallbackSequence(t *testing.T) {
+	obs := &recordingObserver{}
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 4},
+		{ID: 2, User: 2, Submit: 50, Runtime: 100, Estimate: 100, Nodes: 4},
+	}
+	if _, err := New(Config{SystemSize: 4, Validate: true}, &greedy{}, obs).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"arrive", "start", "arrive", "complete", "start", "complete"}
+	if len(obs.events) != len(want) {
+		t.Fatalf("events %v, want %v", obs.events, want)
+	}
+	for i := range want {
+		if obs.events[i] != want[i] {
+			t.Fatalf("event %d = %s, want %s (%v)", i, obs.events[i], want[i], obs.events)
+		}
+	}
+	if !obs.doneSeen {
+		t.Fatal("Done not called")
+	}
+}
+
+func TestObserverIntervalsPartitionTime(t *testing.T) {
+	obs := &recordingObserver{}
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 10, Runtime: 100, Estimate: 200, Nodes: 4},
+		{ID: 2, User: 2, Submit: 35, Runtime: 50, Estimate: 60, Nodes: 4},
+		{ID: 3, User: 3, Submit: 200, Runtime: 10, Estimate: 10, Nodes: 8},
+	}
+	if _, err := New(Config{SystemSize: 8, Validate: true}, &greedy{}, obs).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.intervals) == 0 {
+		t.Fatal("no intervals observed")
+	}
+	prevEnd := obs.intervals[0][0]
+	for i, iv := range obs.intervals {
+		if iv[0] != prevEnd {
+			t.Fatalf("interval %d starts at %d, previous ended at %d (gap or overlap)",
+				i, iv[0], prevEnd)
+		}
+		if iv[1] <= iv[0] {
+			t.Fatalf("interval %d empty or inverted: %v", i, iv)
+		}
+		prevEnd = iv[1]
+	}
+	// Coverage ends at the last completion.
+	if prevEnd != 210 {
+		t.Fatalf("intervals end at %d, want 210", prevEnd)
+	}
+}
+
+func TestCompletionsBatchBeforePolicySeesThem(t *testing.T) {
+	// Two jobs complete at the same instant; the policy's Complete callback
+	// must observe both gone from Running (the batch released first).
+	probe := &batchProbe{}
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 2},
+		{ID: 2, User: 2, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 2},
+		{ID: 3, User: 3, Submit: 10, Runtime: 10, Estimate: 10, Nodes: 8},
+	}
+	if _, err := New(Config{SystemSize: 8, Validate: true}, probe).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.sawEmptyRunning {
+		t.Fatal("policy.Complete never observed the fully-released batch")
+	}
+}
+
+// batchProbe is a greedy policy that records whether, during some Complete
+// callback, all simultaneous completions had already released their nodes.
+type batchProbe struct {
+	greedy
+	sawEmptyRunning bool
+}
+
+func (p *batchProbe) Complete(env Env, j *job.Job) {
+	if len(env.Running()) == 0 {
+		p.sawEmptyRunning = true
+	}
+	p.greedy.Complete(env, j)
+}

@@ -1,0 +1,454 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"fairsched/internal/eventq"
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+)
+
+// Event kinds on the future event list.
+const (
+	evArrival = iota
+	evCompletion
+	evWake
+	evWCLCheck
+)
+
+// Same-instant event priorities: completions release nodes and must be
+// observed by every other event at that time, wall-clock-limit checks come
+// next, then arrivals, then wake-ups.
+func eventPrio(kind int) int {
+	switch kind {
+	case evCompletion:
+		return 0
+	case evWCLCheck:
+		return 1
+	case evArrival:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Simulator executes one policy over one workload. Create with New, run with
+// Run; a Simulator is single-use.
+type Simulator struct {
+	cfg       Config
+	policy    Policy
+	observers []Observer
+
+	q       eventq.Queue
+	now     int64
+	used    int
+	running []RunningJob // start order (then id)
+	fs      *fairshare.Tracker
+	records map[job.ID]*Record
+	order   []*Record // submit order as processed
+	nextID  job.ID    // id allocator for split segments
+	// splitOriginals maps an original job id to the original job while its
+	// segment chain is in flight.
+	splitOriginals map[job.ID]*job.Job
+	wakeVer        int64 // current wake event version; older wakes are stale
+	pendingReal    int   // pending arrival/completion/kill-check events
+	events         int64
+	inEvent        bool // guards Env.Start against use outside policy callbacks
+}
+
+// New creates a simulator for the given configuration and policy.
+func New(cfg Config, pol Policy, observers ...Observer) *Simulator {
+	return &Simulator{
+		cfg:       cfg.withDefaults(),
+		policy:    pol,
+		observers: observers,
+		records:   make(map[job.ID]*Record),
+	}
+}
+
+// Now implements Env.
+func (s *Simulator) Now() int64 { return s.now }
+
+// SystemSize implements Env.
+func (s *Simulator) SystemSize() int { return s.cfg.SystemSize }
+
+// FreeNodes implements Env.
+func (s *Simulator) FreeNodes() int { return s.cfg.SystemSize - s.used }
+
+// Running implements Env.
+func (s *Simulator) Running() []RunningJob { return s.running }
+
+// Fairshare implements Env.
+func (s *Simulator) Fairshare() *fairshare.Tracker { return s.fs }
+
+// Start implements Env: a policy launches a queued job now.
+func (s *Simulator) Start(j *job.Job) error {
+	if !s.inEvent {
+		return fmt.Errorf("sim: Start(%d) outside a scheduling event", j.ID)
+	}
+	rec := s.records[j.ID]
+	if rec == nil {
+		return fmt.Errorf("sim: Start(%d): job never arrived", j.ID)
+	}
+	if rec.Started {
+		return fmt.Errorf("sim: Start(%d): already started", j.ID)
+	}
+	if j.Nodes > s.FreeNodes() {
+		return fmt.Errorf("sim: Start(%d): needs %d nodes, only %d free", j.ID, j.Nodes, s.FreeNodes())
+	}
+	rec.Started = true
+	rec.Start = s.now
+	s.used += j.Nodes
+	s.running = append(s.running, RunningJob{Job: j, Start: s.now})
+	runtime := j.Runtime
+	if s.cfg.Kill == KillAlways && j.Estimate < runtime {
+		runtime = j.Estimate
+		rec.Killed = true
+	}
+	s.q.Push(eventq.Event{Time: s.now + runtime, Prio: eventPrio(evCompletion), Kind: evCompletion, Payload: j})
+	s.pendingReal++
+	if s.cfg.Kill == KillWhenNeeded && j.Estimate < j.Runtime {
+		s.q.Push(eventq.Event{Time: s.now + j.Estimate, Prio: eventPrio(evWCLCheck), Kind: evWCLCheck, Payload: j})
+		s.pendingReal++
+	}
+	for _, o := range s.observers {
+		o.JobStarted(s, j)
+	}
+	return nil
+}
+
+// Run executes the policy over the workload and returns the result. The
+// workload must validate against the system size; it is not mutated (split
+// segments are fresh Job values).
+func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
+	if s.policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if err := job.ValidateAll(workload, s.cfg.SystemSize); err != nil {
+		return nil, err
+	}
+	var epoch int64
+	maxID := job.ID(0)
+	for _, j := range workload {
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+	}
+	s.nextID = maxID + 1
+	s.fs = fairshare.NewTracker(s.cfg.Fairshare, epoch)
+	s.now = 0
+	for _, j := range workload {
+		for _, sub := range s.submissionsFor(j) {
+			s.q.Push(eventq.Event{Time: sub.Submit, Prio: eventPrio(evArrival), Kind: evArrival, Payload: sub})
+			s.pendingReal++
+		}
+	}
+	s.policy.Reset(s)
+	s.rescheduleWake()
+
+	for {
+		e, ok := s.q.Pop()
+		if !ok {
+			break
+		}
+		if e.Time < s.now {
+			return nil, fmt.Errorf("sim: event time %d before now %d", e.Time, s.now)
+		}
+		if e.Time > s.now {
+			s.advanceTo(e.Time)
+		}
+		s.events++
+		if e.Kind != evWake {
+			s.pendingReal--
+		}
+		switch e.Kind {
+		case evArrival:
+			s.handleArrival(e.Payload.(*job.Job))
+		case evCompletion:
+			s.handleCompletionBatch(e.Payload.(*job.Job))
+		case evWake:
+			if e.Payload.(int64) != s.wakeVer {
+				continue // stale wake; a newer one is scheduled
+			}
+			s.dispatch(func() { s.policy.Wake(s) })
+		case evWCLCheck:
+			s.handleWCLCheck(e.Payload.(*job.Job))
+		default:
+			return nil, fmt.Errorf("sim: unknown event kind %d", e.Kind)
+		}
+		if s.cfg.Validate {
+			if err := s.checkInvariants(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s.finish()
+}
+
+// advanceTo reports the elapsed interval to observers, settles fairshare
+// accrual, and moves the clock.
+func (s *Simulator) advanceTo(t int64) {
+	queuedNodes := 0
+	for _, qj := range s.policy.Queued() {
+		queuedNodes += qj.Nodes
+	}
+	for _, o := range s.observers {
+		o.Interval(s.now, t, s.used, queuedNodes)
+	}
+	usages := make([]fairshare.Usage, len(s.running))
+	for i, r := range s.running {
+		usages[i] = fairshare.Usage{User: r.Job.User, Nodes: r.Job.Nodes}
+	}
+	if err := s.fs.Accrue(t, usages); err != nil {
+		// Accrue only fails on time reversal, which advanceTo precludes.
+		panic(err)
+	}
+	s.now = t
+}
+
+func (s *Simulator) handleArrival(j *job.Job) {
+	if s.cfg.Kill == KillWhenNeeded {
+		s.killOverruns()
+	}
+	rec := &Record{Job: j, Submit: s.now}
+	s.records[j.ID] = rec
+	s.order = append(s.order, rec)
+	queued := s.policy.Queued()
+	for _, o := range s.observers {
+		o.JobArrived(s, j, queued)
+	}
+	s.dispatch(func() { s.policy.Arrive(s, j) })
+}
+
+// handleCompletionBatch processes every completion event scheduled at the
+// current instant as one scheduling cycle: all completing jobs release
+// their nodes first, then the policy reacts to each. Releasing in bulk
+// matters — were the policy invoked after the first release alone, other
+// jobs completing at the same instant would still look running (and,
+// having reached their estimates, like overrunners), distorting every
+// reservation computed in that pass.
+func (s *Simulator) handleCompletionBatch(first *job.Job) {
+	batch := []*job.Job{first}
+	for {
+		e, ok := s.q.Peek()
+		if !ok || e.Time != s.now || e.Kind != evCompletion {
+			break
+		}
+		s.q.Pop()
+		s.events++
+		s.pendingReal--
+		batch = append(batch, e.Payload.(*job.Job))
+	}
+	type done struct {
+		job   *job.Job
+		start int64
+	}
+	finished := make([]done, 0, len(batch))
+	for _, j := range batch {
+		if start, ok := s.release(j, false); ok {
+			finished = append(finished, done{j, start})
+		}
+	}
+	for _, d := range finished {
+		for _, o := range s.observers {
+			o.JobCompleted(s, d.job, d.start)
+		}
+	}
+	for _, d := range finished {
+		if next := s.nextSegment(d.job); next != nil {
+			// The checkpoint restart is resubmitted within the same
+			// scheduling cycle as the completion (a production scheduler
+			// polls its queue periodically, so the two coincide): enqueue
+			// the segment before the policy reacts, so it competes for the
+			// freed nodes under the regular queue priority.
+			s.handleArrival(next)
+		}
+		job := d.job
+		s.dispatch(func() { s.policy.Complete(s, job) })
+	}
+}
+
+// handleKill terminates a running job at its wall-clock limit.
+func (s *Simulator) handleKill(j *job.Job) {
+	start, ok := s.release(j, true)
+	if !ok {
+		return
+	}
+	for _, o := range s.observers {
+		o.JobCompleted(s, j, start)
+	}
+	if next := s.nextSegment(j); next != nil {
+		s.handleArrival(next)
+	}
+	s.dispatch(func() { s.policy.Complete(s, j) })
+}
+
+// release performs the completion bookkeeping: removes the job from the
+// running set, returns its nodes and finalizes its record. ok is false for
+// a stale completion (the job was killed earlier under KillWhenNeeded).
+func (s *Simulator) release(j *job.Job, killed bool) (start int64, ok bool) {
+	idx := -1
+	for i, r := range s.running {
+		if r.Job.ID == j.ID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		if killed || s.cfg.Kill == KillWhenNeeded {
+			// Under KillWhenNeeded the job's original full-runtime
+			// completion event still fires after an earlier kill; it is
+			// stale. (KillAlways schedules the completion at the truncated
+			// time directly, so a missing job there is a bug.)
+			return 0, false
+		}
+		panic(fmt.Sprintf("sim: completion for job %d not running", j.ID))
+	}
+	start = s.running[idx].Start
+	s.running = append(s.running[:idx], s.running[idx+1:]...)
+	s.used -= j.Nodes
+	rec := s.records[j.ID]
+	rec.Complete = s.now
+	rec.Finished = true
+	if killed {
+		rec.Killed = true
+	}
+	return start, true
+}
+
+// handleWCLCheck fires when a running job reaches its wall-clock limit under
+// KillWhenNeeded: the job is killed if any work is queued.
+func (s *Simulator) handleWCLCheck(j *job.Job) {
+	running := false
+	for _, r := range s.running {
+		if r.Job.ID == j.ID {
+			running = true
+			break
+		}
+	}
+	if !running {
+		return
+	}
+	if len(s.policy.Queued()) == 0 {
+		return // nodes not needed; the job may keep running
+	}
+	s.handleKill(j)
+}
+
+// killOverruns terminates every running job past its wall-clock limit; the
+// arrival being processed proves the processors are needed.
+func (s *Simulator) killOverruns() {
+	for {
+		victim := (*job.Job)(nil)
+		for _, r := range s.running {
+			if r.Start+r.Job.Estimate <= s.now && r.Job.Estimate < r.Job.Runtime {
+				victim = r.Job
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.handleKill(victim)
+	}
+}
+
+func (s *Simulator) dispatch(f func()) {
+	s.inEvent = true
+	f()
+	s.inEvent = false
+	s.rescheduleWake()
+}
+
+// rescheduleWake pushes a wake event at the earliest of the policy's own
+// request and the next fairshare decay boundary (which can reorder the
+// queue) while work is queued.
+func (s *Simulator) rescheduleWake() {
+	var t int64
+	have := false
+	if pt, ok := s.policy.NextWake(s.now); ok && pt > s.now {
+		t, have = pt, true
+	}
+	// Decay boundaries reorder the queue, so wake the policy at them — but
+	// only while something can still change (jobs running or real events
+	// pending). Without the guard, a policy that never starts a queued job
+	// would keep the simulation alive on decay wake-ups forever.
+	if len(s.policy.Queued()) > 0 && (len(s.running) > 0 || s.pendingReal > 0) {
+		b := s.fs.NextBoundaryAfter(s.now)
+		if !have || b < t {
+			t, have = b, true
+		}
+	}
+	if !have {
+		return
+	}
+	s.wakeVer++
+	s.q.Push(eventq.Event{Time: t, Prio: eventPrio(evWake), Kind: evWake, Payload: s.wakeVer})
+}
+
+func (s *Simulator) finish() (*Result, error) {
+	for _, o := range s.observers {
+		o.Done(s)
+	}
+	res := &Result{
+		Policy:     s.policy.Name(),
+		SystemSize: s.cfg.SystemSize,
+		Events:     s.events,
+	}
+	if len(s.running) > 0 || s.used != 0 {
+		return nil, fmt.Errorf("sim: %d jobs still running at end of events", len(s.running))
+	}
+	res.Records = append(res.Records, s.order...)
+	sort.SliceStable(res.Records, func(i, k int) bool {
+		if res.Records[i].Submit != res.Records[k].Submit {
+			return res.Records[i].Submit < res.Records[k].Submit
+		}
+		return res.Records[i].Job.ID < res.Records[k].Job.ID
+	})
+	first, last := int64(-1), int64(-1)
+	for _, r := range res.Records {
+		if !r.Finished {
+			return nil, fmt.Errorf("sim: job %d never completed (policy %s lost it)", r.Job.ID, s.policy.Name())
+		}
+		if first < 0 || r.Start < first {
+			first = r.Start
+		}
+		if r.Complete > last {
+			last = r.Complete
+		}
+	}
+	if first >= 0 {
+		res.FirstStart = first
+		res.LastCompletion = last
+		res.Makespan = last - first
+	}
+	return res, nil
+}
+
+// checkInvariants validates conservation properties after every event.
+func (s *Simulator) checkInvariants() error {
+	used := 0
+	for _, r := range s.running {
+		used += r.Job.Nodes
+		if r.Start > s.now {
+			return fmt.Errorf("sim: job %d started in the future", r.Job.ID)
+		}
+	}
+	if used != s.used {
+		return fmt.Errorf("sim: used nodes drift: tracked %d, actual %d", s.used, used)
+	}
+	if used > s.cfg.SystemSize {
+		return fmt.Errorf("sim: %d nodes in use on a %d-node system", used, s.cfg.SystemSize)
+	}
+	for _, qj := range s.policy.Queued() {
+		rec := s.records[qj.ID]
+		if rec == nil {
+			return fmt.Errorf("sim: queued job %d unknown", qj.ID)
+		}
+		if rec.Started {
+			return fmt.Errorf("sim: queued job %d already started", qj.ID)
+		}
+	}
+	return nil
+}

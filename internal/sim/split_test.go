@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+
+	"fairsched/internal/job"
+)
+
+const h = int64(3600)
+
+func splitRun(t *testing.T, mode SplitMode, jobs []*job.Job) *Result {
+	t.Helper()
+	cfg := Config{SystemSize: 64, MaxRuntime: 72 * h, Split: mode, Validate: true}
+	res, err := New(cfg, &greedy{}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func longJob() *job.Job {
+	// 200h runtime, 250h estimate: splits into 72+72+56.
+	return &job.Job{ID: 1, User: 1, Submit: 0, Runtime: 200 * h, Estimate: 250 * h, Nodes: 8}
+}
+
+func segments(res *Result) []*Record {
+	var out []*Record
+	for _, r := range res.Records {
+		if r.Job.Parent != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestSplitSegmentShapes(t *testing.T) {
+	res := splitRun(t, SplitUpfront, []*job.Job{longJob()})
+	segs := segments(res)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3", len(segs))
+	}
+	wantRuntime := []int64{72 * h, 72 * h, 56 * h}
+	wantEst := []int64{72 * h, 72 * h, 72 * h} // 250-144=106h capped at 72h
+	for i, s := range segs {
+		if s.Job.Runtime != wantRuntime[i] {
+			t.Errorf("segment %d runtime = %d, want %d", i+1, s.Job.Runtime, wantRuntime[i])
+		}
+		if s.Job.Estimate != wantEst[i] {
+			t.Errorf("segment %d estimate = %d, want %d", i+1, s.Job.Estimate, wantEst[i])
+		}
+		if s.Job.Parent != 1 || s.Job.Segment != i+1 || s.Job.Segments != 3 {
+			t.Errorf("segment %d metadata wrong: %+v", i+1, s.Job)
+		}
+		wantChain := 200*h - int64(i)*72*h
+		if s.Job.ChainRuntime != wantChain {
+			t.Errorf("segment %d chain runtime = %d, want %d", i+1, s.Job.ChainRuntime, wantChain)
+		}
+	}
+}
+
+func TestSplitUpfrontSubmitsTogether(t *testing.T) {
+	res := splitRun(t, SplitUpfront, []*job.Job{longJob()})
+	for _, s := range segments(res) {
+		if s.Submit != 0 {
+			t.Fatalf("upfront segment submitted at %d, want 0", s.Submit)
+		}
+	}
+}
+
+func TestSplitStaggeredSubmitsAtOffsets(t *testing.T) {
+	res := splitRun(t, SplitStaggered, []*job.Job{longJob()})
+	segs := segments(res)
+	want := []int64{0, 72 * h, 144 * h}
+	for i, s := range segs {
+		if s.Submit != want[i] {
+			t.Fatalf("staggered segment %d submitted at %d, want %d", i+1, s.Submit, want[i])
+		}
+	}
+}
+
+func TestSplitChainedSubmitsOnCompletion(t *testing.T) {
+	res := splitRun(t, SplitChained, []*job.Job{longJob()})
+	segs := segments(res)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	// On an idle machine each chunk starts immediately, so chunk k+1 is
+	// submitted exactly at chunk k's completion.
+	if segs[1].Submit != segs[0].Complete {
+		t.Fatalf("segment 2 submitted at %d, want %d", segs[1].Submit, segs[0].Complete)
+	}
+	if segs[2].Submit != segs[1].Complete {
+		t.Fatalf("segment 3 submitted at %d, want %d", segs[2].Submit, segs[1].Complete)
+	}
+	if got := segs[2].Complete; got != 200*h {
+		t.Fatalf("chain finished at %d, want %d", got, 200*h)
+	}
+}
+
+func TestSplitPreservesTotalWork(t *testing.T) {
+	for _, mode := range []SplitMode{SplitUpfront, SplitStaggered, SplitChained} {
+		res := splitRun(t, mode, []*job.Job{longJob()})
+		var total int64
+		for _, r := range res.Records {
+			total += r.Job.ProcSeconds()
+		}
+		if want := int64(8) * 200 * h; total != want {
+			t.Fatalf("%v: total proc-seconds %d, want %d", mode, total, want)
+		}
+	}
+}
+
+func TestShortJobNotSplitButEstimateCapped(t *testing.T) {
+	jobs := []*job.Job{{ID: 1, User: 1, Submit: 0, Runtime: 10 * h, Estimate: 100 * h, Nodes: 4}}
+	res := splitRun(t, SplitUpfront, jobs)
+	if len(res.Records) != 1 {
+		t.Fatalf("short job split: %d records", len(res.Records))
+	}
+	if got := res.Records[0].Job.Estimate; got != 72*h {
+		t.Fatalf("estimate = %d, want capped at 72h", got)
+	}
+	if res.Records[0].Job.Parent != 0 {
+		t.Fatal("short job should not be a segment")
+	}
+}
+
+func TestSplitUnderestimatedChain(t *testing.T) {
+	// 200h runtime but only a 100h estimate: the final chunk keeps the
+	// leftover budget (100-144 < 0 -> clamped to 1s), preserving the
+	// overrun behaviour.
+	j := &job.Job{ID: 1, User: 1, Submit: 0, Runtime: 200 * h, Estimate: 100 * h, Nodes: 8}
+	res := splitRun(t, SplitUpfront, []*job.Job{j})
+	segs := segments(res)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	if got := segs[2].Job.Estimate; got != 1 {
+		t.Fatalf("last segment estimate = %d, want clamped 1", got)
+	}
+}
+
+func TestSplitExactMultiple(t *testing.T) {
+	j := &job.Job{ID: 1, User: 1, Submit: 0, Runtime: 144 * h, Estimate: 144 * h, Nodes: 8}
+	res := splitRun(t, SplitUpfront, []*job.Job{j})
+	segs := segments(res)
+	if len(segs) != 2 {
+		t.Fatalf("144h job should split into exactly 2 segments, got %d", len(segs))
+	}
+	for _, s := range segs {
+		if s.Job.Runtime != 72*h {
+			t.Fatalf("segment runtime = %d", s.Job.Runtime)
+		}
+	}
+}
+
+func TestSplitDisabledByDefault(t *testing.T) {
+	res, err := New(Config{SystemSize: 64, Validate: true}, &greedy{}).Run([]*job.Job{longJob()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || res.Records[0].Job.Parent != 0 {
+		t.Fatal("job split without MaxRuntime configured")
+	}
+}
+
+func TestSegmentIDsAreFresh(t *testing.T) {
+	jobs := []*job.Job{
+		longJob(),
+		{ID: 2, User: 2, Submit: 10, Runtime: h, Estimate: h, Nodes: 4},
+	}
+	res := splitRun(t, SplitUpfront, jobs)
+	seen := map[job.ID]bool{}
+	for _, r := range res.Records {
+		if seen[r.Job.ID] {
+			t.Fatalf("duplicate record id %d", r.Job.ID)
+		}
+		seen[r.Job.ID] = true
+	}
+	for _, s := range segments(res) {
+		if s.Job.ID <= 2 {
+			t.Fatalf("segment id %d collides with workload ids", s.Job.ID)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package swf
+
+// Anonymize replaces user and group ids sequentially in order of first
+// appearance (the first user becomes 1, and so on) and clears the
+// executable field — the procedure the paper describes for the public
+// release of the CPlant trace ("User and group id's were replaced
+// sequentially (e.g., the first user is given an id of 1) to remove the
+// actual user and group id's for public release"). Missing ids (-1) are
+// preserved. The trace is modified in place; the mappings are returned
+// (original -> anonymized).
+func Anonymize(t *Trace) (users, groups map[int64]int64) {
+	users = make(map[int64]int64)
+	groups = make(map[int64]int64)
+	remap := func(m map[int64]int64, v int64) int64 {
+		if v < 0 {
+			return v
+		}
+		if n, ok := m[v]; ok {
+			return n
+		}
+		n := int64(len(m) + 1)
+		m[v] = n
+		return n
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		r.UserID = remap(users, r.UserID)
+		r.GroupID = remap(groups, r.GroupID)
+		r.Executable = -1
+	}
+	t.Header.Note = append(t.Header.Note,
+		"Anonymized: user/group ids replaced sequentially, executables removed")
+	return users, groups
+}

@@ -1,0 +1,74 @@
+package swf
+
+import (
+	"testing"
+
+	"fairsched/internal/job"
+)
+
+func traceWithUsers(users ...int) *Trace {
+	jobs := make([]*job.Job, len(users))
+	for i, u := range users {
+		jobs[i] = &job.Job{
+			ID: job.ID(i + 1), User: u, Group: u * 10, Submit: int64(i),
+			Runtime: 10, Estimate: 10, Nodes: 1,
+		}
+	}
+	return FromJobs(jobs, Header{Version: 2})
+}
+
+func TestAnonymizeSequentialIDs(t *testing.T) {
+	tr := traceWithUsers(4711, 42, 4711, 99)
+	users, groups := Anonymize(tr)
+	wantUsers := []int64{1, 2, 1, 3}
+	for i, r := range tr.Records {
+		if r.UserID != wantUsers[i] {
+			t.Errorf("record %d user = %d, want %d", i, r.UserID, wantUsers[i])
+		}
+	}
+	if users[4711] != 1 || users[42] != 2 || users[99] != 3 {
+		t.Errorf("user mapping wrong: %v", users)
+	}
+	if len(groups) != 3 {
+		t.Errorf("group mapping has %d entries", len(groups))
+	}
+}
+
+func TestAnonymizePreservesMissingIDs(t *testing.T) {
+	tr := &Trace{Records: []Record{{JobNumber: 1, UserID: -1, GroupID: -1, Executable: 7}}}
+	Anonymize(tr)
+	r := tr.Records[0]
+	if r.UserID != -1 || r.GroupID != -1 {
+		t.Errorf("missing ids rewritten: %+v", r)
+	}
+	if r.Executable != -1 {
+		t.Errorf("executable not cleared: %d", r.Executable)
+	}
+}
+
+func TestAnonymizeAddsNote(t *testing.T) {
+	tr := traceWithUsers(1)
+	Anonymize(tr)
+	found := false
+	for _, n := range tr.Header.Note {
+		if len(n) > 0 && n[0] == 'A' {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("anonymization note missing")
+	}
+}
+
+func TestAnonymizeIdempotentMapping(t *testing.T) {
+	tr := traceWithUsers(7, 7, 7)
+	users, _ := Anonymize(tr)
+	if len(users) != 1 {
+		t.Fatalf("one distinct user should map once, got %v", users)
+	}
+	for _, r := range tr.Records {
+		if r.UserID != 1 {
+			t.Fatalf("user id = %d, want 1", r.UserID)
+		}
+	}
+}

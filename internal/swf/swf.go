@@ -1,0 +1,238 @@
+// Package swf reads and writes the Standard Workload Format version 2, the
+// trace format the paper's simulator consumes ("The scheduler takes as input
+// a trace file in the Standard Workload Format V2").
+//
+// An SWF file is line oriented: header/comment lines start with ';' and may
+// carry "; Key: Value" directives; every other non-blank line has 18
+// whitespace-separated fields:
+//
+//	1 job number            7 used memory        13 group id
+//	2 submit time           8 requested procs    14 executable id
+//	3 wait time             9 requested time     15 queue id
+//	4 run time             10 requested memory   16 partition id
+//	5 used processors      11 status             17 preceding job
+//	6 avg cpu time         12 user id            18 think time
+//
+// Missing values are -1.
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fairsched/internal/job"
+)
+
+// Header carries the directives we understand plus every raw directive line.
+type Header struct {
+	Version       int
+	Computer      string
+	MaxNodes      int
+	MaxProcs      int
+	UnixStartTime int64
+	TimeZone      string
+	Note          []string
+	// Raw preserves every "; Key: Value" directive in order of appearance.
+	Raw []Directive
+}
+
+// Directive is one "; Key: Value" header line.
+type Directive struct {
+	Key   string
+	Value string
+}
+
+// Record is one raw SWF line, all 18 fields.
+type Record struct {
+	JobNumber      int64
+	SubmitTime     int64
+	WaitTime       int64
+	RunTime        int64
+	UsedProcs      int64
+	AvgCPUTime     int64
+	UsedMemory     int64
+	RequestedProcs int64
+	RequestedTime  int64
+	RequestedMem   int64
+	Status         int64
+	UserID         int64
+	GroupID        int64
+	Executable     int64
+	QueueID        int64
+	PartitionID    int64
+	PrecedingJob   int64
+	ThinkTime      int64
+}
+
+// Trace is a parsed SWF file.
+type Trace struct {
+	Header  Header
+	Records []Record
+}
+
+// ParseError reports a malformed line with its 1-based line number.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("swf: line %d: %v", e.Line, e.Err) }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Parse reads an SWF trace from r.
+func Parse(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			t.Header.addComment(line)
+			continue
+		}
+		rec, err := parseRecord(line)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Err: err}
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("swf: read: %w", err)
+	}
+	return t, nil
+}
+
+func (h *Header) addComment(line string) {
+	body := strings.TrimSpace(strings.TrimLeft(line, "; "))
+	if body == "" {
+		return
+	}
+	key, val, ok := strings.Cut(body, ":")
+	if !ok {
+		h.Note = append(h.Note, body)
+		return
+	}
+	key = strings.TrimSpace(key)
+	val = strings.TrimSpace(val)
+	h.Raw = append(h.Raw, Directive{Key: key, Value: val})
+	switch strings.ToLower(key) {
+	case "version":
+		if n, err := strconv.Atoi(strings.Fields(val)[0]); err == nil {
+			h.Version = n
+		}
+	case "computer":
+		h.Computer = val
+	case "maxnodes":
+		if n, err := strconv.Atoi(val); err == nil {
+			h.MaxNodes = n
+		}
+	case "maxprocs":
+		if n, err := strconv.Atoi(val); err == nil {
+			h.MaxProcs = n
+		}
+	case "unixstarttime":
+		if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+			h.UnixStartTime = n
+		}
+	case "timezonestring", "timezone":
+		h.TimeZone = val
+	case "note":
+		h.Note = append(h.Note, val)
+	}
+}
+
+func parseRecord(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 18 {
+		return Record{}, fmt.Errorf("expected 18 fields, got %d", len(fields))
+	}
+	var vals [18]int64
+	for i, f := range fields {
+		v, err := parseField(f)
+		if err != nil {
+			return Record{}, fmt.Errorf("field %d %q: %v", i+1, f, err)
+		}
+		vals[i] = v
+	}
+	return Record{
+		JobNumber: vals[0], SubmitTime: vals[1], WaitTime: vals[2],
+		RunTime: vals[3], UsedProcs: vals[4], AvgCPUTime: vals[5],
+		UsedMemory: vals[6], RequestedProcs: vals[7], RequestedTime: vals[8],
+		RequestedMem: vals[9], Status: vals[10], UserID: vals[11],
+		GroupID: vals[12], Executable: vals[13], QueueID: vals[14],
+		PartitionID: vals[15], PrecedingJob: vals[16], ThinkTime: vals[17],
+	}, nil
+}
+
+// parseField accepts integers and (for tolerance with real archive files)
+// floating point values, which are truncated toward zero.
+func parseField(s string) (int64, error) {
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a number")
+	}
+	return int64(f), nil
+}
+
+// Jobs converts the trace records into simulator jobs, applying the
+// conventions of the paper's study:
+//
+//   - requested processors falls back to used processors (and vice versa);
+//   - runtime below 1s is clamped to 1s (the trace records 0s jobs);
+//   - requested time (wall-clock limit) falls back to runtime and is clamped
+//     to at least 1s;
+//   - records with no usable node count are dropped.
+//
+// Records are returned sorted by submit time (then job number).
+func (t *Trace) Jobs() []*job.Job {
+	jobs := make([]*job.Job, 0, len(t.Records))
+	for _, r := range t.Records {
+		nodes := r.RequestedProcs
+		if nodes <= 0 {
+			nodes = r.UsedProcs
+		}
+		if nodes <= 0 {
+			continue
+		}
+		runtime := r.RunTime
+		if runtime < 1 {
+			runtime = 1
+		}
+		est := r.RequestedTime
+		if est < 1 {
+			est = runtime
+		}
+		submit := r.SubmitTime
+		if submit < 0 {
+			submit = 0
+		}
+		jobs = append(jobs, &job.Job{
+			ID:       job.ID(r.JobNumber),
+			User:     int(r.UserID),
+			Group:    int(r.GroupID),
+			Submit:   submit,
+			Runtime:  runtime,
+			Estimate: est,
+			Nodes:    int(nodes),
+		})
+	}
+	sort.SliceStable(jobs, func(i, k int) bool {
+		if jobs[i].Submit != jobs[k].Submit {
+			return jobs[i].Submit < jobs[k].Submit
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	return jobs
+}

@@ -1,0 +1,102 @@
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"fairsched/internal/job"
+)
+
+// Write emits the trace in SWF v2 text form.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, &t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if _, err := fmt.Fprintf(bw,
+			"%d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d\n",
+			r.JobNumber, r.SubmitTime, r.WaitTime, r.RunTime, r.UsedProcs,
+			r.AvgCPUTime, r.UsedMemory, r.RequestedProcs, r.RequestedTime,
+			r.RequestedMem, r.Status, r.UserID, r.GroupID, r.Executable,
+			r.QueueID, r.PartitionID, r.PrecedingJob, r.ThinkTime); err != nil {
+			return fmt.Errorf("swf: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w io.Writer, h *Header) error {
+	emit := func(key, val string) error {
+		_, err := fmt.Fprintf(w, "; %s: %s\n", key, val)
+		return err
+	}
+	if h.Version != 0 {
+		if err := emit("Version", fmt.Sprint(h.Version)); err != nil {
+			return err
+		}
+	}
+	if h.Computer != "" {
+		if err := emit("Computer", h.Computer); err != nil {
+			return err
+		}
+	}
+	if h.MaxNodes != 0 {
+		if err := emit("MaxNodes", fmt.Sprint(h.MaxNodes)); err != nil {
+			return err
+		}
+	}
+	if h.MaxProcs != 0 {
+		if err := emit("MaxProcs", fmt.Sprint(h.MaxProcs)); err != nil {
+			return err
+		}
+	}
+	if h.UnixStartTime != 0 {
+		if err := emit("UnixStartTime", fmt.Sprint(h.UnixStartTime)); err != nil {
+			return err
+		}
+	}
+	if h.TimeZone != "" {
+		if err := emit("TimeZoneString", h.TimeZone); err != nil {
+			return err
+		}
+	}
+	for _, n := range h.Note {
+		if err := emit("Note", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromJobs builds a trace from simulator jobs. Wait time, status and the
+// unused fields are set to -1 (unknown) per SWF convention; used processors
+// mirrors requested processors.
+func FromJobs(jobs []*job.Job, header Header) *Trace {
+	t := &Trace{Header: header}
+	t.Records = make([]Record, 0, len(jobs))
+	for _, j := range jobs {
+		t.Records = append(t.Records, Record{
+			JobNumber:      int64(j.ID),
+			SubmitTime:     j.Submit,
+			WaitTime:       -1,
+			RunTime:        j.Runtime,
+			UsedProcs:      int64(j.Nodes),
+			AvgCPUTime:     -1,
+			UsedMemory:     -1,
+			RequestedProcs: int64(j.Nodes),
+			RequestedTime:  j.Estimate,
+			RequestedMem:   -1,
+			Status:         1,
+			UserID:         int64(j.User),
+			GroupID:        int64(j.Group),
+			Executable:     -1,
+			QueueID:        -1,
+			PartitionID:    -1,
+			PrecedingJob:   -1,
+			ThinkTime:      -1,
+		})
+	}
+	return t
+}

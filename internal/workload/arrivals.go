@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"fairsched/internal/job"
+)
+
+// Arrival-time model: Figure 3's offered load is strongly bursty — several
+// consecutive weeks submit more work than the machine can run (offered load
+// peaks above 160% including backlog), followed by deep lulls attributed to
+// users backing off from long queues. weeklyShape is a 33-entry relative
+// intensity profile eyeballed from the figure; jobs are assigned to weeks in
+// proportion to each week's remaining processor-hour budget, then placed
+// within the week with weekday/diurnal weights.
+
+var weeklyShape = [33]float64{
+	0.40, 0.65, 0.90, 1.30, 1.75, 1.50, 1.00, 0.75, // ramp up to the peak
+	1.10, 1.45, 1.05, 0.70, 1.30, 1.10, 0.85, 0.60, // second surge
+	1.00, 0.45, 0.25, 0.60, 1.25, 1.60, 1.20, 0.95, // deep lull, third surge
+	0.80, 1.05, 1.25, 0.75, 0.50, 0.75, 0.60, 0.40, // tapering
+	0.20,
+}
+
+// dayWeights weight the day-of-week of submissions; the trace starts on a
+// Sunday (December 1, 2002). Weekends are quiet.
+var dayWeights = [7]float64{0.40, 1.20, 1.30, 1.30, 1.25, 1.15, 0.40}
+
+// hourWeights model the diurnal cycle: working hours dominate.
+var hourWeights = [24]float64{
+	0.15, 0.10, 0.08, 0.08, 0.08, 0.10, 0.20, 0.45,
+	0.90, 1.30, 1.50, 1.50, 1.35, 1.40, 1.50, 1.45,
+	1.30, 1.10, 0.80, 0.60, 0.45, 0.35, 0.25, 0.20,
+}
+
+// weekShape returns the relative intensity of week w for a horizon of
+// `weeks` weeks, resampling the 33-entry profile when the horizon differs
+// and compressing or sharpening the bursts around the profile mean with the
+// gamma exponent.
+func weekShape(w, weeks int, gamma float64) float64 {
+	var v float64
+	if weeks == len(weeklyShape) {
+		v = weeklyShape[w]
+	} else {
+		idx := w * len(weeklyShape) / weeks
+		if idx >= len(weeklyShape) {
+			idx = len(weeklyShape) - 1
+		}
+		v = weeklyShape[idx]
+	}
+	if gamma == 1.0 {
+		return v
+	}
+	var mean float64
+	for _, s := range weeklyShape {
+		mean += s
+	}
+	mean /= float64(len(weeklyShape))
+	return mean * math.Pow(v/mean, gamma)
+}
+
+// assignArrivals sets Submit for every job: week by remaining-budget
+// sampling, then day/hour/second within the week.
+func assignArrivals(cfg Config, rng *rand.Rand, jobs []*job.Job) {
+	weeks := cfg.Weeks
+	var totalShape float64
+	for w := 0; w < weeks; w++ {
+		totalShape += weekShape(w, weeks, cfg.BurstGamma)
+	}
+	var totalWork float64
+	for _, j := range jobs {
+		totalWork += float64(j.ProcSeconds())
+	}
+	budget := make([]float64, weeks)
+	for w := 0; w < weeks; w++ {
+		budget[w] = totalWork * weekShape(w, weeks, cfg.BurstGamma) / totalShape
+	}
+	// Visit jobs in random order so the big jobs do not all land in the
+	// high-budget weeks first.
+	order := rng.Perm(len(jobs))
+	remaining := append([]float64(nil), budget...)
+	for _, idx := range order {
+		j := jobs[idx]
+		w := pickWeek(rng, remaining, budget)
+		remaining[w] -= float64(j.ProcSeconds())
+		j.Submit = int64(w)*7*24*3600 + sampleWithinWeek(rng)
+	}
+}
+
+// pickWeek samples a week in proportion to its remaining budget, falling
+// back to the original budget shape once every week is saturated.
+func pickWeek(rng *rand.Rand, remaining, budget []float64) int {
+	var total float64
+	for _, r := range remaining {
+		if r > 0 {
+			total += r
+		}
+	}
+	weights := remaining
+	if total <= 0 {
+		weights = budget
+		for _, b := range budget {
+			total += b
+		}
+	}
+	pick := rng.Float64() * total
+	for w, r := range weights {
+		if r <= 0 {
+			continue
+		}
+		pick -= r
+		if pick < 0 {
+			return w
+		}
+	}
+	return len(weights) - 1
+}
+
+// sampleWithinWeek draws the offset inside a week: weighted day of week,
+// weighted hour of day, uniform second.
+func sampleWithinWeek(rng *rand.Rand) int64 {
+	day := sampleWeighted(rng, dayWeights[:])
+	hour := sampleWeighted(rng, hourWeights[:])
+	sec := rng.Int63n(3600)
+	return int64(day)*24*3600 + int64(hour)*3600 + sec
+}
+
+func sampleWeighted(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	pick := rng.Float64() * total
+	for i, w := range weights {
+		pick -= w
+		if pick < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Wall-clock-limit model (Figures 5-7): users pick estimates from a menu of
+// round values, intentionally overestimating — the scheduler kills jobs at
+// the limit, networking contention is unpredictable, and some jobs abort.
+// The overestimation factor shrinks with runtime (Figure 6) and is
+// unrelated to width (Figure 7: the model never looks at nodes). A small
+// fraction of jobs underestimate and overrun their limit (visible below the
+// diagonal of Figure 5).
+
+// estimateMenu is the ascending list of selectable wall-clock limits.
+var estimateMenu = []int64{
+	15 * 60, 30 * 60, 3600, 2 * 3600, 4 * 3600, 6 * 3600, 8 * 3600,
+	12 * 3600, 16 * 3600, 24 * 3600, 36 * 3600, 48 * 3600, 72 * 3600,
+	96 * 3600, 120 * 3600, 168 * 3600, 240 * 3600, 336 * 3600, 504 * 3600,
+}
+
+// overestimation median: ln(f) = overA + overB*ln(runtime), i.e. roughly
+// 50x for one-minute jobs falling to ~1.5x for week-long jobs.
+const (
+	overA     = 5.46
+	overB     = -0.38
+	overSigma = 1.0
+)
+
+// drawEstimate returns the wall-clock limit for a job of the given runtime.
+func drawEstimate(cfg Config, rng *rand.Rand, runtime int64) int64 {
+	if rng.Float64() < cfg.UnderestimateProb && runtime > estimateMenu[0]*2 {
+		// Underestimate: the job overran its limit by 5-40% (the real
+		// scheduler killed bigger overruns unless the nodes were idle, so
+		// the trace's recorded runtimes never exceed the limit by much).
+		est := int64(float64(runtime) / (1.05 + 0.35*rng.Float64()))
+		if est < estimateMenu[0] {
+			est = estimateMenu[0]
+		}
+		return est
+	}
+	mu := overA + overB*math.Log(float64(runtime))
+	f := math.Exp(mu + overSigma*rng.NormFloat64())
+	if f < 1 {
+		f = 1
+	}
+	want := float64(runtime) * f
+	return menuAtLeast(int64(math.Ceil(want)))
+}
+
+// menuAtLeast returns the smallest menu value >= want (capped at the top).
+func menuAtLeast(want int64) int64 {
+	for _, m := range estimateMenu {
+		if m >= want {
+			return m
+		}
+	}
+	return estimateMenu[len(estimateMenu)-1]
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"fairsched/internal/job"
+)
+
+// userModel assigns jobs to a Zipf-distributed user population. Each user
+// has a preferred width category (drawn in proportion to the Table 2
+// processor-hour row sums, so the heavy hitters favor wide jobs, as on the
+// real machine); a job is four times as likely to go to a user whose
+// preference matches its width category. This concentration is what makes
+// the fairshare priority and the heavy-user starvation filter meaningful.
+type userModel struct {
+	weights []float64 // Zipf activity weight per user (1-based ids)
+	pref    []int     // preferred width category per user
+	groups  int
+}
+
+const prefAffinity = 4.0
+
+func newUserModel(cfg Config, rng *rand.Rand) *userModel {
+	m := &userModel{
+		weights: make([]float64, cfg.Users+1),
+		pref:    make([]int, cfg.Users+1),
+		groups:  cfg.Groups,
+	}
+	// Row-sum distribution of proc-hours by width category.
+	var rowSum [job.NumWidthCategories]float64
+	var total float64
+	for w := range Table2ProcHours {
+		for _, v := range Table2ProcHours[w] {
+			rowSum[w] += v
+		}
+		total += rowSum[w]
+	}
+	for u := 1; u <= cfg.Users; u++ {
+		m.weights[u] = 1 / math.Pow(float64(u), 1.1) // Zipf, s = 1.1
+		pick := rng.Float64() * total
+		m.pref[u] = job.NumWidthCategories - 1
+		for w := range rowSum {
+			pick -= rowSum[w]
+			if pick < 0 {
+				m.pref[u] = w
+				break
+			}
+		}
+	}
+	return m
+}
+
+// pick draws the submitting user for a job of the given width.
+func (m *userModel) pick(rng *rand.Rand, nodes int) int {
+	w := job.WidthCategory(nodes)
+	var total float64
+	for u := 1; u < len(m.weights); u++ {
+		wt := m.weights[u]
+		if m.pref[u] == w {
+			wt *= prefAffinity
+		}
+		total += wt
+	}
+	pick := rng.Float64() * total
+	for u := 1; u < len(m.weights); u++ {
+		wt := m.weights[u]
+		if m.pref[u] == w {
+			wt *= prefAffinity
+		}
+		pick -= wt
+		if pick < 0 {
+			return u
+		}
+	}
+	return len(m.weights) - 1
+}
+
+// group maps a user to an accounting group (stable, round-robin blocks).
+func (m *userModel) group(user int) int {
+	if m.groups <= 0 {
+		return 1
+	}
+	return (user-1)%m.groups + 1
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"math/rand"
+
+	"fairsched/internal/job"
+)
+
+// Node-count menus per width category. Figure 4 shows users overwhelmingly
+// choosing "standard" allocations — powers of two and perfect squares — so
+// each category's menu favors those values.
+
+type widthChoice struct {
+	nodes  int
+	weight int
+}
+
+var widthMenus = [job.NumWidthCategories][]widthChoice{
+	{{1, 1}},
+	{{2, 1}},
+	{{4, 3}, {3, 1}},
+	{{8, 5}, {6, 2}, {5, 2}, {7, 1}},
+	{{16, 6}, {9, 2}, {12, 2}, {10, 1}, {13, 1}, {14, 1}, {15, 1}, {11, 1}},
+	{{32, 6}, {25, 2}, {24, 2}, {20, 1}, {18, 1}, {28, 1}, {30, 1}, {17, 1}},
+	{{64, 6}, {36, 2}, {49, 2}, {48, 2}, {40, 1}, {50, 1}, {60, 1}, {33, 1}},
+	{{128, 6}, {100, 2}, {81, 2}, {96, 2}, {72, 1}, {120, 1}, {110, 1}, {65, 1}},
+	{{256, 6}, {144, 2}, {196, 2}, {169, 1}, {200, 1}, {225, 1}, {160, 1}, {240, 1}, {129, 1}},
+	{{512, 5}, {400, 2}, {289, 1}, {324, 1}, {441, 1}, {484, 1}, {300, 1}, {350, 1}},
+	{{1024, 4}, {529, 1}, {625, 1}, {729, 1}, {900, 1}, {1089, 1}, {1296, 1}, {1444, 1}, {1524, 2}, {600, 1}, {800, 1}},
+}
+
+// sampleWidth draws a node count for width category w, never exceeding the
+// system size; if the whole menu exceeds it (small test systems), the
+// category's lower bound clamped to the system size is used.
+func sampleWidth(rng *rand.Rand, w, systemSize int) int {
+	menu := widthMenus[w]
+	total := 0
+	for _, c := range menu {
+		if c.nodes <= systemSize {
+			total += c.weight
+		}
+	}
+	if total == 0 {
+		lo, _ := job.WidthBounds(w)
+		if lo > systemSize {
+			lo = systemSize
+		}
+		return lo
+	}
+	pick := rng.Intn(total)
+	for _, c := range menu {
+		if c.nodes > systemSize {
+			continue
+		}
+		pick -= c.weight
+		if pick < 0 {
+			return c.nodes
+		}
+	}
+	return menu[0].nodes
+}
