@@ -13,6 +13,7 @@ package fairsched_test
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"fairsched/internal/profile"
 	"fairsched/internal/sched"
 	"fairsched/internal/sim"
+	"fairsched/internal/sweep"
 	"fairsched/internal/workload"
 )
 
@@ -288,6 +290,61 @@ func BenchmarkFullSweep(b *testing.B) {
 	}
 }
 
+// --- Sweep engine throughput (docs/PERFORMANCE.md) ---
+
+// benchSweepThroughput drives the nine-policy sweep through the worker pool
+// at a fixed parallelism and reports runs/sec and simulated events/sec —
+// the two axes BENCH_*.json tracks across PRs. The workload is generated
+// once outside the timed region; each iteration re-simulates all nine
+// policies.
+func benchSweepThroughput(b *testing.B, parallel int) {
+	_, jobs := benchSetup(b)
+	specs := core.AllSpecs()
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, err := sweep.Runs(core.StudyConfig{SystemSize: benchNodes}, specs, jobs, parallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = 0
+		for _, r := range runs {
+			events += r.Result.Events
+		}
+	}
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*len(specs))/elapsed, "runs/sec")
+		b.ReportMetric(float64(b.N)*float64(events)/elapsed, "events/sec")
+	}
+}
+
+func BenchmarkSweepThroughputParallel1(b *testing.B) { benchSweepThroughput(b, 1) }
+func BenchmarkSweepThroughputParallel2(b *testing.B) { benchSweepThroughput(b, 2) }
+func BenchmarkSweepThroughputParallel4(b *testing.B) { benchSweepThroughput(b, 4) }
+func BenchmarkSweepThroughputParallelMax(b *testing.B) {
+	benchSweepThroughput(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkSweepMatrixSeeds times the (seed × policy) grid fan-out behind
+// `cmd/experiments -seeds` at full machine width: 3 seeds × 9 policies per
+// iteration.
+func BenchmarkSweepMatrixSeeds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		grid, err := sweep.Matrix{
+			Workload: workload.Config{Scale: 0.1, SystemSize: benchNodes},
+			Study:    core.StudyConfig{SystemSize: benchNodes},
+			Seeds:    []int64{1, 2, 3},
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(grid) != 3 {
+			b.Fatalf("got %d seed groups", len(grid))
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §7) ---
 
 func benchRunPolicy(b *testing.B, cfg core.StudyConfig, key string) *fairsched.Summary {
@@ -432,10 +489,12 @@ func BenchmarkAvailabilityListSchedule(b *testing.B) {
 }
 
 func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		var q eventq.Queue
+		var q eventq.Queue[*job.Job]
+		q.Grow(1000)
 		for k := 0; k < 1000; k++ {
-			q.Push(eventq.Event{Time: int64(k * 7919 % 1000)})
+			q.Push(eventq.Event[*job.Job]{Time: int64(k * 7919 % 1000)})
 		}
 		for {
 			if _, ok := q.Pop(); !ok {

@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	experiments                 # full-scale sweep (about a minute)
+//	experiments                 # full-scale sweep, one worker per CPU
+//	experiments -parallel 1     # serial sweep (byte-identical output)
 //	experiments -scale 0.25     # quick quarter-scale sweep
 //	experiments -in ross.swf    # sweep over an existing trace
+//	experiments -seeds 10       # tally claim robustness across 10 seeds
+//	experiments -markdown       # also emit EXPERIMENTS.md-style tables
 package main
 
 import (
@@ -25,15 +28,17 @@ import (
 
 func main() {
 	var (
-		in    = flag.String("in", "", "input SWF trace (default: generate the synthetic trace)")
-		seed  = flag.Int64("seed", 42, "synthetic workload seed")
-		scale = flag.Float64("scale", 1.0, "synthetic workload scale")
-		nodes = flag.Int("nodes", 0, "system size (default 1000)")
-		burst = flag.Float64("burst", 0, "workload burst gamma (default 0.3)")
-		decay = flag.Float64("decay", 0.5, "fairshare decay factor")
-		csv   = flag.String("csv", "", "also export every artifact as CSV into this directory")
-		mcmp  = flag.Bool("metrics", false, "also compare the §4 fairness metrics (hybrid vs CONS-P) across all policies")
-		sweep = flag.Int("seeds", 0, "also tally claim robustness across this many extra seeds (full study per seed)")
+		in       = flag.String("in", "", "input SWF trace (default: generate the synthetic trace)")
+		seed     = flag.Int64("seed", 42, "synthetic workload seed")
+		scale    = flag.Float64("scale", 1.0, "synthetic workload scale")
+		nodes    = flag.Int("nodes", 0, "system size (default 1000)")
+		burst    = flag.Float64("burst", 0, "workload burst gamma (default 0.3)")
+		decay    = flag.Float64("decay", 0.5, "fairshare decay factor")
+		csv      = flag.String("csv", "", "also export every artifact as CSV into this directory")
+		mcmp     = flag.Bool("metrics", false, "also compare the §4 fairness metrics (hybrid vs CONS-P) across all policies")
+		sweep    = flag.Int("seeds", 0, "also tally claim robustness across this many extra seeds (full study per seed)")
+		parallel = flag.Int("parallel", 0, "worker pool size for the sweep engine (0: one per CPU; 1: serial)")
+		markdown = flag.Bool("markdown", false, "also emit the paper-vs-measured and claim tables as Markdown (for EXPERIMENTS.md)")
 	)
 	flag.Parse()
 
@@ -58,19 +63,23 @@ func main() {
 		if study.SystemSize <= 0 && trace.Header.MaxNodes > 0 {
 			study.SystemSize = trace.Header.MaxNodes
 		}
-		res, err = experiments.RunOn(study, jobs)
+		res, err = experiments.RunOnParallel(study, jobs, *parallel)
 	} else {
 		res, err = experiments.Run(experiments.Config{
 			Workload: workload.Config{Seed: *seed, Scale: *scale, SystemSize: *nodes, BurstGamma: *burst},
 			Study:    study,
+			Parallel: *parallel,
 		})
 	}
 	if err != nil {
 		fatal(err)
 	}
 	experiments.WriteReport(os.Stdout, res, time.Since(t0))
+	if *markdown {
+		experiments.WriteMarkdownReport(os.Stdout, res)
+	}
 	if *mcmp {
-		rows, err := experiments.CompareMetrics(study, core.AllSpecs(), res.Jobs, false)
+		rows, err := experiments.CompareMetrics(study, core.AllSpecs(), res.Jobs, false, *parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -90,11 +99,15 @@ func main() {
 		tally, err := experiments.SeedSweep(experiments.Config{
 			Workload: workload.Config{Scale: *scale, SystemSize: *nodes, BurstGamma: *burst},
 			Study:    study,
+			Parallel: *parallel,
 		}, seeds)
+		if tally != nil {
+			// Surviving seeds are still tallied when some runs failed.
+			experiments.RenderSeedSweep(os.Stdout, tally, seeds)
+		}
 		if err != nil {
 			fatal(err)
 		}
-		experiments.RenderSeedSweep(os.Stdout, tally, seeds)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"fairsched/internal/metrics"
 	"fairsched/internal/sched"
 	"fairsched/internal/sim"
+	"fairsched/internal/sweep"
 	"fairsched/internal/swf"
 	"fairsched/internal/workload"
 )
@@ -130,10 +131,34 @@ func RunAll(cfg StudyConfig, specs []PolicySpec, jobs []*Job) ([]*StudyRun, erro
 	return core.ExecuteAll(cfg, specs, jobs)
 }
 
+// RunAllParallel executes a set of policies over one workload on at most
+// parallel workers (<= 0: one per CPU). Results come back in spec order and
+// are identical to RunAll's; a failed run never discards the others — the
+// returned error aggregates every casualty (see SweepErrors), and the
+// failed runs' slots in the returned slice are nil. On a non-nil error,
+// check each slot before use.
+func RunAllParallel(cfg StudyConfig, specs []PolicySpec, jobs []*Job, parallel int) ([]*StudyRun, error) {
+	return sweep.Runs(cfg, specs, jobs, parallel)
+}
+
+// SweepErrors aggregates the per-run failures of a parallel sweep; each
+// entry is a SweepRunError naming the run that failed.
+type SweepErrors = sweep.Errors
+
+// SweepRunError is one captured per-run failure inside a SweepErrors.
+type SweepRunError = sweep.RunError
+
 // RunExperiments executes the full nine-policy sweep, from which every
 // table and figure of the paper's evaluation can be rendered.
 func RunExperiments(cfg StudyConfig, jobs []*Job) (*ExperimentResults, error) {
 	return experiments.RunOn(cfg, jobs)
+}
+
+// RunExperimentsParallel is RunExperiments fanned out over the sweep
+// engine's worker pool (parallel <= 0: one worker per CPU). The resulting
+// summaries are byte-identical to the serial sweep's.
+func RunExperimentsParallel(cfg StudyConfig, jobs []*Job, parallel int) (*ExperimentResults, error) {
+	return experiments.RunOnParallel(cfg, jobs, parallel)
 }
 
 // WriteReport renders a complete experiment sweep (tables, figures,

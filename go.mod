@@ -1,0 +1,3 @@
+module fairsched
+
+go 1.24

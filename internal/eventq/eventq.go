@@ -1,75 +1,124 @@
 // Package eventq provides the deterministic future event list used by the
-// discrete-event simulator: a binary min-heap ordered by (time, sequence).
-// The sequence number makes same-timestamp events FIFO, which keeps
-// simulation runs exactly reproducible.
+// discrete-event simulator: a binary min-heap ordered by (time, priority,
+// sequence). The sequence number makes same-timestamp events FIFO, which
+// keeps simulation runs exactly reproducible.
+//
+// The queue is generic over its payload type and implements the heap
+// directly on a slice instead of going through container/heap: with the
+// interface-based heap every Push boxes the event into an interface{} (one
+// allocation per event) and every Pop pays a dynamic dispatch per
+// sift-down comparison. On the simulator's hot path — millions of events
+// per full-scale run, every one pushed and popped exactly once — the
+// monomorphized slice heap allocates nothing beyond the backing array.
 package eventq
-
-import "container/heap"
 
 // Event is the element type stored in the queue. Payload is opaque to the
 // queue. Events at the same time are ordered by ascending Prio, then FIFO:
 // the simulator uses Prio to process completions (which free nodes) before
 // arrivals and wake-ups at the same instant.
-type Event struct {
+type Event[P any] struct {
 	Time    int64
 	Prio    int
 	Seq     int64 // assigned by Push, FIFO tie-break
 	Kind    int
-	Payload interface{}
+	Payload P
 }
 
 // Queue is a min-heap of events. The zero value is ready to use.
-type Queue struct {
-	h   eventHeap
+type Queue[P any] struct {
+	h   []Event[P]
 	seq int64
 }
 
 // Len reports the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue[P]) Len() int { return len(q.h) }
+
+// Grow ensures capacity for at least n further events without reallocating,
+// so a simulation that knows its arrival count up front pays for the heap's
+// backing array once.
+func (q *Queue[P]) Grow(n int) {
+	if free := cap(q.h) - len(q.h); free < n {
+		h := make([]Event[P], len(q.h), len(q.h)+n)
+		copy(h, q.h)
+		q.h = h
+	}
+}
 
 // Push enqueues an event at the given time and returns the assigned
 // sequence number.
-func (q *Queue) Push(e Event) int64 {
+func (q *Queue[P]) Push(e Event[P]) int64 {
 	q.seq++
 	e.Seq = q.seq
-	heap.Push(&q.h, e)
+	q.h = append(q.h, e)
+	q.up(len(q.h) - 1)
 	return e.Seq
 }
 
 // Pop removes and returns the earliest event. ok is false when empty.
-func (q *Queue) Pop() (Event, bool) {
-	if len(q.h) == 0 {
-		return Event{}, false
+func (q *Queue[P]) Pop() (Event[P], bool) {
+	var zero Event[P]
+	n := len(q.h)
+	if n == 0 {
+		return zero, false
 	}
-	return heap.Pop(&q.h).(Event), true
+	top := q.h[0]
+	n--
+	q.h[0] = q.h[n]
+	q.h[n] = zero // drop payload references for the GC
+	q.h = q.h[:n]
+	if n > 1 {
+		q.down(0)
+	}
+	return top, true
 }
 
 // Peek returns the earliest event without removing it.
-func (q *Queue) Peek() (Event, bool) {
+func (q *Queue[P]) Peek() (Event[P], bool) {
 	if len(q.h) == 0 {
-		return Event{}, false
+		var zero Event[P]
+		return zero, false
 	}
 	return q.h[0], true
 }
 
-type eventHeap []Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, k int) bool {
-	if h[i].Time != h[k].Time {
-		return h[i].Time < h[k].Time
+// less orders the heap by (time, priority, sequence).
+func (q *Queue[P]) less(i, k int) bool {
+	a, b := &q.h[i], &q.h[k]
+	if a.Time != b.Time {
+		return a.Time < b.Time
 	}
-	if h[i].Prio != h[k].Prio {
-		return h[i].Prio < h[k].Prio
+	if a.Prio != b.Prio {
+		return a.Prio < b.Prio
 	}
-	return h[i].Seq < h[k].Seq
+	return a.Seq < b.Seq
 }
-func (h eventHeap) Swap(i, k int)       { h[i], h[k] = h[k], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (q *Queue[P]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue[P]) down(i int) {
+	n := len(q.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
 }

@@ -8,9 +8,9 @@ import (
 )
 
 func TestPopOrderedByTime(t *testing.T) {
-	var q Queue
+	var q Queue[struct{}]
 	for _, ts := range []int64{50, 10, 30, 20, 40} {
-		q.Push(Event{Time: ts})
+		q.Push(Event[struct{}]{Time: ts})
 	}
 	var got []int64
 	for {
@@ -29,9 +29,9 @@ func TestPopOrderedByTime(t *testing.T) {
 }
 
 func TestSameTimestampIsFIFO(t *testing.T) {
-	var q Queue
+	var q Queue[struct{}]
 	for i := 0; i < 10; i++ {
-		q.Push(Event{Time: 100, Kind: i})
+		q.Push(Event[struct{}]{Time: 100, Kind: i})
 	}
 	for i := 0; i < 10; i++ {
 		e, ok := q.Pop()
@@ -41,9 +41,24 @@ func TestSameTimestampIsFIFO(t *testing.T) {
 	}
 }
 
+func TestSameTimestampPrioBeforeSeq(t *testing.T) {
+	var q Queue[struct{}]
+	q.Push(Event[struct{}]{Time: 100, Prio: 2, Kind: 0})
+	q.Push(Event[struct{}]{Time: 100, Prio: 0, Kind: 1})
+	q.Push(Event[struct{}]{Time: 100, Prio: 1, Kind: 2})
+	q.Push(Event[struct{}]{Time: 100, Prio: 0, Kind: 3})
+	want := []int{1, 3, 2, 0} // prio asc, FIFO within a prio
+	for i, k := range want {
+		e, ok := q.Pop()
+		if !ok || e.Kind != k {
+			t.Fatalf("pop %d: got kind %d, want %d", i, e.Kind, k)
+		}
+	}
+}
+
 func TestPeekDoesNotRemove(t *testing.T) {
-	var q Queue
-	q.Push(Event{Time: 5, Kind: 1})
+	var q Queue[struct{}]
+	q.Push(Event[struct{}]{Time: 5, Kind: 1})
 	e, ok := q.Peek()
 	if !ok || e.Kind != 1 {
 		t.Fatal("peek failed")
@@ -63,14 +78,14 @@ func TestPeekDoesNotRemove(t *testing.T) {
 }
 
 func TestInterleavedPushPop(t *testing.T) {
-	var q Queue
-	q.Push(Event{Time: 10})
-	q.Push(Event{Time: 5})
+	var q Queue[struct{}]
+	q.Push(Event[struct{}]{Time: 10})
+	q.Push(Event[struct{}]{Time: 5})
 	e, _ := q.Pop()
 	if e.Time != 5 {
 		t.Fatalf("got %d", e.Time)
 	}
-	q.Push(Event{Time: 1})
+	q.Push(Event[struct{}]{Time: 1})
 	e, _ = q.Pop()
 	if e.Time != 1 {
 		t.Fatalf("got %d", e.Time)
@@ -82,24 +97,64 @@ func TestInterleavedPushPop(t *testing.T) {
 }
 
 func TestPushAssignsMonotonicSeq(t *testing.T) {
-	var q Queue
-	s1 := q.Push(Event{Time: 1})
-	s2 := q.Push(Event{Time: 1})
+	var q Queue[struct{}]
+	s1 := q.Push(Event[struct{}]{Time: 1})
+	s2 := q.Push(Event[struct{}]{Time: 1})
 	if s2 <= s1 {
 		t.Fatalf("sequence numbers not monotonic: %d then %d", s1, s2)
+	}
+}
+
+func TestGrowPreallocates(t *testing.T) {
+	var q Queue[int]
+	q.Grow(100)
+	if got := cap(q.h); got < 100 {
+		t.Fatalf("cap %d after Grow(100)", got)
+	}
+	base := &q.h[:1][0]
+	for i := 0; i < 100; i++ {
+		q.Push(Event[int]{Time: int64(100 - i), Payload: i})
+	}
+	if &q.h[0] != base {
+		t.Fatal("backing array reallocated despite Grow")
+	}
+	prev := int64(-1)
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if e.Time < prev {
+			t.Fatalf("pop order broken after Grow: %d before %d", prev, e.Time)
+		}
+		prev = e.Time
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	type payload struct{ a, b int }
+	var q Queue[payload]
+	q.Push(Event[payload]{Time: 2, Payload: payload{3, 4}})
+	q.Push(Event[payload]{Time: 1, Payload: payload{1, 2}})
+	e, _ := q.Pop()
+	if e.Payload != (payload{1, 2}) {
+		t.Fatalf("payload %v", e.Payload)
+	}
+	e, _ = q.Pop()
+	if e.Payload != (payload{3, 4}) {
+		t.Fatalf("payload %v", e.Payload)
 	}
 }
 
 func TestQuickPopIsSorted(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
-		var q Queue
+		var q Queue[struct{}]
 		count := int(n)%100 + 1
 		for i := 0; i < count; i++ {
-			q.Push(Event{Time: rng.Int63n(50)})
+			q.Push(Event[struct{}]{Time: rng.Int63n(50)})
 		}
 		var times []int64
-		var seqs []int64
 		prevTime, prevSeq := int64(-1), int64(-1)
 		for {
 			e, ok := q.Pop()
@@ -114,7 +169,6 @@ func TestQuickPopIsSorted(t *testing.T) {
 			}
 			prevTime, prevSeq = e.Time, e.Seq
 			times = append(times, e.Time)
-			seqs = append(seqs, e.Seq)
 		}
 		return len(times) == count && sort.SliceIsSorted(times, func(i, k int) bool { return times[i] < times[k] })
 	}

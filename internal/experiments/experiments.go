@@ -11,6 +11,7 @@ import (
 	"fairsched/internal/core"
 	"fairsched/internal/job"
 	"fairsched/internal/metrics"
+	"fairsched/internal/sweep"
 	"fairsched/internal/workload"
 )
 
@@ -21,6 +22,10 @@ type Config struct {
 	Workload workload.Config
 	// Study configures the runs (zero value: calibrated defaults).
 	Study core.StudyConfig
+	// Parallel bounds the sweep engine's worker pool: 1 runs policies
+	// serially, 0 (and negatives) use one worker per CPU. Results are
+	// identical at every setting; only wall-clock time changes.
+	Parallel int
 }
 
 // Results holds everything the figures are built from.
@@ -32,7 +37,8 @@ type Results struct {
 	AllKeys   []string
 }
 
-// Run executes all nine policies over one generated workload.
+// Run executes all nine policies over one generated workload, fanned out on
+// cfg.Parallel workers.
 func Run(cfg Config) (*Results, error) {
 	if cfg.Workload.SystemSize <= 0 {
 		cfg.Workload.SystemSize = cfg.Study.SystemSize
@@ -41,16 +47,27 @@ func Run(cfg Config) (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return RunOn(cfg.Study, jobs)
+	return RunOnParallel(cfg.Study, jobs, cfg.Parallel)
 }
 
-// RunOn executes all nine policies over a supplied workload.
+// RunOn executes all nine policies serially over a supplied workload.
 func RunOn(study core.StudyConfig, jobs []*job.Job) (*Results, error) {
-	specs := core.AllSpecs()
-	runs, err := core.ExecuteAll(study, specs, jobs)
+	return RunOnParallel(study, jobs, 1)
+}
+
+// RunOnParallel executes all nine policies over a supplied workload on at
+// most parallel workers (<= 0: one per CPU). The resulting summaries are
+// identical to a serial run.
+func RunOnParallel(study core.StudyConfig, jobs []*job.Job, parallel int) (*Results, error) {
+	runs, err := sweep.Runs(study, core.AllSpecs(), jobs, parallel)
 	if err != nil {
 		return nil, err
 	}
+	return assemble(jobs, runs), nil
+}
+
+// assemble builds a Results from one full policy sweep's runs (spec order).
+func assemble(jobs []*job.Job, runs []*core.Run) *Results {
 	res := &Results{
 		Jobs:  jobs,
 		ByKey: make(map[string]*metrics.Summary, len(runs)),
@@ -58,14 +75,12 @@ func RunOn(study core.StudyConfig, jobs []*job.Job) (*Results, error) {
 	}
 	for _, r := range runs {
 		res.ByKey[r.Spec.Key] = r.Summary
+		res.AllKeys = append(res.AllKeys, r.Spec.Key)
 	}
 	for _, s := range core.MinorSpecs() {
 		res.MinorKeys = append(res.MinorKeys, s.Key)
 	}
-	for _, s := range specs {
-		res.AllKeys = append(res.AllKeys, s.Key)
-	}
-	return res, nil
+	return res
 }
 
 // Baseline returns the baseline policy's summary.

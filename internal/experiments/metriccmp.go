@@ -7,6 +7,7 @@ import (
 	"fairsched/internal/core"
 	"fairsched/internal/fairness"
 	"fairsched/internal/job"
+	"fairsched/internal/sweep"
 )
 
 // Metric comparison (paper §4): the same schedules judged by the three FST
@@ -35,8 +36,12 @@ type MetricRow struct {
 
 // CompareMetrics runs each spec over the workload and measures its
 // schedule with the hybrid FST, the CONS-P FST and (optionally, expensive)
-// the Sabin no-later-arrivals FST.
-func CompareMetrics(cfg core.StudyConfig, specs []core.Spec, jobs []*job.Job, withSabin bool) ([]MetricRow, error) {
+// the Sabin no-later-arrivals FST. The per-spec measurements fan out on at
+// most parallel workers (<= 0: one per CPU); rows come back in spec order.
+// A failing spec does not discard the others: its row is returned
+// zero-valued (Policy == "") alongside the aggregated error — on a non-nil
+// error, skip rows with an empty Policy before rendering.
+func CompareMetrics(cfg core.StudyConfig, specs []core.Spec, jobs []*job.Job, withSabin bool, parallel int) ([]MetricRow, error) {
 	if cfg.SystemSize <= 0 {
 		cfg.SystemSize = 1000
 	}
@@ -44,35 +49,35 @@ func CompareMetrics(cfg core.StudyConfig, specs []core.Spec, jobs []*job.Job, wi
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]MetricRow, 0, len(specs))
-	for _, spec := range specs {
-		run, err := core.Execute(cfg, spec, jobs)
-		if err != nil {
-			return nil, err
-		}
-		row := MetricRow{Policy: spec.Key}
-
-		hybrid := fairness.Measure(run.Result.Records, run.FST)
-		row.HybridPercentUnfair = hybrid.PercentUnfair()
-		row.HybridAvgMiss = hybrid.AvgMissTime()
-
-		cp := fairness.Measure(run.Result.Records, consP)
-		row.ConsPPercentUnfair = cp.PercentUnfair()
-		row.ConsPAvgMiss = cp.AvgMissTime()
-
-		if withSabin {
-			sabin, err := fairness.Sabin(core.Starts(cfg, spec), jobs)
+	return sweep.Map(parallel, specs,
+		func(s core.Spec) string { return s.Key },
+		func(_ int, spec core.Spec) (MetricRow, error) {
+			run, err := core.Execute(cfg, spec, jobs)
 			if err != nil {
-				return nil, err
+				return MetricRow{}, err
 			}
-			sb := fairness.Measure(run.Result.Records, sabin)
-			row.SabinPercentUnfair = sb.PercentUnfair()
-			row.SabinAvgMiss = sb.AvgMissTime()
-			row.SabinComputed = true
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			row := MetricRow{Policy: spec.Key}
+
+			hybrid := fairness.Measure(run.Result.Records, run.FST)
+			row.HybridPercentUnfair = hybrid.PercentUnfair()
+			row.HybridAvgMiss = hybrid.AvgMissTime()
+
+			cp := fairness.Measure(run.Result.Records, consP)
+			row.ConsPPercentUnfair = cp.PercentUnfair()
+			row.ConsPAvgMiss = cp.AvgMissTime()
+
+			if withSabin {
+				sabin, err := fairness.Sabin(core.Starts(cfg, spec), jobs)
+				if err != nil {
+					return MetricRow{}, err
+				}
+				sb := fairness.Measure(run.Result.Records, sabin)
+				row.SabinPercentUnfair = sb.PercentUnfair()
+				row.SabinAvgMiss = sb.AvgMissTime()
+				row.SabinComputed = true
+			}
+			return row, nil
+		})
 }
 
 // RenderMetricComparison writes the comparison as an aligned table.

@@ -22,7 +22,7 @@ func TestCompareMetricsWithoutSabin(t *testing.T) {
 		}
 		specs = append(specs, s)
 	}
-	rows, err := CompareMetrics(core.StudyConfig{SystemSize: 100}, specs, jobs, false)
+	rows, err := CompareMetrics(core.StudyConfig{SystemSize: 100}, specs, jobs, false, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestCompareMetricsWithSabin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := CompareMetrics(core.StudyConfig{SystemSize: 100}, []core.Spec{spec}, jobs, true)
+	rows, err := CompareMetrics(core.StudyConfig{SystemSize: 100}, []core.Spec{spec}, jobs, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -243,6 +243,44 @@ func CheckClaims(w io.Writer, r *Results) int {
 	return pass
 }
 
+// WriteMarkdownReport renders the paper-vs-measured table and the claim
+// checklist as GitHub Markdown — the exact tables EXPERIMENTS.md embeds, so
+// the doc can be refreshed with `go run ./cmd/experiments -markdown`.
+func WriteMarkdownReport(w io.Writer, r *Results) {
+	fmt.Fprintln(w, "### Paper vs measured")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Artifact | Metric | Policy | Paper | Measured |")
+	fmt.Fprintln(w, "|---|---|---|---:|---:|")
+	for _, pv := range PaperValues() {
+		m, ok := MeasuredFor(r, pv)
+		if !ok {
+			continue
+		}
+		note := "~"
+		if pv.Exact {
+			note = "="
+		}
+		fmt.Fprintf(w, "| %s | %s | `%s` | %s%.0f | %.0f |\n",
+			pv.Artifact, pv.Metric, pv.Policy, note, pv.Paper, m)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "### Claim checklist")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Status | Claim | Artifact | Statement |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	pass, total := 0, 0
+	for _, c := range Claims() {
+		total++
+		status := "✗"
+		if c.Check(r) {
+			status = "✓"
+			pass++
+		}
+		fmt.Fprintf(w, "| %s | `%s` | %s | %s |\n", status, c.ID, c.Artifact, c.Statement)
+	}
+	fmt.Fprintf(w, "\n%d/%d claims reproduced.\n", pass, total)
+}
+
 // WriteReport renders the complete experiment sweep: characterization,
 // every figure, the load-weighted companion, and the claim checklist.
 func WriteReport(w io.Writer, r *Results, elapsed time.Duration) {

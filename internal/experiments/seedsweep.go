@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"fairsched/internal/workload"
+	"fairsched/internal/sweep"
 )
 
 // Seed-sweep robustness: the paper is a single-trace case study, so every
@@ -21,46 +21,62 @@ type ClaimTally struct {
 	Total     int
 }
 
-// SeedSweep runs the full study once per seed and tallies the claims.
-// The workload config's Seed field is overridden per run.
+// SeedSweep runs the full study once per seed and tallies the claims. The
+// workload config's Seed field is overridden per run. Seeds are fanned out
+// on cfg.Parallel workers, one whole seed (trace generation plus all nine
+// policies, serially) per task, and each seed is tallied as it completes —
+// in completion order, which is fine because the tally is commutative
+// per-claim counting. The resulting tally is independent of the
+// parallelism; the per-seed unit keeps a long campaign's memory bounded by
+// the worker count instead of the seed count.
+//
+// A failing seed does not void the sweep: its runs are dropped from the
+// tally (Total counts only fully simulated seeds) and the aggregated error
+// is returned alongside the surviving tally, so a long campaign keeps its
+// results even when one trace diverges.
 func SeedSweep(cfg Config, seeds []int64) ([]ClaimTally, error) {
 	claims := Claims()
 	tally := make([]ClaimTally, len(claims))
 	for i, c := range claims {
 		tally[i] = ClaimTally{ID: c.ID, Statement: c.Statement}
 	}
-	for _, seed := range seeds {
-		wl := cfg.Workload
-		wl.Seed = seed
-		if wl.SystemSize <= 0 {
-			wl.SystemSize = cfg.Study.SystemSize
-		}
-		jobs, err := workload.Generate(wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
-		}
-		res, err := RunOn(cfg.Study, jobs)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
-		}
+	err := sweep.Matrix{
+		Workload: cfg.Workload,
+		Study:    cfg.Study,
+		Seeds:    seeds,
+		Parallel: cfg.Parallel,
+	}.RunEach(func(sr sweep.SeedRuns) {
+		res := assemble(sr.Jobs, sr.Runs)
 		for i, c := range claims {
 			tally[i].Total++
 			if c.Check(res) {
 				tally[i].Passed++
 			}
 		}
+	})
+	if err != nil {
+		return tally, fmt.Errorf("experiments: %w", err)
 	}
 	return tally, nil
 }
 
 // RenderSeedSweep writes the tally as a table, most robust claims first
-// order preserved (paper order).
+// order preserved (paper order). A claim is only unanimous over seeds that
+// actually completed — a sweep where every seed failed tallies nothing and
+// must not render as maximal robustness.
 func RenderSeedSweep(w io.Writer, tally []ClaimTally, seeds []int64) {
 	fmt.Fprintf(w, "SEED SWEEP — claim robustness across %d synthetic traces %v\n", len(seeds), seeds)
+	simulated := 0
+	if len(tally) > 0 {
+		simulated = tally[0].Total
+	}
+	if simulated < len(seeds) {
+		fmt.Fprintf(w, "  (%d of %d seeds completed; failed seeds are excluded from the tally)\n", simulated, len(seeds))
+	}
 	pass := 0
 	for _, t := range tally {
 		marker := " "
-		if t.Passed == t.Total {
+		if t.Total > 0 && t.Passed == t.Total {
 			marker = "*"
 			pass++
 		}

@@ -9,6 +9,41 @@ import (
 	"fairsched/internal/workload"
 )
 
+// TestSeedSweepKeepsTallyOnFailure checks a sweep whose runs fail still
+// returns the (empty-total) tally alongside the aggregated error instead of
+// discarding everything.
+func TestSeedSweepKeepsTallyOnFailure(t *testing.T) {
+	tally, err := SeedSweep(Config{
+		Workload: workload.Config{Scale: 0.02, SystemSize: 100},
+		Study:    core.StudyConfig{SystemSize: 2}, // every run fails validation
+		Parallel: 4,
+	}, []int64{1, 2})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if tally == nil {
+		t.Fatal("tally discarded despite per-run error capture")
+	}
+	for _, c := range tally {
+		if c.Total != 0 || c.Passed != 0 {
+			t.Fatalf("claim %s tallied %d/%d from failed seeds", c.ID, c.Passed, c.Total)
+		}
+	}
+	// Rendering an all-failed sweep must not report unanimous robustness.
+	var buf bytes.Buffer
+	RenderSeedSweep(&buf, tally, []int64{1, 2})
+	out := buf.String()
+	if strings.Contains(out, "* 0/0") {
+		t.Fatalf("0/0 claims rendered as unanimous:\n%s", out)
+	}
+	if !strings.Contains(out, "0 of 2 seeds completed") {
+		t.Fatalf("incomplete sweep not flagged in header:\n%s", out)
+	}
+	if !strings.Contains(out, "0/16 claims hold") {
+		t.Fatalf("summary line claims robustness from nothing:\n%s", out)
+	}
+}
+
 func TestSeedSweepTallies(t *testing.T) {
 	cfg := Config{
 		Workload: workload.Config{Scale: 0.1, SystemSize: 100},

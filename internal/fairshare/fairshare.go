@@ -51,6 +51,10 @@ type Tracker struct {
 	epoch int64 // decay boundaries are epoch + k*interval
 	now   int64 // accrual frontier
 	usage map[int]float64
+	// perUser is Accrue's scratch map (per-interval node counts), reused
+	// across calls: Accrue runs once per simulation event, and allocating
+	// the map anew each time dominated its profile.
+	perUser map[int]int
 }
 
 // NewTracker creates a tracker whose decay boundaries align to epoch.
@@ -89,7 +93,12 @@ func (t *Tracker) Accrue(now int64, running []Usage) error {
 	// Per-user node counts for this interval.
 	var perUser map[int]int
 	if len(running) > 0 {
-		perUser = make(map[int]int, len(running))
+		if t.perUser == nil {
+			t.perUser = make(map[int]int, len(running))
+		} else {
+			clear(t.perUser)
+		}
+		perUser = t.perUser
 		for _, u := range running {
 			perUser[u.User] += u.Nodes
 		}

@@ -33,6 +33,16 @@ func eventPrio(kind int) int {
 	}
 }
 
+// evPayload is the typed event payload: the job for arrivals, completions
+// and wall-clock-limit checks; the wake version for wake events. A concrete
+// struct instead of interface{} keeps the event list allocation-free —
+// boxing the growing wake version into an interface heap-allocates on every
+// reschedule, and every pop would pay a type assertion.
+type evPayload struct {
+	job  *job.Job
+	wake int64
+}
+
 // Simulator executes one policy over one workload. Create with New, run with
 // Run; a Simulator is single-use.
 type Simulator struct {
@@ -40,7 +50,7 @@ type Simulator struct {
 	policy    Policy
 	observers []Observer
 
-	q       eventq.Queue
+	q       eventq.Queue[evPayload]
 	now     int64
 	used    int
 	running []RunningJob // start order (then id)
@@ -55,6 +65,11 @@ type Simulator struct {
 	pendingReal    int   // pending arrival/completion/kill-check events
 	events         int64
 	inEvent        bool // guards Env.Start against use outside policy callbacks
+
+	// Reused per-event scratch buffers (hot path: one advanceTo per distinct
+	// event time, one completion batch per completion instant).
+	usageBuf []fairshare.Usage
+	batchBuf []*job.Job
 }
 
 // New creates a simulator for the given configuration and policy.
@@ -63,7 +78,7 @@ func New(cfg Config, pol Policy, observers ...Observer) *Simulator {
 		cfg:       cfg.withDefaults(),
 		policy:    pol,
 		observers: observers,
-		records:   make(map[job.ID]*Record),
+		// records is allocated in Run, sized to the workload.
 	}
 }
 
@@ -106,16 +121,21 @@ func (s *Simulator) Start(j *job.Job) error {
 		runtime = j.Estimate
 		rec.Killed = true
 	}
-	s.q.Push(eventq.Event{Time: s.now + runtime, Prio: eventPrio(evCompletion), Kind: evCompletion, Payload: j})
+	s.pushJob(s.now+runtime, evCompletion, j)
 	s.pendingReal++
 	if s.cfg.Kill == KillWhenNeeded && j.Estimate < j.Runtime {
-		s.q.Push(eventq.Event{Time: s.now + j.Estimate, Prio: eventPrio(evWCLCheck), Kind: evWCLCheck, Payload: j})
+		s.pushJob(s.now+j.Estimate, evWCLCheck, j)
 		s.pendingReal++
 	}
 	for _, o := range s.observers {
 		o.JobStarted(s, j)
 	}
 	return nil
+}
+
+// pushJob enqueues a job-carrying event of the given kind.
+func (s *Simulator) pushJob(t int64, kind int, j *job.Job) {
+	s.q.Push(eventq.Event[evPayload]{Time: t, Prio: eventPrio(kind), Kind: kind, Payload: evPayload{job: j}})
 }
 
 // Run executes the policy over the workload and returns the result. The
@@ -138,9 +158,15 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 	s.nextID = maxID + 1
 	s.fs = fairshare.NewTracker(s.cfg.Fairshare, epoch)
 	s.now = 0
+	// Size the hot structures once: every job contributes at least an
+	// arrival and a completion, and the records map holds one entry per
+	// submission (plus split segments, which stay rare).
+	s.q.Grow(2 * len(workload))
+	s.records = make(map[job.ID]*Record, len(workload))
+	s.order = make([]*Record, 0, len(workload))
 	for _, j := range workload {
 		for _, sub := range s.submissionsFor(j) {
-			s.q.Push(eventq.Event{Time: sub.Submit, Prio: eventPrio(evArrival), Kind: evArrival, Payload: sub})
+			s.pushJob(sub.Submit, evArrival, sub)
 			s.pendingReal++
 		}
 	}
@@ -164,16 +190,16 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 		}
 		switch e.Kind {
 		case evArrival:
-			s.handleArrival(e.Payload.(*job.Job))
+			s.handleArrival(e.Payload.job)
 		case evCompletion:
-			s.handleCompletionBatch(e.Payload.(*job.Job))
+			s.handleCompletionBatch(e.Payload.job)
 		case evWake:
-			if e.Payload.(int64) != s.wakeVer {
+			if e.Payload.wake != s.wakeVer {
 				continue // stale wake; a newer one is scheduled
 			}
 			s.dispatch(func() { s.policy.Wake(s) })
 		case evWCLCheck:
-			s.handleWCLCheck(e.Payload.(*job.Job))
+			s.handleWCLCheck(e.Payload.job)
 		default:
 			return nil, fmt.Errorf("sim: unknown event kind %d", e.Kind)
 		}
@@ -196,11 +222,11 @@ func (s *Simulator) advanceTo(t int64) {
 	for _, o := range s.observers {
 		o.Interval(s.now, t, s.used, queuedNodes)
 	}
-	usages := make([]fairshare.Usage, len(s.running))
-	for i, r := range s.running {
-		usages[i] = fairshare.Usage{User: r.Job.User, Nodes: r.Job.Nodes}
+	s.usageBuf = s.usageBuf[:0]
+	for _, r := range s.running {
+		s.usageBuf = append(s.usageBuf, fairshare.Usage{User: r.Job.User, Nodes: r.Job.Nodes})
 	}
-	if err := s.fs.Accrue(t, usages); err != nil {
+	if err := s.fs.Accrue(t, s.usageBuf); err != nil {
 		// Accrue only fails on time reversal, which advanceTo precludes.
 		panic(err)
 	}
@@ -229,7 +255,7 @@ func (s *Simulator) handleArrival(j *job.Job) {
 // having reached their estimates, like overrunners), distorting every
 // reservation computed in that pass.
 func (s *Simulator) handleCompletionBatch(first *job.Job) {
-	batch := []*job.Job{first}
+	batch := append(s.batchBuf[:0], first)
 	for {
 		e, ok := s.q.Peek()
 		if !ok || e.Time != s.now || e.Kind != evCompletion {
@@ -238,8 +264,9 @@ func (s *Simulator) handleCompletionBatch(first *job.Job) {
 		s.q.Pop()
 		s.events++
 		s.pendingReal--
-		batch = append(batch, e.Payload.(*job.Job))
+		batch = append(batch, e.Payload.job)
 	}
+	s.batchBuf = batch // keep the grown buffer for the next instant
 	type done struct {
 		job   *job.Job
 		start int64
@@ -384,7 +411,7 @@ func (s *Simulator) rescheduleWake() {
 		return
 	}
 	s.wakeVer++
-	s.q.Push(eventq.Event{Time: t, Prio: eventPrio(evWake), Kind: evWake, Payload: s.wakeVer})
+	s.q.Push(eventq.Event[evPayload]{Time: t, Prio: eventPrio(evWake), Kind: evWake, Payload: evPayload{wake: s.wakeVer}})
 }
 
 func (s *Simulator) finish() (*Result, error) {
