@@ -46,6 +46,7 @@ func main() {
 		review    = flag.Bool("review", false, "also print the §4-review metrics (turnaround stddev, Jain indices, per-user table)")
 		jsonOut   = flag.Bool("json", false, "emit the summary as JSON instead of text")
 		list      = flag.Bool("list", false, "list policy names and exit")
+		keepCanc  = flag.Bool("keep-cancelled", false, "keep cancelled (status 5) trace records, the pre-filtering behaviour")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 	}
 
 	var jobs []*job.Job
+	var epoch int64
 	systemSize := *nodes
 	switch {
 	case *synthetic && *in != "":
@@ -73,7 +75,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		jobs = trace.Jobs()
+		jobs = trace.JobsWith(swf.ConvertOptions{KeepCancelled: *keepCanc})
+		epoch = fairshare.EpochFor(trace.Header.UnixStartTime, *interval)
 		if systemSize <= 0 && trace.Header.MaxNodes > 0 {
 			systemSize = trace.Header.MaxNodes
 		}
@@ -88,9 +91,10 @@ func main() {
 	}
 
 	cfg := core.StudyConfig{
-		SystemSize: systemSize,
-		Fairshare:  fairshare.Config{DecayFactor: *decay, DecayInterval: *interval},
-		Equality:   *equality,
+		SystemSize:     systemSize,
+		Fairshare:      fairshare.Config{DecayFactor: *decay, DecayInterval: *interval},
+		FairshareEpoch: epoch,
+		Equality:       *equality,
 	}
 	switch *kill {
 	case "never":

@@ -1,7 +1,9 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation: Tables 1-2 and Figures 3-7 (workload characterization) and
 // Figures 8-19 (the nine-policy fairness study), followed by a paper-vs-
-// measured comparison and the Results-section claim checklist.
+// measured comparison and the Results-section claim checklist. It is also
+// the campaign driver: a (trace × scenario × policy × seed) matrix swept
+// with streamed, memory-bounded execution.
 //
 // Usage:
 //
@@ -11,41 +13,101 @@
 //	experiments -in ross.swf    # sweep over an existing trace
 //	experiments -seeds 10       # tally claim robustness across 10 seeds
 //	experiments -markdown       # also emit EXPERIMENTS.md-style tables
+//
+// Campaign mode (any -trace, -scenario or -window flag):
+//
+//	experiments -list-scenarios                  # show the built-in scenarios
+//	experiments -scenario baseline -scenario load-scaled
+//	experiments -trace ross.swf -trace kth.swf -scenario estimate-perturbed
+//	experiments -scenario 'load=1.5+perturb=3' -window 1w..5w -seeds 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"fairsched/internal/core"
 	"fairsched/internal/experiments"
 	"fairsched/internal/fairshare"
+	"fairsched/internal/scenario"
+	"fairsched/internal/sweep"
 	"fairsched/internal/swf"
 	"fairsched/internal/workload"
 )
 
+// stringList accumulates a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
 func main() {
+	var traces, scenarios stringList
 	var (
 		in       = flag.String("in", "", "input SWF trace (default: generate the synthetic trace)")
-		seed     = flag.Int64("seed", 42, "synthetic workload seed")
+		seed     = flag.Int64("seed", 42, "synthetic workload / scenario seed")
 		scale    = flag.Float64("scale", 1.0, "synthetic workload scale")
-		nodes    = flag.Int("nodes", 0, "system size (default 1000)")
+		nodes    = flag.Int("nodes", 0, "system size (default 1000, or the trace's MaxNodes)")
 		burst    = flag.Float64("burst", 0, "workload burst gamma (default 0.3)")
 		decay    = flag.Float64("decay", 0.5, "fairshare decay factor")
 		csv      = flag.String("csv", "", "also export every artifact as CSV into this directory")
 		mcmp     = flag.Bool("metrics", false, "also compare the §4 fairness metrics (hybrid vs CONS-P) across all policies")
-		sweep    = flag.Int("seeds", 0, "also tally claim robustness across this many extra seeds (full study per seed)")
+		sweepN   = flag.Int("seeds", 0, "extra seeds: claim-robustness tally (full study) or campaign seed count")
 		parallel = flag.Int("parallel", 0, "worker pool size for the sweep engine (0: one per CPU; 1: serial)")
 		markdown = flag.Bool("markdown", false, "also emit the paper-vs-measured and claim tables as Markdown (for EXPERIMENTS.md)")
+
+		window    = flag.String("window", "", "campaign: slice every scenario to START..END (e.g. 1w..5w)")
+		listScens = flag.Bool("list-scenarios", false, "list the built-in scenarios and the spec grammar, then exit")
+		keepCanc  = flag.Bool("keep-cancelled", false, "keep cancelled (status 5) trace records, the pre-filtering behaviour")
 	)
+	flag.Var(&traces, "trace", "campaign: an SWF trace file (repeatable; default: the synthetic trace)")
+	flag.Var(&scenarios, "scenario", "campaign: a scenario name or transform chain (repeatable; see -list-scenarios)")
 	flag.Parse()
+
+	if *listScens {
+		fmt.Println("Built-in scenarios:")
+		for _, s := range scenario.Builtins() {
+			fmt.Printf("  %-20s %s\n", s.Name, s.Description)
+		}
+		fmt.Println("\nAd-hoc chains join transforms with '+':")
+		fmt.Println("  load=1.5  window=1d..8d  users=top8  users=3.7.11  perturb=3")
+		fmt.Println("  burst=at:7d.jobs:200.nodes:8.runtime:1h[.spread:1h][.est:2h][.user:42]")
+		fmt.Println("\nExample: -scenario 'load=1.5+perturb=3'")
+		return
+	}
 
 	study := core.StudyConfig{
 		SystemSize: *nodes,
 		Fairshare:  fairshare.Config{DecayFactor: *decay},
 	}
+	convOpts := swf.ConvertOptions{KeepCancelled: *keepCanc}
+
+	if len(traces) > 0 || len(scenarios) > 0 || *window != "" {
+		// -in is the legacy spelling of -trace; honor it in campaign mode
+		// too rather than silently sweeping the synthetic workload.
+		if *in != "" {
+			traces = append(stringList{*in}, traces...)
+		}
+		// Refuse flag combinations the campaign path does not implement —
+		// exiting 0 without the requested artifacts would be worse.
+		switch {
+		case *csv != "":
+			fatal(fmt.Errorf("-csv is not supported in campaign mode (run the single-trace path)"))
+		case *mcmp:
+			fatal(fmt.Errorf("-metrics is not supported in campaign mode (run the single-trace path)"))
+		case *markdown:
+			fatal(fmt.Errorf("-markdown is not supported in campaign mode (run the single-trace path)"))
+		}
+		runCampaign(traces, scenarios, *window, study, convOpts, campaignParams{
+			seed: *seed, seeds: *sweepN, scale: *scale, burstGamma: *burst,
+			systemSize: *nodes, parallel: *parallel,
+		})
+		return
+	}
+
 	t0 := time.Now()
 	var res *experiments.Results
 	var err error
@@ -59,10 +121,14 @@ func main() {
 		if perr != nil {
 			fatal(perr)
 		}
-		jobs := trace.Jobs()
+		jobs := trace.JobsWith(convOpts)
 		if study.SystemSize <= 0 && trace.Header.MaxNodes > 0 {
 			study.SystemSize = trace.Header.MaxNodes
 		}
+		// Align fairshare decay to the trace's wall clock (real schedulers
+		// decay at fixed times of day, not at offsets from the first job).
+		study.FairshareEpoch = fairshare.EpochFor(
+			trace.Header.UnixStartTime, study.Fairshare.DecayInterval)
 		res, err = experiments.RunOnParallel(study, jobs, *parallel)
 	} else {
 		res, err = experiments.Run(experiments.Config{
@@ -91,8 +157,8 @@ func main() {
 		}
 		fmt.Printf("CSV artifacts written to %s\n", *csv)
 	}
-	if *sweep > 0 {
-		seeds := make([]int64, *sweep)
+	if *sweepN > 0 {
+		seeds := make([]int64, *sweepN)
 		for i := range seeds {
 			seeds[i] = *seed + int64(i)
 		}
@@ -108,6 +174,68 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+}
+
+type campaignParams struct {
+	seed       int64
+	seeds      int
+	scale      float64
+	burstGamma float64
+	systemSize int
+	parallel   int
+}
+
+// runCampaign assembles and executes the (trace × scenario × seed × policy)
+// matrix, rendering one table per cell. Partial failures are reported to
+// stderr after the surviving cells.
+func runCampaign(traces, scenSpecs []string, window string, study core.StudyConfig, convOpts swf.ConvertOptions, p campaignParams) {
+	var sources []scenario.Source
+	for _, path := range traces {
+		sources = append(sources, scenario.TraceFileWith(path, convOpts))
+	}
+	if len(sources) == 0 {
+		sources = append(sources, scenario.Synthetic(workload.Config{
+			Scale: p.scale, SystemSize: p.systemSize, BurstGamma: p.burstGamma,
+		}))
+	}
+	var scens []scenario.Scenario
+	for _, spec := range scenSpecs {
+		s, err := scenario.Parse(spec)
+		if err != nil {
+			fatal(err)
+		}
+		scens = append(scens, s)
+	}
+	if len(scens) == 0 {
+		scens = append(scens, scenario.Baseline())
+	}
+	if window != "" {
+		tr, err := scenario.ParseTransform("window=" + window)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range scens {
+			scens[i] = scens[i].With(tr)
+		}
+	}
+	seeds := []int64{p.seed}
+	for i := 1; i < p.seeds; i++ {
+		seeds = append(seeds, p.seed+int64(i))
+	}
+	t0 := time.Now()
+	cells, err := sweep.Campaign{
+		Sources:   sources,
+		Scenarios: scens,
+		Seeds:     seeds,
+		Study:     study,
+		Parallel:  p.parallel,
+	}.Run()
+	experiments.RenderCampaign(os.Stdout, cells)
+	fmt.Printf("campaign: %d cells × %d policies in %s\n",
+		len(cells), len(core.AllSpecs()), time.Since(t0).Round(time.Millisecond))
+	if err != nil {
+		fatal(err)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input SWF file (default stdin)")
+	keepCanc := flag.Bool("keep-cancelled", false, "characterize cancelled (status 5) records too, the pre-filtering behaviour")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -36,7 +37,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	jobs := trace.Jobs()
+	jobs := trace.JobsWith(swf.ConvertOptions{KeepCancelled: *keepCanc})
 	if len(jobs) == 0 {
 		fatal(fmt.Errorf("no jobs in trace"))
 	}

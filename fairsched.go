@@ -29,6 +29,7 @@ import (
 	"fairsched/internal/fairshare"
 	"fairsched/internal/job"
 	"fairsched/internal/metrics"
+	"fairsched/internal/scenario"
 	"fairsched/internal/sched"
 	"fairsched/internal/sim"
 	"fairsched/internal/sweep"
@@ -207,12 +208,93 @@ func JainIndexOfUserService(res *Result) float64 { return metrics.JainIndexOfUse
 
 // ReadSWF parses a Standard Workload Format trace into jobs, returning the
 // jobs and the declared system size (0 when the header lacks MaxNodes).
+// Cancelled records (status 5) are dropped; see ReadSWFWith to keep them.
 func ReadSWF(r io.Reader) ([]*Job, int, error) {
+	return ReadSWFWith(r, SWFConvertOptions{})
+}
+
+// ReadSWFWith is ReadSWF with explicit record-conversion options.
+func ReadSWFWith(r io.Reader, opts SWFConvertOptions) ([]*Job, int, error) {
 	trace, err := swf.Parse(r)
 	if err != nil {
 		return nil, 0, err
 	}
-	return trace.Jobs(), trace.Header.MaxNodes, nil
+	return trace.JobsWith(opts), trace.Header.MaxNodes, nil
+}
+
+// Streaming SWF ingestion: a Scanner yields one record at a time from any
+// io.Reader in constant memory, so archive-scale traces never need a whole
+// Trace in RAM (see also TraceSource, which streams a file into a campaign).
+type (
+	// SWFScanner streams SWF records (swf.Scanner).
+	SWFScanner = swf.Scanner
+	// SWFRecord is one raw 18-field SWF line.
+	SWFRecord = swf.Record
+	// SWFConvertOptions tunes SWF record-to-job conversion.
+	SWFConvertOptions = swf.ConvertOptions
+)
+
+// NewSWFScanner wraps r for streaming SWF reads.
+func NewSWFScanner(r io.Reader) *SWFScanner { return swf.NewScanner(r) }
+
+// ConvertSWFRecord turns one streamed record into a job (ok is false for
+// records the conversion drops: cancelled, or no usable node count).
+func ConvertSWFRecord(rec SWFRecord, opts SWFConvertOptions) (*Job, bool) {
+	return swf.Convert(rec, opts)
+}
+
+// Scenario engine: named, deterministic workload transformations and the
+// (trace × scenario × policy × seed) campaign matrix that sweeps them.
+type (
+	// Scenario is a named pipeline of workload transforms.
+	Scenario = scenario.Scenario
+	// ScenarioTransform is one deterministic workload rewrite.
+	ScenarioTransform = scenario.Transform
+	// ScenarioSource is a workload a campaign loads on demand.
+	ScenarioSource = scenario.Source
+	// Campaign is the full (trace × scenario × seed × policy) matrix.
+	Campaign = sweep.Campaign
+	// CampaignCell is one completed matrix cell with full run detail.
+	CampaignCell = sweep.Cell
+	// CampaignCellSummary is the memory-light record of a finished cell.
+	CampaignCellSummary = sweep.CellSummary
+)
+
+// BuiltinScenarios returns the named scenarios (baseline, load-scaled,
+// window-sliced, estimate-perturbed, ...).
+func BuiltinScenarios() []Scenario { return scenario.Builtins() }
+
+// ScenarioNames lists the builtin scenario names.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ParseScenario resolves a builtin name or an ad-hoc transform chain such
+// as "load=1.5+perturb=3" (see the scenario package for the grammar).
+func ParseScenario(spec string) (Scenario, error) { return scenario.Parse(spec) }
+
+// TraceSource streams an SWF file into a campaign via the scanner (the file
+// is re-read, record by record, each time a cell needs it).
+func TraceSource(path string) ScenarioSource { return scenario.TraceFile(path) }
+
+// SyntheticSource generates the calibrated CPlant/Ross workload per cell,
+// with the campaign seed driving generation.
+func SyntheticSource(cfg WorkloadConfig) ScenarioSource { return scenario.Synthetic(cfg) }
+
+// JobsSource wraps an in-memory workload as a campaign source.
+func JobsSource(name string, jobs []*Job, systemSize int) ScenarioSource {
+	return scenario.Jobs(name, jobs, systemSize)
+}
+
+// RenderCampaign writes a campaign's cell summaries as aligned tables; the
+// output is byte-identical at every parallelism.
+func RenderCampaign(w io.Writer, cells []*CampaignCellSummary) {
+	experiments.RenderCampaign(w, cells)
+}
+
+// FairshareEpochFor converts a trace's Unix start time into the
+// trace-relative fairshare epoch for StudyConfig.FairshareEpoch /
+// SimConfig.FairshareEpoch (0 interval: the 24h default).
+func FairshareEpochFor(unixStart, interval int64) int64 {
+	return fairshare.EpochFor(unixStart, interval)
 }
 
 // WriteSWF writes jobs as a Standard Workload Format trace.

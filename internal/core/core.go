@@ -184,6 +184,10 @@ type StudyConfig struct {
 	SystemSize int
 	// Fairshare configures the priority tracker (default: decay 0.5/24h).
 	Fairshare fairshare.Config
+	// FairshareEpoch aligns decay boundaries to the trace's wall clock
+	// (fairshare.EpochFor(header.UnixStartTime, interval) for an SWF
+	// trace); 0 aligns them to the trace origin.
+	FairshareEpoch int64
 	// Kill selects wall-clock-limit behaviour (default KillNever).
 	Kill sim.KillPolicy
 	// Split selects how max-runtime segments are submitted (default
@@ -212,12 +216,13 @@ func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 		cfg.SystemSize = 1000
 	}
 	simCfg := sim.Config{
-		SystemSize: cfg.SystemSize,
-		Fairshare:  cfg.Fairshare,
-		MaxRuntime: spec.MaxRuntime,
-		Split:      cfg.Split,
-		Kill:       cfg.Kill,
-		Validate:   cfg.Validate,
+		SystemSize:     cfg.SystemSize,
+		Fairshare:      cfg.Fairshare,
+		FairshareEpoch: cfg.FairshareEpoch,
+		MaxRuntime:     spec.MaxRuntime,
+		Split:          cfg.Split,
+		Kill:           cfg.Kill,
+		Validate:       cfg.Validate,
 	}
 	col := metrics.NewCollector(cfg.SystemSize)
 	observers := []sim.Observer{col}

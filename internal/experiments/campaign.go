@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fairsched/internal/sweep"
+)
+
+// RenderCampaign writes a (trace × scenario × seed × policy) campaign as
+// one aligned table per cell, in matrix order. The rendering is a pure
+// function of the summaries, so a campaign report is byte-identical at
+// every -parallel setting. Failed cells (nil slots, see Campaign.Run) are
+// marked and skipped.
+func RenderCampaign(w io.Writer, cells []*sweep.CellSummary) {
+	total, failed := len(cells), 0
+	for _, c := range cells {
+		if c == nil {
+			failed++
+		}
+	}
+	fmt.Fprintf(w, "CAMPAIGN — %d cells", total)
+	if failed > 0 {
+		fmt.Fprintf(w, " (%d failed)", failed)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+	for i, c := range cells {
+		if c == nil {
+			fmt.Fprintf(w, "cell %d: FAILED (see errors)\n\n", i+1)
+			continue
+		}
+		fmt.Fprintf(w, "%s × %s (seed %d) — %d jobs on %d nodes\n",
+			c.Source, c.Scenario, c.Seed, c.Jobs, c.SystemSize)
+		fmt.Fprintf(w, "  %-22s %12s %12s %8s %9s %12s\n",
+			"policy", "avgwait(h)", "avgTAT(h)", "util", "%unfair", "avgmiss(h)")
+		for k, s := range c.Summaries {
+			fmt.Fprintf(w, "  %-22s %12.2f %12.2f %8.3f %9.1f %12.2f\n",
+				c.Policies[k], s.AvgWait/3600, s.AvgTurnaround/3600,
+				s.Utilization, s.PercentUnfair, s.AvgMissTime/3600)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -35,6 +35,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// EpochFor converts a trace's wall-clock origin into the trace-relative
+// fairshare epoch: decay fires at fixed wall-clock instants (Unix times
+// k·interval — midnight UTC for the 24h default), so a trace starting at
+// unixStart sees its first boundary interval-(unixStart mod interval)
+// seconds in, not interval seconds in. The returned epoch lies in
+// (-interval, 0]; feed it to NewTracker (or sim.Config.FairshareEpoch) so
+// boundaries land where the real scheduler's did. A zero or negative
+// unixStart (origin unknown) yields 0, the seed behaviour.
+func EpochFor(unixStart, interval int64) int64 {
+	if interval <= 0 {
+		interval = 24 * 3600
+	}
+	if unixStart <= 0 {
+		return 0
+	}
+	return -(unixStart % interval)
+}
+
 // Usage is one running job's contribution stream: Nodes processor-seconds
 // accrue per second of wall time for user User.
 type Usage struct {

@@ -1,0 +1,105 @@
+// Package scenario turns one trace into many workloads: composable,
+// deterministic transformations (load scaling, time-window slicing, user
+// filtering, burst injection, estimate perturbation) that a campaign sweeps
+// alongside policies and seeds. The paper evaluates its nine policies on a
+// single CPlant trace; the standard methodology in the related work —
+// Dell'Amico et al. validating fairness claims across multiple archive
+// traces, Berg et al. stressing policies across load regimes — demands a
+// matrix of workload variants, and this package is that matrix's workload
+// axis.
+//
+// A Scenario is a named pipeline of Transforms. Applying one is pure: the
+// input jobs are never mutated (they may be shared read-only across sweep
+// workers), every randomized choice draws from a rand.Rand seeded from the
+// campaign seed, and the same (jobs, seed) always yields the same output.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"fairsched/internal/job"
+)
+
+// Transform is one deterministic workload rewrite. Implementations must not
+// mutate the jobs they receive — a changed job must be a fresh Clone — and
+// must draw all randomness from rng so a scenario replays identically under
+// the same seed.
+type Transform interface {
+	// Name renders the transform with its parameters (e.g. "load=1.50"),
+	// used in reports and error messages.
+	Name() string
+	// Apply rewrites the workload. The returned slice must be sorted by
+	// submit time (then job id) and safe for the caller to retain.
+	Apply(jobs []*job.Job, rng *rand.Rand) ([]*job.Job, error)
+}
+
+// Scenario is a named pipeline of transforms applied in order.
+type Scenario struct {
+	Name        string
+	Description string
+	Transforms  []Transform
+}
+
+// Baseline is the identity scenario: the trace as ingested.
+func Baseline() Scenario {
+	return Scenario{Name: "baseline", Description: "the trace as ingested, untransformed"}
+}
+
+// Apply runs the pipeline over jobs, deterministically under seed. The
+// input slice and its jobs are never mutated; for an empty pipeline the
+// input slice itself is returned.
+func (s Scenario) Apply(jobs []*job.Job, seed int64) ([]*job.Job, error) {
+	// Each scenario gets its own stream so "perturb" under scenario A and
+	// scenario B draw unrelated sequences even at equal seeds.
+	h := fnv.New64a()
+	h.Write([]byte(s.Name))
+	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	out := jobs
+	for _, tr := range s.Transforms {
+		var err error
+		out, err = tr.Apply(out, rng)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %s: %w", s.Name, tr.Name(), err)
+		}
+	}
+	return out, nil
+}
+
+// OriginShifter is implemented by transforms that move the workload's time
+// origin (Window rebases submit times to its start). Campaigns add the
+// total shift to a trace's UnixStartTime so wall-clock-aligned fairshare
+// decay boundaries stay aligned after slicing.
+type OriginShifter interface {
+	// OriginShift returns how many seconds of original trace time the
+	// transform's output origin sits after its input origin.
+	OriginShift() int64
+}
+
+// OriginShift sums the origin shifts of the pipeline's transforms. Shifts
+// downstream of a LoadScale are reported in the scaled timebase —
+// wall-clock alignment under time rescaling is inherently approximate.
+func (s Scenario) OriginShift() int64 {
+	var total int64
+	for _, tr := range s.Transforms {
+		if os, ok := tr.(OriginShifter); ok {
+			total += os.OriginShift()
+		}
+	}
+	return total
+}
+
+// With returns a copy of the scenario with extra transforms appended (used
+// by the CLI's -window flag to slice every scenario of a campaign).
+func (s Scenario) With(extra ...Transform) Scenario {
+	if len(extra) == 0 {
+		return s
+	}
+	c := s
+	c.Transforms = append(append([]Transform(nil), s.Transforms...), extra...)
+	for _, tr := range extra {
+		c.Name += "+" + tr.Name()
+	}
+	return c
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fairsched/internal/job"
+	"fairsched/internal/swf"
+	"fairsched/internal/workload"
+)
+
+// Workload is a loaded, untransformed workload plus the trace metadata a
+// campaign needs to configure the simulator around it.
+type Workload struct {
+	Jobs []*job.Job
+	// SystemSize is the trace-declared node count (0 when unknown).
+	SystemSize int
+	// UnixStartTime is the trace's wall-clock origin (0 when unknown); it
+	// aligns fairshare decay boundaries to real days.
+	UnixStartTime int64
+}
+
+// Source names one workload a campaign can load on demand. Load is called
+// once per campaign cell, on the worker executing that cell, so a campaign
+// holds at most one loaded workload per worker at a time — never the whole
+// trace set.
+type Source struct {
+	Name string
+	// Load materializes the workload. seed is the cell's seed: synthetic
+	// sources generate with it, trace-backed sources ignore it.
+	Load func(seed int64) (*Workload, error)
+}
+
+// TraceFile is a Source streaming an SWF file through swf.Scanner with the
+// default conversion options: the file is read record by record (constant
+// memory beyond the converted jobs themselves) on every Load.
+func TraceFile(path string) Source {
+	return TraceFileWith(path, swf.ConvertOptions{})
+}
+
+// TraceFileWith is TraceFile with explicit conversion options.
+func TraceFileWith(path string, opts swf.ConvertOptions) Source {
+	return Source{
+		Name: filepath.Base(path),
+		Load: func(int64) (*Workload, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			defer f.Close()
+			sc := swf.NewScanner(f)
+			var jobs []*job.Job
+			for sc.Scan() {
+				if j, ok := swf.Convert(sc.Record(), opts); ok {
+					jobs = append(jobs, j)
+				}
+			}
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("scenario: %s: %w", path, err)
+			}
+			swf.SortJobs(jobs)
+			h := sc.Header()
+			size := h.MaxNodes
+			if size <= 0 {
+				size = h.MaxProcs
+			}
+			return &Workload{Jobs: jobs, SystemSize: size, UnixStartTime: h.UnixStartTime}, nil
+		},
+	}
+}
+
+// Synthetic is a Source generating the calibrated CPlant/Ross workload; the
+// campaign seed overrides cfg.Seed, so the seed axis varies the trace
+// itself, not just the scenario draws.
+func Synthetic(cfg workload.Config) Source {
+	return Source{
+		Name: "synthetic",
+		Load: func(seed int64) (*Workload, error) {
+			c := cfg
+			c.Seed = seed
+			jobs, err := workload.Generate(c)
+			if err != nil {
+				return nil, err
+			}
+			return &Workload{Jobs: jobs, SystemSize: c.SystemSize}, nil
+		},
+	}
+}
+
+// Jobs is a Source over an in-memory workload (tests, library callers). The
+// slice is shared, not copied; scenarios never mutate it.
+func Jobs(name string, jobs []*job.Job, systemSize int) Source {
+	return Source{
+		Name: name,
+		Load: func(int64) (*Workload, error) {
+			return &Workload{Jobs: jobs, SystemSize: systemSize}, nil
+		},
+	}
+}

@@ -1,0 +1,251 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"fairsched/internal/job"
+	"fairsched/internal/swf"
+)
+
+// LoadScale rescales offered load by compressing (Factor > 1) or dilating
+// (Factor < 1) arrival times: every submit time is divided by Factor, so
+// the same work arrives over a shorter or longer horizon. This is the
+// standard load knob of the scheduling literature (runtimes untouched, so
+// per-job metrics stay comparable across load points).
+type LoadScale struct {
+	Factor float64
+}
+
+// Name implements Transform.
+func (t LoadScale) Name() string { return fmt.Sprintf("load=%.2f", t.Factor) }
+
+// Apply implements Transform.
+func (t LoadScale) Apply(jobs []*job.Job, _ *rand.Rand) ([]*job.Job, error) {
+	if t.Factor <= 0 || math.IsNaN(t.Factor) || math.IsInf(t.Factor, 0) {
+		return nil, fmt.Errorf("load factor %v out of range (want > 0)", t.Factor)
+	}
+	out := make([]*job.Job, len(jobs))
+	for i, j := range jobs {
+		c := j.Clone()
+		c.Submit = int64(math.Round(float64(j.Submit) / t.Factor))
+		out[i] = c
+	}
+	// Division by a positive factor is monotone, so order is preserved up
+	// to rounding ties; restore strict trace order.
+	swf.SortJobs(out)
+	return out, nil
+}
+
+// Window keeps only the jobs submitted in [Start, End) and rebases their
+// submit times to the window start, slicing one load regime (a bursty week,
+// a quiet month) out of a long trace. End <= 0 means "to the end of the
+// trace".
+type Window struct {
+	Start, End int64
+}
+
+// Name implements Transform.
+func (t Window) Name() string {
+	if t.End <= 0 {
+		return fmt.Sprintf("window=%s..", fmtDur(t.Start))
+	}
+	return fmt.Sprintf("window=%s..%s", fmtDur(t.Start), fmtDur(t.End))
+}
+
+// OriginShift implements OriginShifter: the output's t=0 is Start seconds
+// into the input's timebase.
+func (t Window) OriginShift() int64 { return t.Start }
+
+// Apply implements Transform.
+func (t Window) Apply(jobs []*job.Job, _ *rand.Rand) ([]*job.Job, error) {
+	if t.Start < 0 {
+		return nil, fmt.Errorf("window start %d negative", t.Start)
+	}
+	if t.End > 0 && t.End <= t.Start {
+		return nil, fmt.Errorf("window [%d, %d) empty", t.Start, t.End)
+	}
+	var out []*job.Job
+	for _, j := range jobs {
+		if j.Submit < t.Start || (t.End > 0 && j.Submit >= t.End) {
+			continue
+		}
+		c := j.Clone()
+		c.Submit -= t.Start
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// UserFilter keeps a subset of the user population: either the Top heaviest
+// users by total processor-seconds, or an explicit id list. Isolating heavy
+// or light users is how fairness pathologies (starvation of light users
+// behind heavy ones) are localized.
+type UserFilter struct {
+	// Top, when positive, keeps the Top users with the largest total
+	// processor-seconds (ties broken toward the lower user id).
+	Top int
+	// Users, when Top is zero, is the explicit id list to keep.
+	Users []int
+}
+
+// Name implements Transform.
+func (t UserFilter) Name() string {
+	if t.Top > 0 {
+		return fmt.Sprintf("users=top%d", t.Top)
+	}
+	parts := make([]string, len(t.Users))
+	for i, u := range t.Users {
+		parts[i] = fmt.Sprint(u)
+	}
+	return "users=" + strings.Join(parts, ".")
+}
+
+// Apply implements Transform.
+func (t UserFilter) Apply(jobs []*job.Job, _ *rand.Rand) ([]*job.Job, error) {
+	keep := make(map[int]bool)
+	switch {
+	case t.Top > 0:
+		usage := make(map[int]int64)
+		for _, j := range jobs {
+			usage[j.User] += j.ProcSeconds()
+		}
+		users := make([]int, 0, len(usage))
+		for u := range usage {
+			users = append(users, u)
+		}
+		sort.Slice(users, func(i, k int) bool {
+			if usage[users[i]] != usage[users[k]] {
+				return usage[users[i]] > usage[users[k]]
+			}
+			return users[i] < users[k]
+		})
+		if len(users) > t.Top {
+			users = users[:t.Top]
+		}
+		for _, u := range users {
+			keep[u] = true
+		}
+	case len(t.Users) > 0:
+		for _, u := range t.Users {
+			keep[u] = true
+		}
+	default:
+		return nil, fmt.Errorf("user filter selects nobody (want top>0 or an id list)")
+	}
+	var out []*job.Job
+	for _, j := range jobs {
+		if keep[j.User] {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// BurstInject adds a synthetic arrival burst — Count jobs of Nodes × Runtime
+// from one (by default new) user, spread uniformly over [At, At+Spread) —
+// on top of the trace. A controlled burst is the classic probe for
+// starvation-queue and reservation behaviour under sudden contention.
+type BurstInject struct {
+	At      int64 // burst start (seconds into the trace)
+	Count   int   // number of injected jobs
+	Nodes   int   // width of each injected job
+	Runtime int64 // runtime of each injected job
+	// Estimate defaults to Runtime when <= 0.
+	Estimate int64
+	// Spread is the arrival span; 0 submits the whole burst at At.
+	Spread int64
+	// User is the submitting user id; negative (the default built by the
+	// spec parser) allocates a fresh id above every existing user.
+	User int
+}
+
+// Name implements Transform.
+func (t BurstInject) Name() string {
+	return fmt.Sprintf("burst=at:%s.jobs:%d.nodes:%d.runtime:%s",
+		fmtDur(t.At), t.Count, t.Nodes, fmtDur(t.Runtime))
+}
+
+// Apply implements Transform.
+func (t BurstInject) Apply(jobs []*job.Job, rng *rand.Rand) ([]*job.Job, error) {
+	switch {
+	case t.Count <= 0:
+		return nil, fmt.Errorf("burst of %d jobs", t.Count)
+	case t.Nodes <= 0:
+		return nil, fmt.Errorf("burst width %d", t.Nodes)
+	case t.Runtime <= 0:
+		return nil, fmt.Errorf("burst runtime %d", t.Runtime)
+	case t.At < 0 || t.Spread < 0:
+		return nil, fmt.Errorf("burst at %d spread %d (want >= 0)", t.At, t.Spread)
+	}
+	nextID := job.ID(1)
+	maxUser := -1
+	for _, j := range jobs {
+		if j.ID >= nextID {
+			nextID = j.ID + 1
+		}
+		if j.User > maxUser {
+			maxUser = j.User
+		}
+	}
+	user := t.User
+	if user < 0 {
+		user = maxUser + 1
+	}
+	est := t.Estimate
+	if est <= 0 {
+		est = t.Runtime
+	}
+	out := make([]*job.Job, 0, len(jobs)+t.Count)
+	out = append(out, jobs...)
+	for i := 0; i < t.Count; i++ {
+		submit := t.At
+		if t.Spread > 0 {
+			submit += rng.Int63n(t.Spread)
+		}
+		out = append(out, &job.Job{
+			ID:       nextID,
+			User:     user,
+			Submit:   submit,
+			Runtime:  t.Runtime,
+			Estimate: est,
+			Nodes:    t.Nodes,
+		})
+		nextID++
+	}
+	swf.SortJobs(out)
+	return out, nil
+}
+
+// PerturbEstimates replaces every wall-clock limit with a draw from the
+// f-model (Tsafrir et al., "Modeling User Runtime Estimates"): estimate =
+// runtime × (1 + f·u) with u uniform in [0, 1). F = 0 yields perfect
+// estimates; larger F degrades accuracy. Overruns disappear (estimates
+// never understate), so the transform isolates the effect of estimate
+// quality from the effect of kills.
+type PerturbEstimates struct {
+	F float64
+}
+
+// Name implements Transform.
+func (t PerturbEstimates) Name() string { return fmt.Sprintf("perturb=%.2f", t.F) }
+
+// Apply implements Transform.
+func (t PerturbEstimates) Apply(jobs []*job.Job, rng *rand.Rand) ([]*job.Job, error) {
+	if t.F < 0 || math.IsNaN(t.F) || math.IsInf(t.F, 0) {
+		return nil, fmt.Errorf("perturbation factor %v out of range (want >= 0)", t.F)
+	}
+	out := make([]*job.Job, len(jobs))
+	for i, j := range jobs {
+		c := j.Clone()
+		c.Estimate = int64(math.Ceil(float64(j.Runtime) * (1 + t.F*rng.Float64())))
+		if c.Estimate < 1 {
+			c.Estimate = 1
+		}
+		out[i] = c
+	}
+	return out, nil
+}

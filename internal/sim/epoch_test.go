@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+)
+
+// The fairshare epoch shifts decay boundaries: a trace that starts mid-day
+// must see its first decay at the next wall-clock boundary, not a full
+// interval in. Regression for the hardcoded epoch 0 in Run.
+func TestFairshareEpochShiftsDecayBoundaries(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: 7, Submit: 0, Runtime: 1000, Estimate: 1000, Nodes: 4},
+	}
+	fsCfg := fairshare.Config{DecayFactor: 0.5, DecayInterval: 1000}
+
+	// Epoch 0: the run ends exactly on the boundary at t=1000; the full
+	// 4000 proc-seconds decay once.
+	s := New(Config{SystemSize: 8, Fairshare: fsCfg, Validate: true}, &greedy{})
+	if _, err := s.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Fairshare().Usage(7); got != 2000 {
+		t.Fatalf("epoch 0: usage = %v, want 2000", got)
+	}
+
+	// Epoch -400 (trace began 400s after a wall-clock boundary): boundary
+	// at t=600 decays the first 2400 to 1200, then 1600 more accrue.
+	s = New(Config{SystemSize: 8, Fairshare: fsCfg, FairshareEpoch: -400, Validate: true}, &greedy{})
+	if _, err := s.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Fairshare().Usage(7); got != 2800 {
+		t.Fatalf("epoch -400: usage = %v, want 2800", got)
+	}
+
+	// A positive epoch keeps its documented boundary lattice (epoch +
+	// k·interval): +600 is congruent to -400, so the run behaves exactly
+	// like the epoch -400 case above.
+	s = New(Config{SystemSize: 8, Fairshare: fsCfg, FairshareEpoch: 600, Validate: true}, &greedy{})
+	if _, err := s.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Fairshare().Usage(7); got != 2800 {
+		t.Fatalf("epoch +600: usage = %v, want 2800 (same phase as -400)", got)
+	}
+	// A whole-interval epoch is phase 0.
+	s = New(Config{SystemSize: 8, Fairshare: fsCfg, FairshareEpoch: 3000, Validate: true}, &greedy{})
+	if _, err := s.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Fairshare().Usage(7); got != 2000 {
+		t.Fatalf("epoch +3000: usage = %v, want 2000 (phase 0)", got)
+	}
+}
+
+func TestEpochFor(t *testing.T) {
+	cases := []struct {
+		unixStart, interval, want int64
+	}{
+		{0, 1000, 0},
+		{-5, 1000, 0},
+		{600, 1000, -600},
+		{1038700800, 0, -(1038700800 % 86400)}, // default 24h interval
+		{86400, 86400, 0},
+	}
+	for _, c := range cases {
+		if got := fairshare.EpochFor(c.unixStart, c.interval); got != c.want {
+			t.Errorf("EpochFor(%d, %d) = %d, want %d", c.unixStart, c.interval, got, c.want)
+		}
+	}
+}

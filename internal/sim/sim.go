@@ -53,6 +53,12 @@ type Config struct {
 	SystemSize int
 	// Fairshare configures the decaying-usage priority tracker.
 	Fairshare fairshare.Config
+	// FairshareEpoch aligns the tracker's decay boundaries: they fire at
+	// FairshareEpoch + k·DecayInterval in simulation time. Real schedulers
+	// decay at fixed wall-clock instants, so for an SWF trace this is
+	// fairshare.EpochFor(header.UnixStartTime, interval); 0 (the default)
+	// aligns boundaries to the trace origin.
+	FairshareEpoch int64
 	// MaxRuntime, when positive, enforces the paper's maximum-runtime
 	// policy: estimates are capped to it and jobs running longer are split
 	// into segments of at most MaxRuntime seconds (see SplitMode).

@@ -148,7 +148,6 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 	if err := job.ValidateAll(workload, s.cfg.SystemSize); err != nil {
 		return nil, err
 	}
-	var epoch int64
 	maxID := job.ID(0)
 	for _, j := range workload {
 		if j.ID > maxID {
@@ -156,7 +155,27 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 		}
 	}
 	s.nextID = maxID + 1
+	// Boundaries depend only on the epoch's phase (they fire at epoch +
+	// k·interval); fold a positive epoch to its congruent value in
+	// (-interval, 0] so the tracker's accrual frontier never starts ahead
+	// of the clock.
+	epoch := s.cfg.FairshareEpoch
+	if epoch > 0 {
+		interval := s.cfg.Fairshare.DecayInterval
+		if interval <= 0 {
+			interval = 24 * 3600
+		}
+		if epoch %= interval; epoch > 0 {
+			epoch -= interval
+		}
+	}
 	s.fs = fairshare.NewTracker(s.cfg.Fairshare, epoch)
+	// The tracker's accrual frontier starts at the epoch; settle the empty
+	// pre-trace span [epoch, 0) now, or the first real accrual would charge
+	// it to whatever is running by then.
+	if err := s.fs.Accrue(0, nil); err != nil {
+		return nil, err
+	}
 	s.now = 0
 	// Size the hot structures once: every job contributes at least an
 	// arrival and a completion, and the records map holds one entry per

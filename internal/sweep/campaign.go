@@ -1,0 +1,200 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"fairsched/internal/core"
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+	"fairsched/internal/metrics"
+	"fairsched/internal/scenario"
+)
+
+// Campaign is the full evaluation matrix: (trace × scenario × seed ×
+// policy). Each (trace, scenario, seed) triple is one cell; the cell's
+// worker streams the trace in (scenario sources load lazily, SWF files via
+// the streaming scanner), applies the scenario's transforms under the
+// cell's seed, runs every policy, and releases the workload before taking
+// the next cell — so peak memory is one loaded workload per worker, not
+// the whole matrix, and the raw SWF text/records never materialize (each
+// worker holds just its cell's converted job slice).
+type Campaign struct {
+	// Sources are the workloads (trace files, synthetic generators).
+	Sources []scenario.Source
+	// Scenarios are the workload variants; zero length means baseline only.
+	Scenarios []scenario.Scenario
+	// Seeds drive scenario randomness (and synthetic generation); zero
+	// length means the single seed 0.
+	Seeds []int64
+	// Specs are the policies; zero length means core.AllSpecs().
+	Specs []core.Spec
+	// Study configures every run. SystemSize <= 0 defers to each trace's
+	// declared size; FairshareEpoch 0 defers to each trace's Unix start
+	// time.
+	Study core.StudyConfig
+	// Parallel bounds the worker pool (<= 0: one worker per CPU).
+	Parallel int
+}
+
+// Cell is one completed (trace × scenario × seed) of the matrix with full
+// run detail. It is only ever alive inside a RunEach callback; retaining
+// Jobs or Runs from there forfeits the campaign's memory bound.
+type Cell struct {
+	Source   string
+	Scenario string
+	Seed     int64
+	// SystemSize and Epoch are the resolved per-cell simulator settings.
+	SystemSize int
+	Epoch      int64
+	Jobs       []*job.Job
+	Runs       []*core.Run // spec order
+}
+
+// CellSummary is the memory-light record of a finished cell: identity plus
+// per-policy summaries, with the workload and per-job records dropped.
+type CellSummary struct {
+	Source     string
+	Scenario   string
+	Seed       int64
+	SystemSize int
+	Jobs       int
+	Policies   []string           // spec order
+	Summaries  []*metrics.Summary // spec order
+}
+
+// cells enumerates the matrix in deterministic input order: sources
+// outermost, then scenarios, then seeds.
+func (c Campaign) cells() (srcs []scenario.Source, scens []scenario.Scenario, seeds []int64, specs []core.Spec, grid [][3]int) {
+	srcs = c.Sources
+	scens = c.Scenarios
+	if len(scens) == 0 {
+		scens = []scenario.Scenario{scenario.Baseline()}
+	}
+	seeds = c.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	specs = c.Specs
+	if len(specs) == 0 {
+		specs = core.AllSpecs()
+	}
+	for si := range srcs {
+		for ci := range scens {
+			for di := range seeds {
+				grid = append(grid, [3]int{si, ci, di})
+			}
+		}
+	}
+	return srcs, scens, seeds, specs, grid
+}
+
+// RunEach executes the matrix, handing each completed cell to the callback
+// and releasing it afterwards. Callbacks are serialized (no locking needed
+// inside) but arrive in completion order, not matrix order — aggregate
+// commutatively, or use Run for deterministic ordering. A failing load,
+// transform or policy run fails its whole cell: the callback is not invoked
+// for it, the casualty is recorded in the aggregated *Errors, and the other
+// cells proceed.
+func (c Campaign) RunEach(each func(Cell)) error {
+	srcs, scens, seeds, specs, grid := c.cells()
+	var mu sync.Mutex
+	_, err := Map(c.Parallel, grid,
+		func(g [3]int) string {
+			return fmt.Sprintf("%s × %s × seed %d", srcs[g[0]].Name, scens[g[1]].Name, seeds[g[2]])
+		},
+		func(_ int, g [3]int) (struct{}, error) {
+			src, scen, seed := srcs[g[0]], scens[g[1]], seeds[g[2]]
+			cell, err := c.runCell(src, scen, seed, specs)
+			if err != nil {
+				return struct{}{}, err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			each(*cell)
+			return struct{}{}, nil
+		})
+	return err
+}
+
+// Run executes the matrix and returns one CellSummary per cell in matrix
+// order (sources, then scenarios, then seeds) regardless of Parallel — the
+// summaries, and any report rendered from them, are byte-identical at every
+// parallelism. Failed cells leave nil slots alongside the aggregated
+// *Errors, like the other sweep entry points.
+func (c Campaign) Run() ([]*CellSummary, error) {
+	srcs, scens, seeds, specs, grid := c.cells()
+	return Map(c.Parallel, grid,
+		func(g [3]int) string {
+			return fmt.Sprintf("%s × %s × seed %d", srcs[g[0]].Name, scens[g[1]].Name, seeds[g[2]])
+		},
+		func(_ int, g [3]int) (*CellSummary, error) {
+			cell, err := c.runCell(srcs[g[0]], scens[g[1]], seeds[g[2]], specs)
+			if err != nil {
+				return nil, err
+			}
+			sum := &CellSummary{
+				Source:     cell.Source,
+				Scenario:   cell.Scenario,
+				Seed:       cell.Seed,
+				SystemSize: cell.SystemSize,
+				Jobs:       len(cell.Jobs),
+				Policies:   make([]string, len(cell.Runs)),
+				Summaries:  make([]*metrics.Summary, len(cell.Runs)),
+			}
+			for i, r := range cell.Runs {
+				sum.Policies[i] = r.Spec.Key
+				sum.Summaries[i] = r.Summary
+			}
+			return sum, nil
+		})
+}
+
+// runCell loads, transforms and simulates one cell. Policies run serially
+// within the cell (the cell is the unit of parallelism), sharing the
+// transformed workload read-only.
+func (c Campaign) runCell(src scenario.Source, scen scenario.Scenario, seed int64, specs []core.Spec) (*Cell, error) {
+	wl, err := src.Load(seed)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := scen.Apply(wl.Jobs, seed)
+	if err != nil {
+		return nil, err
+	}
+	study := c.Study
+	if study.SystemSize <= 0 {
+		study.SystemSize = wl.SystemSize
+	}
+	if study.SystemSize <= 0 {
+		// No declared size anywhere: the simulator default, widened to fit
+		// the workload's widest job.
+		study.SystemSize = 1000
+		if w := job.MaxNodes(jobs); w > study.SystemSize {
+			study.SystemSize = w
+		}
+	}
+	if study.FairshareEpoch == 0 && wl.UnixStartTime > 0 {
+		// The scenario may have moved the time origin (window slicing);
+		// align decay boundaries to the wall clock at the shifted origin.
+		study.FairshareEpoch = fairshare.EpochFor(
+			wl.UnixStartTime+scen.OriginShift(), study.Fairshare.DecayInterval)
+	}
+	cell := &Cell{
+		Source:     src.Name,
+		Scenario:   scen.Name,
+		Seed:       seed,
+		SystemSize: study.SystemSize,
+		Epoch:      study.FairshareEpoch,
+		Jobs:       jobs,
+		Runs:       make([]*core.Run, len(specs)),
+	}
+	for i, sp := range specs {
+		r, err := core.Execute(study, sp, jobs)
+		if err != nil {
+			return nil, err // core.Execute already names the spec
+		}
+		cell.Runs[i] = r
+	}
+	return cell, nil
+}

@@ -1,0 +1,196 @@
+package sweep_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"fairsched/internal/core"
+	"fairsched/internal/experiments"
+	"fairsched/internal/scenario"
+	"fairsched/internal/sweep"
+	"fairsched/internal/workload"
+)
+
+func testCampaign(parallel int) sweep.Campaign {
+	return sweep.Campaign{
+		Sources: []scenario.Source{
+			scenario.Synthetic(workload.Config{Scale: 0.02, SystemSize: 100}),
+		},
+		Scenarios: []scenario.Scenario{
+			scenario.Baseline(),
+			mustScenario("load=1.3"),
+			mustScenario("window=0..4w"),
+			mustScenario("perturb=3"),
+		},
+		Seeds: []int64{42, 43},
+		Specs: []core.Spec{
+			{Key: "fcfs", Kind: core.KindFCFS},
+			{Key: "easy", Kind: core.KindEASY},
+		},
+		Study:    core.StudyConfig{SystemSize: 100},
+		Parallel: parallel,
+	}
+}
+
+func mustScenario(spec string) scenario.Scenario {
+	s, err := scenario.Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// The whole point of the campaign engine: the rendered report is
+// byte-identical at every parallelism.
+func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	cells, err := testCampaign(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.RenderCampaign(&serial, cells)
+	cells, err = testCampaign(8).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.RenderCampaign(&parallel, cells)
+	if serial.String() != parallel.String() {
+		t.Error("campaign report differs between -parallel 1 and 8")
+	}
+	if serial.Len() == 0 {
+		t.Fatal("empty campaign report")
+	}
+}
+
+func TestCampaignMatrixShapeAndOrder(t *testing.T) {
+	c := testCampaign(4)
+	cells, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1*4*2 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	// Matrix order: scenarios outer, seeds inner.
+	want := 0
+	for _, scen := range c.Scenarios {
+		for _, seed := range c.Seeds {
+			cell := cells[want]
+			if cell.Scenario != scen.Name || cell.Seed != seed {
+				t.Fatalf("cell %d = %s/%d, want %s/%d", want, cell.Scenario, cell.Seed, scen.Name, seed)
+			}
+			if cell.Jobs == 0 {
+				t.Fatalf("cell %d ran over an empty workload", want)
+			}
+			if len(cell.Summaries) != 2 || cell.Policies[0] != "fcfs" {
+				t.Fatalf("cell %d policies wrong: %v", want, cell.Policies)
+			}
+			want++
+		}
+	}
+	// The seed axis must actually vary the workload (synthetic source
+	// regenerates per seed).
+	if cells[0].Jobs == cells[1].Jobs &&
+		cells[0].Summaries[0].AvgWait == cells[1].Summaries[0].AvgWait {
+		t.Error("seeds 42 and 43 produced identical cells")
+	}
+}
+
+// RunEach must hand over every cell exactly once and keep the other cells
+// alive when one fails.
+func TestCampaignRunEachAndFailureIsolation(t *testing.T) {
+	c := testCampaign(4)
+	// A scenario whose transform always fails: user filter selecting nobody.
+	c.Scenarios = append(c.Scenarios, scenario.Scenario{
+		Name:       "broken",
+		Transforms: []scenario.Transform{scenario.UserFilter{}},
+	})
+	var got []string
+	err := c.RunEach(func(cell sweep.Cell) {
+		got = append(got, fmt.Sprintf("%s/%d", cell.Scenario, cell.Seed))
+		if len(cell.Runs) != 2 || cell.Runs[0] == nil {
+			t.Errorf("cell %s/%d has bad runs", cell.Scenario, cell.Seed)
+		}
+	})
+	var errs *sweep.Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("want *sweep.Errors, got %v", err)
+	}
+	if len(errs.Runs) != 2 {
+		t.Fatalf("want 2 failed cells (broken × 2 seeds), got %v", errs)
+	}
+	sort.Strings(got)
+	if len(got) != 8 {
+		t.Fatalf("callback fired %d times, want 8: %v", len(got), got)
+	}
+	for _, g := range got {
+		if g == "broken/42" || g == "broken/43" {
+			t.Fatalf("failed cell reached the callback: %v", got)
+		}
+	}
+}
+
+// A window-sliced cell must shift the fairshare epoch by its origin shift:
+// slicing 12h off a midnight-started trace moves the first decay boundary
+// to 12h into the slice, not 24h.
+func TestCampaignWindowShiftsEpoch(t *testing.T) {
+	jobs, err := workload.Generate(workload.Config{Seed: 3, Scale: 0.01, SystemSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := scenario.Source{
+		Name: "origin",
+		Load: func(int64) (*scenario.Workload, error) {
+			return &scenario.Workload{Jobs: jobs, SystemSize: 100, UnixStartTime: 5 * 86400}, nil
+		},
+	}
+	c := sweep.Campaign{
+		Sources: []scenario.Source{src},
+		Scenarios: []scenario.Scenario{
+			scenario.Baseline().With(scenario.Window{Start: 12 * 3600}),
+		},
+		Specs:    []core.Spec{{Key: "fcfs", Kind: core.KindFCFS}},
+		Study:    core.StudyConfig{SystemSize: 100},
+		Parallel: 1,
+	}
+	var cells []sweep.Cell
+	if err := c.RunEach(func(cell sweep.Cell) { cells = append(cells, cell) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	// UnixStartTime 5d is boundary-aligned; a 12h window start means the
+	// slice origin sits mid-interval: epoch -(12h % 24h) = -43200.
+	if cells[0].Epoch != -43200 {
+		t.Fatalf("epoch = %d, want -43200", cells[0].Epoch)
+	}
+}
+
+// Campaign defaults: empty scenario/seed/spec lists fall back to baseline,
+// seed 0 and the full nine-policy set.
+func TestCampaignDefaults(t *testing.T) {
+	c := sweep.Campaign{
+		Sources: []scenario.Source{
+			scenario.Synthetic(workload.Config{Scale: 0.01, SystemSize: 100}),
+		},
+		Study:    core.StudyConfig{SystemSize: 100},
+		Parallel: 1,
+	}
+	cells, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	if cells[0].Scenario != "baseline" || cells[0].Seed != 0 {
+		t.Fatalf("defaults wrong: %+v", cells[0])
+	}
+	if len(cells[0].Summaries) != len(core.AllSpecs()) {
+		t.Fatalf("got %d policies, want all %d", len(cells[0].Summaries), len(core.AllSpecs()))
+	}
+}

@@ -1,0 +1,69 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the trace parser: it must either
+// return a trace or a descriptive error, never panic — archive files come
+// from two decades of ad-hoc tooling and the ingestion layer is the front
+// door for every campaign. Valid inputs additionally round-trip through
+// Scan, Convert and Write without disagreement.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sampleTrace))
+	f.Add([]byte("; Version:\n"))
+	f.Add([]byte("; Version: 2.2 (see the SWF spec)\n"))
+	f.Add([]byte(";:\n; : \n;;;\n"))
+	f.Add([]byte("; MaxNodes: lots\n; UnixStartTime: -1\n"))
+	f.Add([]byte("1 0 0 60 4 -1 -1 4 60 -1 5 1 1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("1 0.5 0 6e2 4 -1 -1 4 60 -1 1 1 1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("9223372036854775807 0 0 1 1 -1 -1 1 1 -1 1 1 1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("1 2 3\n"))
+	f.Add([]byte("\x00\xff; Note\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			if tr != nil {
+				t.Fatal("Parse returned both a trace and an error")
+			}
+			return
+		}
+		// The scanner must agree with Parse record for record.
+		sc := NewScanner(bytes.NewReader(data))
+		i := 0
+		for sc.Scan() {
+			if i >= len(tr.Records) {
+				t.Fatalf("scanner yielded extra record %d", i)
+			}
+			if sc.Record() != tr.Records[i] {
+				t.Fatalf("record %d: scanner %+v vs Parse %+v", i, sc.Record(), tr.Records[i])
+			}
+			i++
+		}
+		if sc.Err() != nil {
+			t.Fatalf("Parse accepted what Scanner rejects: %v", sc.Err())
+		}
+		if i != len(tr.Records) {
+			t.Fatalf("scanner yielded %d records, Parse %d", i, len(tr.Records))
+		}
+		// Conversion must not panic, and every produced job must carry the
+		// documented clamps.
+		for _, r := range tr.Records {
+			j, ok := Convert(r, ConvertOptions{})
+			if !ok {
+				continue
+			}
+			if j.Runtime < 1 || j.Estimate < 1 || j.Nodes < 1 || j.Submit < 0 {
+				t.Fatalf("Convert broke its clamps: %+v -> %+v", r, j)
+			}
+		}
+		// A parsed trace must re-serialize cleanly.
+		var out strings.Builder
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("Write failed on parsed trace: %v", err)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package swf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestScannerMatchesParse(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(strings.NewReader(sampleTrace))
+	var recs []Record
+	for sc.Scan() {
+		recs = append(recs, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(tr.Records) {
+		t.Fatalf("scanner yielded %d records, Parse %d", len(recs), len(tr.Records))
+	}
+	for i, r := range recs {
+		if r != tr.Records[i] {
+			t.Errorf("record %d differs: %+v vs %+v", i, r, tr.Records[i])
+		}
+	}
+	if !reflect.DeepEqual(*sc.Header(), tr.Header) {
+		t.Errorf("header differs: %+v vs %+v", sc.Header(), tr.Header)
+	}
+}
+
+func TestScannerStopsAtError(t *testing.T) {
+	sc := NewScanner(strings.NewReader("1 0 0 60 4 -1 -1 4 60 -1 1 1 1 -1 -1 -1 -1 -1\nbad\n"))
+	if !sc.Scan() {
+		t.Fatalf("first record rejected: %v", sc.Err())
+	}
+	if sc.Scan() {
+		t.Fatal("malformed line accepted")
+	}
+	var pe *ParseError
+	if !errors.As(sc.Err(), &pe) {
+		t.Fatalf("want ParseError, got %v", sc.Err())
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+	if sc.Scan() {
+		t.Error("Scan kept going after an error")
+	}
+}
+
+// A read failure (oversized line) must name the line that failed, not the
+// previous valid one.
+func TestScannerOversizedLineReportsFailingLine(t *testing.T) {
+	input := "1 0 0 60 4 -1 -1 4 60 -1 1 1 1 -1 -1 -1 -1 -1\n; " +
+		strings.Repeat("x", 2<<20) + "\n"
+	sc := NewScanner(strings.NewReader(input))
+	if !sc.Scan() {
+		t.Fatalf("first record rejected: %v", sc.Err())
+	}
+	if sc.Scan() {
+		t.Fatal("oversized line accepted")
+	}
+	var pe *ParseError
+	if !errors.As(sc.Err(), &pe) {
+		t.Fatalf("want ParseError, got %v", sc.Err())
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2 (the oversized line)", pe.Line)
+	}
+}
+
+func TestScannerHeaderMidFile(t *testing.T) {
+	input := "; MaxNodes: 8\n" +
+		"1 0 0 60 4 -1 -1 4 60 -1 1 1 1 -1 -1 -1 -1 -1\n" +
+		"; Note: appended later\n"
+	sc := NewScanner(strings.NewReader(input))
+	if !sc.Scan() {
+		t.Fatalf("record rejected: %v", sc.Err())
+	}
+	if sc.Header().MaxNodes != 8 {
+		t.Errorf("MaxNodes = %d before record", sc.Header().MaxNodes)
+	}
+	if sc.Scan() {
+		t.Fatal("unexpected second record")
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Header().Note) != 1 {
+		t.Errorf("trailing comment lost: %v", sc.Header().Note)
+	}
+}
+
+// traceGen synthesizes an endless SWF byte stream record by record, so the
+// streaming test never materializes the trace it reads.
+type traceGen struct {
+	next    int64 // next record number to emit
+	n       int64 // total records
+	pending []byte
+}
+
+func (g *traceGen) Read(p []byte) (int, error) {
+	if len(g.pending) == 0 {
+		if g.next >= g.n {
+			return 0, io.EOF
+		}
+		g.next++
+		g.pending = fmt.Appendf(g.pending,
+			"%d %d 0 %d %d -1 -1 %d %d -1 1 %d 1 -1 -1 -1 -1 -1\n",
+			g.next, g.next*7, 60+g.next%600, 1+g.next%32, 1+g.next%32,
+			120+g.next%600, g.next%96)
+	}
+	n := copy(p, g.pending)
+	g.pending = g.pending[n:]
+	return n, nil
+}
+
+// TestScannerStreamsBeyondBufferSize drives the scanner over a synthesized
+// trace far larger than its 64KB read buffer (and larger than its 1MB
+// ceiling) and checks that heap growth stays bounded by the buffer, not the
+// trace: the whole point of Scanner over Parse.
+func TestScannerStreamsBeyondBufferSize(t *testing.T) {
+	const records = 200_000 // ~12MB of trace text
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	sc := NewScanner(&traceGen{n: records})
+	var count, users int64
+	for sc.Scan() {
+		count++
+		users += sc.Record().UserID
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != records {
+		t.Fatalf("scanned %d records, want %d", count, records)
+	}
+	if users == 0 {
+		t.Fatal("records not actually parsed")
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > 4<<20 {
+		t.Errorf("heap grew %d bytes scanning a ~12MB trace; streaming should be constant-memory", grew)
+	}
+}
+
+func TestConvertStreaming(t *testing.T) {
+	sc := NewScanner(&traceGen{n: 100})
+	kept := 0
+	for sc.Scan() {
+		if _, ok := Convert(sc.Record(), ConvertOptions{}); ok {
+			kept++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if kept != 100 {
+		t.Fatalf("converted %d of 100 streamed records", kept)
+	}
+}

@@ -17,7 +17,6 @@
 package swf
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"sort"
@@ -83,31 +82,19 @@ type ParseError struct {
 func (e *ParseError) Error() string { return fmt.Sprintf("swf: line %d: %v", e.Line, e.Err) }
 func (e *ParseError) Unwrap() error { return e.Err }
 
-// Parse reads an SWF trace from r.
+// Parse reads an SWF trace from r, materializing every record. For
+// archive-scale traces that should not be held in memory whole, use Scanner
+// (Parse is a thin loop over it).
 func Parse(r io.Reader) (*Trace, error) {
+	sc := NewScanner(r)
 	t := &Trace{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	lineNo := 0
 	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, ";") {
-			t.Header.addComment(line)
-			continue
-		}
-		rec, err := parseRecord(line)
-		if err != nil {
-			return nil, &ParseError{Line: lineNo, Err: err}
-		}
-		t.Records = append(t.Records, rec)
+		t.Records = append(t.Records, sc.Record())
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("swf: read: %w", err)
+		return nil, err
 	}
+	t.Header = *sc.Header()
 	return t, nil
 }
 
@@ -126,21 +113,25 @@ func (h *Header) addComment(line string) {
 	h.Raw = append(h.Raw, Directive{Key: key, Value: val})
 	switch strings.ToLower(key) {
 	case "version":
-		if n, err := strconv.Atoi(strings.Fields(val)[0]); err == nil {
-			h.Version = n
+		// The value may carry trailing prose ("2.2 (see ...)"); take the
+		// first token — and a bare "; Version:" has no token at all, so
+		// guard the index (real archive headers do contain empty
+		// directives). Only the version tolerates a fractional value.
+		if n, ok := leadingInt(integerPart(val)); ok {
+			h.Version = int(n)
 		}
 	case "computer":
 		h.Computer = val
 	case "maxnodes":
-		if n, err := strconv.Atoi(val); err == nil {
-			h.MaxNodes = n
+		if n, ok := leadingInt(val); ok {
+			h.MaxNodes = int(n)
 		}
 	case "maxprocs":
-		if n, err := strconv.Atoi(val); err == nil {
-			h.MaxProcs = n
+		if n, ok := leadingInt(val); ok {
+			h.MaxProcs = int(n)
 		}
 	case "unixstarttime":
-		if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+		if n, ok := leadingInt(val); ok {
 			h.UnixStartTime = n
 		}
 	case "timezonestring", "timezone":
@@ -148,6 +139,36 @@ func (h *Header) addComment(line string) {
 	case "note":
 		h.Note = append(h.Note, val)
 	}
+}
+
+// leadingInt parses the first whitespace-separated token of val as an
+// integer. Archive headers routinely trail prose after the number
+// ("MaxNodes: 128 nodes") or omit the value entirely ("; MaxNodes:"), so
+// every numeric directive goes through this guard — indexing
+// strings.Fields(val) directly panics on the empty case. A non-integer
+// token is rejected, leaving the field zero ("MaxNodes: 1.5" must not
+// become 1).
+func leadingInt(val string) (int64, bool) {
+	fields := strings.Fields(val)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// integerPart truncates the first token at its first dot, so a fractional
+// SWF version ("2.2") resolves to its major number.
+func integerPart(val string) string {
+	fields := strings.Fields(val)
+	if len(fields) == 0 {
+		return ""
+	}
+	tok, _, _ := strings.Cut(fields[0], ".")
+	return tok
 }
 
 func parseRecord(line string) (Record, error) {
@@ -186,53 +207,91 @@ func parseField(s string) (int64, error) {
 	return int64(f), nil
 }
 
-// Jobs converts the trace records into simulator jobs, applying the
+// StatusCancelled is the SWF status of a job cancelled before (or while)
+// running — the only status that does not represent work the machine
+// actually performed.
+const StatusCancelled = 5
+
+// ConvertOptions tunes the Record-to-Job conversion.
+type ConvertOptions struct {
+	// KeepCancelled retains records with Status 5 (cancelled). The default
+	// drops them: a cancelled submission never held its nodes for its
+	// recorded runtime, so simulating it as real work inflates the offered
+	// load. Set this to reproduce results from before status filtering.
+	KeepCancelled bool
+}
+
+// Convert turns one SWF record into a simulator job, applying the
 // conventions of the paper's study:
 //
+//   - cancelled records (status 5) are dropped unless opts.KeepCancelled;
 //   - requested processors falls back to used processors (and vice versa);
 //   - runtime below 1s is clamped to 1s (the trace records 0s jobs);
 //   - requested time (wall-clock limit) falls back to runtime and is clamped
 //     to at least 1s;
+//   - negative submit times are clamped to 0;
 //   - records with no usable node count are dropped.
 //
-// Records are returned sorted by submit time (then job number).
+// ok is false for a dropped record.
+func Convert(r Record, opts ConvertOptions) (j *job.Job, ok bool) {
+	if r.Status == StatusCancelled && !opts.KeepCancelled {
+		return nil, false
+	}
+	nodes := r.RequestedProcs
+	if nodes <= 0 {
+		nodes = r.UsedProcs
+	}
+	if nodes <= 0 {
+		return nil, false
+	}
+	runtime := r.RunTime
+	if runtime < 1 {
+		runtime = 1
+	}
+	est := r.RequestedTime
+	if est < 1 {
+		est = runtime
+	}
+	submit := r.SubmitTime
+	if submit < 0 {
+		submit = 0
+	}
+	return &job.Job{
+		ID:       job.ID(r.JobNumber),
+		User:     int(r.UserID),
+		Group:    int(r.GroupID),
+		Submit:   submit,
+		Runtime:  runtime,
+		Estimate: est,
+		Nodes:    int(nodes),
+	}, true
+}
+
+// Jobs converts the trace records into simulator jobs under the default
+// ConvertOptions (cancelled records dropped — see JobsWith to keep them).
+// Jobs are returned sorted by submit time (then job number).
 func (t *Trace) Jobs() []*job.Job {
+	return t.JobsWith(ConvertOptions{})
+}
+
+// JobsWith is Jobs with explicit conversion options.
+func (t *Trace) JobsWith(opts ConvertOptions) []*job.Job {
 	jobs := make([]*job.Job, 0, len(t.Records))
 	for _, r := range t.Records {
-		nodes := r.RequestedProcs
-		if nodes <= 0 {
-			nodes = r.UsedProcs
+		if j, ok := Convert(r, opts); ok {
+			jobs = append(jobs, j)
 		}
-		if nodes <= 0 {
-			continue
-		}
-		runtime := r.RunTime
-		if runtime < 1 {
-			runtime = 1
-		}
-		est := r.RequestedTime
-		if est < 1 {
-			est = runtime
-		}
-		submit := r.SubmitTime
-		if submit < 0 {
-			submit = 0
-		}
-		jobs = append(jobs, &job.Job{
-			ID:       job.ID(r.JobNumber),
-			User:     int(r.UserID),
-			Group:    int(r.GroupID),
-			Submit:   submit,
-			Runtime:  runtime,
-			Estimate: est,
-			Nodes:    int(nodes),
-		})
 	}
+	SortJobs(jobs)
+	return jobs
+}
+
+// SortJobs sorts jobs into trace order: submit time, then job number.
+func SortJobs(jobs []*job.Job) {
 	sort.SliceStable(jobs, func(i, k int) bool {
 		if jobs[i].Submit != jobs[k].Submit {
 			return jobs[i].Submit < jobs[k].Submit
 		}
 		return jobs[i].ID < jobs[k].ID
 	})
-	return jobs
 }

@@ -169,6 +169,67 @@ func TestJobsNegativeSubmitClampedToZero(t *testing.T) {
 	}
 }
 
+// Regression: "; Version:" (a directive with an empty value) used to panic
+// on strings.Fields(val)[0]. Real archive headers do contain such lines.
+func TestHeaderDirectiveEmptyValue(t *testing.T) {
+	input := "; Version:\n; MaxNodes:\n; MaxProcs:\n; UnixStartTime:\n" +
+		"; Computer:\n; TimeZoneString:\n; Note:\n;:\n; :  \n"
+	tr, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.Header
+	if h.Version != 0 || h.MaxNodes != 0 || h.MaxProcs != 0 || h.UnixStartTime != 0 {
+		t.Errorf("empty directives should leave zero values: %+v", h)
+	}
+}
+
+func TestHeaderVersionWithTrailingProse(t *testing.T) {
+	tr, err := Parse(strings.NewReader("; Version: 2.2 (described at ...)\n; MaxNodes: 128 nodes\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Version != 2 {
+		t.Errorf("Version = %d, want 2", tr.Header.Version)
+	}
+	if tr.Header.MaxNodes != 128 {
+		t.Errorf("MaxNodes = %d, want 128", tr.Header.MaxNodes)
+	}
+}
+
+// Only the version tolerates a fractional value; a malformed "MaxNodes:
+// 1.5" must stay zero (becoming 1 would shrink the system size and reject
+// every multi-node job downstream).
+func TestHeaderFractionalNonVersionDirectivesRejected(t *testing.T) {
+	tr, err := Parse(strings.NewReader("; MaxNodes: 1.5\n; MaxProcs: 2.9\n; UnixStartTime: 99.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.Header
+	if h.MaxNodes != 0 || h.MaxProcs != 0 || h.UnixStartTime != 0 {
+		t.Errorf("fractional directives should stay zero: %+v", h)
+	}
+}
+
+func TestJobsDropsCancelledRecords(t *testing.T) {
+	// Record 2 is cancelled (status 5) but carries a plausible node count
+	// and runtime; it must not be simulated as real work by default.
+	input := "1 0 0 60 4 -1 -1 4 60 -1 1 1 1 -1 -1 -1 -1 -1\n" +
+		"2 10 0 60 4 -1 -1 4 60 -1 5 1 1 -1 -1 -1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := tr.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != 1 {
+		t.Fatalf("cancelled record kept: %v", jobs)
+	}
+	old := tr.JobsWith(ConvertOptions{KeepCancelled: true})
+	if len(old) != 2 {
+		t.Fatalf("KeepCancelled dropped records: %v", old)
+	}
+}
+
 func TestHeaderCommentWithoutColonBecomesNote(t *testing.T) {
 	tr, err := Parse(strings.NewReader("; just a remark\n"))
 	if err != nil {

@@ -1,0 +1,86 @@
+package fairsched_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fairsched"
+)
+
+// The facade's scenario-engine surface: stream a trace, build a campaign
+// over built-in scenarios, render the report.
+func TestPublicAPICampaignFlow(t *testing.T) {
+	jobs, err := fairsched.GenerateWorkload(fairsched.WorkloadConfig{Seed: 5, Scale: 0.02, SystemSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through the streaming scanner.
+	var buf bytes.Buffer
+	if err := fairsched.WriteSWF(&buf, jobs, 100); err != nil {
+		t.Fatal(err)
+	}
+	sc := fairsched.NewSWFScanner(bytes.NewReader(buf.Bytes()))
+	streamed := 0
+	for sc.Scan() {
+		if _, ok := fairsched.ConvertSWFRecord(sc.Record(), fairsched.SWFConvertOptions{}); ok {
+			streamed++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(jobs) {
+		t.Fatalf("streamed %d of %d jobs", streamed, len(jobs))
+	}
+
+	// Scenario specs resolve through the facade.
+	if len(fairsched.ScenarioNames()) < 4 {
+		t.Fatalf("want at least 4 builtin scenarios, got %v", fairsched.ScenarioNames())
+	}
+	loadScaled, err := fairsched.ParseScenario("load=1.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A two-scenario campaign over the in-memory workload.
+	cells, err := fairsched.Campaign{
+		Sources:   []fairsched.ScenarioSource{fairsched.JobsSource("mem", jobs, 100)},
+		Scenarios: []fairsched.Scenario{fairsched.BuiltinScenarios()[0], loadScaled},
+		Seeds:     []int64{1},
+		Specs: []fairsched.PolicySpec{
+			mustPolicy(t, "fcfs"),
+			mustPolicy(t, "cplant24.nomax.all"),
+		},
+		Study:    fairsched.StudyConfig{SystemSize: 100},
+		Parallel: 2,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+
+	var report strings.Builder
+	fairsched.RenderCampaign(&report, cells)
+	for _, want := range []string{"mem × baseline", "mem × load=1.4", "fcfs", "cplant24.nomax.all"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("campaign report missing %q:\n%s", want, report.String())
+		}
+	}
+
+	if got := fairsched.FairshareEpochFor(1038700800, 0); got != -(1038700800 % 86400) {
+		t.Errorf("FairshareEpochFor = %d", got)
+	}
+}
+
+func mustPolicy(t *testing.T, name string) fairsched.PolicySpec {
+	t.Helper()
+	spec, err := fairsched.PolicyByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
