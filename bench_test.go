@@ -412,8 +412,8 @@ func benchHeavy(b *testing.B, heavy fairshare.HeavyClassifier) {
 	_, jobs := benchSetup(b)
 	var unfair float64
 	for i := 0; i < b.N; i++ {
-		pol := sched.NewNoGuarantee()
-		pol.Heavy = heavy
+		pol := sched.MustParse("cplant24.nomax.fair")
+		pol.SetHeavyClassifier(heavy)
 		fst := fairness.NewHybridFST()
 		res, err := sim.New(sim.Config{SystemSize: benchNodes}, pol, fst).Run(jobs)
 		if err != nil {
@@ -481,7 +481,7 @@ func BenchmarkAvailabilityListSchedule(b *testing.B) {
 	}
 	fst := fairness.NewHybridFST()
 	for i := 0; i < b.N; i++ {
-		pol := sched.NewListFairshare()
+		pol := sched.MustParse("list.fairshare")
 		if _, err := sim.New(sim.Config{SystemSize: benchNodes}, pol, fst).Run(head); err != nil {
 			b.Fatal(err)
 		}

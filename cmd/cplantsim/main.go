@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		policy    = flag.String("policy", "cplant24.nomax.all", "policy name (see -list)")
+		policy    = flag.String("policy", "cplant24.nomax.all", "policy name (see -list) or component chain (e.g. 'order=sjf+bf=easy')")
 		in        = flag.String("in", "", "input SWF trace (conflicts with -synthetic)")
 		synthetic = flag.Bool("synthetic", false, "generate the synthetic CPlant/Ross trace instead of reading one")
 		seed      = flag.Int64("seed", 42, "synthetic workload seed")

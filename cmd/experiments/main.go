@@ -14,12 +14,14 @@
 //	experiments -seeds 10       # tally claim robustness across 10 seeds
 //	experiments -markdown       # also emit EXPERIMENTS.md-style tables
 //
-// Campaign mode (any -trace, -scenario or -window flag):
+// Campaign mode (any -trace, -scenario, -policy or -window flag):
 //
 //	experiments -list-scenarios                  # show the built-in scenarios
+//	experiments -list-policies                   # show the policy registry + spec grammar
 //	experiments -scenario baseline -scenario load-scaled
 //	experiments -trace ross.swf -trace kth.swf -scenario estimate-perturbed
 //	experiments -scenario 'load=1.5+perturb=3' -window 1w..5w -seeds 3
+//	experiments -policy cplant24.nomax.all -policy 'order=sjf+bf=easy+starve=24h.all'
 package main
 
 import (
@@ -45,7 +47,7 @@ func (s *stringList) String() string     { return strings.Join(*s, ",") }
 func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
-	var traces, scenarios stringList
+	var traces, scenarios, policies stringList
 	var (
 		in       = flag.String("in", "", "input SWF trace (default: generate the synthetic trace)")
 		seed     = flag.Int64("seed", 42, "synthetic workload / scenario seed")
@@ -61,12 +63,22 @@ func main() {
 
 		window    = flag.String("window", "", "campaign: slice every scenario to START..END (e.g. 1w..5w)")
 		listScens = flag.Bool("list-scenarios", false, "list the built-in scenarios and the spec grammar, then exit")
+		listPols  = flag.Bool("list-policies", false, "list the policy registry and the spec grammar, then exit (-markdown: README table)")
 		keepCanc  = flag.Bool("keep-cancelled", false, "keep cancelled (status 5) trace records, the pre-filtering behaviour")
 	)
 	flag.Var(&traces, "trace", "campaign: an SWF trace file (repeatable; default: the synthetic trace)")
 	flag.Var(&scenarios, "scenario", "campaign: a scenario name or transform chain (repeatable; see -list-scenarios)")
+	flag.Var(&policies, "policy", "campaign: a policy name or component chain (repeatable; see -list-policies; default: the paper's nine)")
 	flag.Parse()
 
+	if *listPols {
+		if *markdown {
+			experiments.PolicyTableMarkdown(os.Stdout)
+			return
+		}
+		experiments.ListPolicies(os.Stdout)
+		return
+	}
 	if *listScens {
 		fmt.Println("Built-in scenarios:")
 		for _, s := range scenario.Builtins() {
@@ -85,7 +97,7 @@ func main() {
 	}
 	convOpts := swf.ConvertOptions{KeepCancelled: *keepCanc}
 
-	if len(traces) > 0 || len(scenarios) > 0 || *window != "" {
+	if len(traces) > 0 || len(scenarios) > 0 || len(policies) > 0 || *window != "" {
 		// -in is the legacy spelling of -trace; honor it in campaign mode
 		// too rather than silently sweeping the synthetic workload.
 		if *in != "" {
@@ -101,7 +113,7 @@ func main() {
 		case *markdown:
 			fatal(fmt.Errorf("-markdown is not supported in campaign mode (run the single-trace path)"))
 		}
-		runCampaign(traces, scenarios, *window, study, convOpts, campaignParams{
+		runCampaign(traces, scenarios, policies, *window, study, convOpts, campaignParams{
 			seed: *seed, seeds: *sweepN, scale: *scale, burstGamma: *burst,
 			systemSize: *nodes, parallel: *parallel,
 		})
@@ -189,7 +201,7 @@ type campaignParams struct {
 // runCampaign assembles and executes the (trace × scenario × seed × policy)
 // matrix, rendering one table per cell. Partial failures are reported to
 // stderr after the surviving cells.
-func runCampaign(traces, scenSpecs []string, window string, study core.StudyConfig, convOpts swf.ConvertOptions, p campaignParams) {
+func runCampaign(traces, scenSpecs, polSpecs []string, window string, study core.StudyConfig, convOpts swf.ConvertOptions, p campaignParams) {
 	var sources []scenario.Source
 	for _, path := range traces {
 		sources = append(sources, scenario.TraceFileWith(path, convOpts))
@@ -210,6 +222,17 @@ func runCampaign(traces, scenSpecs []string, window string, study core.StudyConf
 	if len(scens) == 0 {
 		scens = append(scens, scenario.Baseline())
 	}
+	// The policy axis resolves through the same registry + grammar as the
+	// scenario axis; an unknown spec fails here with its parse position
+	// rather than silently falling back to the default set.
+	var specs []core.Spec
+	for _, ps := range polSpecs {
+		s, err := core.SpecByKey(ps)
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, s)
+	}
 	if window != "" {
 		tr, err := scenario.ParseTransform("window=" + window)
 		if err != nil {
@@ -224,16 +247,21 @@ func runCampaign(traces, scenSpecs []string, window string, study core.StudyConf
 		seeds = append(seeds, p.seed+int64(i))
 	}
 	t0 := time.Now()
+	nPolicies := len(specs)
+	if nPolicies == 0 {
+		nPolicies = len(core.AllSpecs())
+	}
 	cells, err := sweep.Campaign{
 		Sources:   sources,
 		Scenarios: scens,
 		Seeds:     seeds,
+		Specs:     specs,
 		Study:     study,
 		Parallel:  p.parallel,
 	}.Run()
 	experiments.RenderCampaign(os.Stdout, cells)
 	fmt.Printf("campaign: %d cells × %d policies in %s\n",
-		len(cells), len(core.AllSpecs()), time.Since(t0).Round(time.Millisecond))
+		len(cells), nPolicies, time.Since(t0).Round(time.Millisecond))
 	if err != nil {
 		fatal(err)
 	}

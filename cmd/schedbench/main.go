@@ -1,0 +1,200 @@
+// Command schedbench measures the scheduler's performance trajectory and
+// emits it as machine-readable JSON (the CI artifact BENCH_sched.json):
+//
+//   - per-event scheduling cost (ns/event) for representative composed
+//     policies on a contended workload, exercising the shared-availability-
+//     profile path every reservation and backfill check reads;
+//   - sweep throughput (runs/sec, events/sec) for the paper's nine-policy
+//     study over the calibrated synthetic trace.
+//
+// Usage:
+//
+//	schedbench                          # default: scale 0.05 sweep, contended events
+//	schedbench -out BENCH_sched.json    # write JSON to a file (default stdout)
+//	schedbench -scale 0.1 -repeat 3     # heavier sweep, best-of-3 timing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fairsched/internal/core"
+	"fairsched/internal/job"
+	"fairsched/internal/sched"
+	"fairsched/internal/sim"
+	"fairsched/internal/sweep"
+	"fairsched/internal/workload"
+)
+
+// policyBench is one per-event cost measurement.
+type policyBench struct {
+	Policy    string  `json:"policy"`
+	Events    int64   `json:"events"`
+	NsPerEvt  float64 `json:"ns_per_event"`
+	Jobs      int     `json:"jobs"`
+	RunMillis float64 `json:"run_ms"`
+}
+
+// sweepBench is the nine-policy sweep throughput measurement.
+type sweepBench struct {
+	Runs         int     `json:"runs"`
+	Jobs         int     `json:"jobs"`
+	Seconds      float64 `json:"seconds"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Parallel     int     `json:"parallel"`
+}
+
+type report struct {
+	GoOS     string        `json:"goos"`
+	GoArch   string        `json:"goarch"`
+	CPUs     int           `json:"cpus"`
+	When     string        `json:"when"`
+	Scale    float64       `json:"scale"`
+	Events   []policyBench `json:"per_event"`
+	Sweep    sweepBench    `json:"sweep"`
+	Failures []string      `json:"failures,omitempty"`
+}
+
+var eventPolicies = []string{
+	"cplant24.nomax.all", "cplant24.depth2", "easy", "easy.sjf",
+	"cons.nomax", "consdyn.nomax", "depth8", "list.fairshare",
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "", "write JSON here (default stdout)")
+		scale   = flag.Float64("scale", 0.05, "synthetic workload scale for the sweep measurement")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		repeat  = flag.Int("repeat", 1, "repetitions; the best (fastest) timing is reported")
+		parN    = flag.Int("parallel", 1, "sweep worker count (1: serial, the comparable configuration)")
+		indent  = flag.Bool("indent", true, "indent the JSON output")
+		timeout = flag.Duration("budget", 10*time.Minute, "soft overall budget; exceeded -> partial report")
+	)
+	flag.Parse()
+
+	rep := report{
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		When:   time.Now().UTC().Format(time.RFC3339),
+		Scale:  *scale,
+	}
+	deadline := time.Now().Add(*timeout)
+
+	// Per-event costs on the contended workload (full-scale arrivals on a
+	// quarter-size machine): deep queues keep the reservation and backfill
+	// paths hot, so this is the number the shared-profile work moves.
+	contended, err := workload.Generate(workload.Config{Seed: *seed, Scale: 0.1, SystemSize: 250})
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range eventPolicies {
+		if time.Now().After(deadline) {
+			rep.Failures = append(rep.Failures, "budget exhausted before "+name)
+			break
+		}
+		pb, err := benchPolicy(name, contended, *repeat)
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		rep.Events = append(rep.Events, pb)
+	}
+
+	// Nine-policy sweep throughput over the calibrated synthetic trace.
+	jobs, err := workload.Generate(workload.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	best := sweepBench{}
+	for r := 0; r < *repeat; r++ {
+		sb, err := benchSweep(jobs, *parN)
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("sweep: %v", err))
+			break
+		}
+		if best.Seconds == 0 || sb.Seconds < best.Seconds {
+			best = sb
+		}
+	}
+	rep.Sweep = best
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	if *indent {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if len(rep.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "schedbench: %d measurements failed\n", len(rep.Failures))
+		os.Exit(1)
+	}
+}
+
+func benchPolicy(name string, jobs []*job.Job, repeat int) (policyBench, error) {
+	spec, err := sched.ParseSpec(name)
+	if err != nil {
+		return policyBench{}, err
+	}
+	best := policyBench{Policy: name, Jobs: len(jobs)}
+	for r := 0; r < repeat; r++ {
+		pol, err := sched.New(spec)
+		if err != nil {
+			return policyBench{}, err
+		}
+		t0 := time.Now()
+		res, err := sim.New(sim.Config{SystemSize: 250}, pol).Run(jobs)
+		if err != nil {
+			return policyBench{}, err
+		}
+		el := time.Since(t0)
+		if best.RunMillis == 0 || el.Seconds()*1000 < best.RunMillis {
+			best.RunMillis = el.Seconds() * 1000
+			best.Events = res.Events
+			best.NsPerEvt = float64(el.Nanoseconds()) / float64(res.Events)
+		}
+	}
+	return best, nil
+}
+
+func benchSweep(jobs []*job.Job, parallel int) (sweepBench, error) {
+	specs := core.AllSpecs()
+	t0 := time.Now()
+	runs, err := sweep.Runs(core.StudyConfig{}, specs, jobs, parallel)
+	if err != nil {
+		return sweepBench{}, err
+	}
+	el := time.Since(t0).Seconds()
+	var events int64
+	for _, r := range runs {
+		events += r.Result.Events
+	}
+	return sweepBench{
+		Runs:         len(runs),
+		Jobs:         len(jobs),
+		Seconds:      el,
+		RunsPerSec:   float64(len(runs)) / el,
+		EventsPerSec: float64(events) / el,
+		Parallel:     parallel,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedbench:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@
 package fairsched
 
 import (
+	"fmt"
 	"io"
 
 	"fairsched/internal/core"
@@ -107,13 +108,30 @@ func GenerateWorkload(cfg WorkloadConfig) ([]*Job, error) {
 	return workload.Generate(cfg)
 }
 
-// PolicyByName resolves one of the paper's policy names
-// ("cplant24.nomax.all", "cons.72max", ...) or the extra baselines
-// ("fcfs", "easy", "list.fairshare").
+// PolicyByName resolves a policy: one of the paper's names
+// ("cplant24.nomax.all", "cons.72max", ...), a reference baseline ("fcfs",
+// "easy", "list.fairshare", "depth<N>", ...), or an ad-hoc component chain
+// in the spec grammar ("order=fairshare+bf=easy+starve=24h.nonheavy").
 func PolicyByName(name string) (PolicySpec, error) { return core.SpecByKey(name) }
 
-// PolicyNames lists every recognized policy name.
+// ParsePolicy is PolicyByName under the name mirroring ParseScenario: both
+// axes of a campaign resolve through the same kind of registry + grammar.
+func ParsePolicy(spec string) (PolicySpec, error) { return sched.ParseSpec(spec) }
+
+// PolicyNames lists every registered policy name (ad-hoc chains and
+// "depth<n>" names also resolve through PolicyByName).
 func PolicyNames() []string { return core.SpecKeys() }
+
+// PolicyBuiltin is a registered named policy spec with its description.
+type PolicyBuiltin = sched.Builtin
+
+// BuiltinPolicies returns the named-policy registry in listing order: every
+// entry names a point in the (order × backfill × starvation) design space,
+// with Spec.Canonical() as its expansion in the spec grammar.
+func BuiltinPolicies() []PolicyBuiltin { return sched.Builtins() }
+
+// NewPolicy assembles the runnable composed policy for a spec.
+func NewPolicy(spec PolicySpec) (Policy, error) { return sched.New(spec) }
 
 // AllPolicies returns the paper's nine configurations, baseline first.
 func AllPolicies() []PolicySpec { return core.AllSpecs() }
@@ -177,19 +195,26 @@ func NewSimulator(cfg SimConfig, pol Policy, observers ...Observer) *Simulator {
 // simulator as an observer, then read the fair start times back.
 func NewHybridFST() *HybridFST { return fairness.NewHybridFST() }
 
-// NewEASY, NewFCFS, NewConservative and NewDepthBackfill expose the
-// building-block policies for custom studies.
-func NewEASY() Policy { return sched.NewEASY(sched.OrderFCFS) }
-func NewFCFS() Policy { return sched.NewFCFS() }
+// NewEASY, NewFCFS, NewConservative and NewDepthBackfill expose common
+// points of the policy design space for custom studies; each is shorthand
+// for a registry name or spec chain through NewPolicy.
+func NewEASY() Policy { return sched.MustParse("easy") }
+func NewFCFS() Policy { return sched.MustParse("fcfs") }
 func NewConservative(dynamic bool) Policy {
-	return sched.NewConservative(dynamic)
+	if dynamic {
+		return sched.MustParse("consdyn.nomax")
+	}
+	return sched.MustParse("cons.nomax")
 }
 
 // NewDepthBackfill returns depth-n backfilling over the fairshare queue:
 // the first depth queued jobs hold reservations (the paper's spectrum
 // between aggressive and conservative backfilling).
 func NewDepthBackfill(depth int) Policy {
-	return sched.NewDepthBackfill(depth, sched.OrderFairshare)
+	if depth < 1 {
+		depth = 1
+	}
+	return sched.MustParse(fmt.Sprintf("depth%d", depth))
 }
 
 // UserSummary aggregates one user's jobs in a run.

@@ -2,13 +2,16 @@
 // scheduling configurations (§5.5), wires a policy, the hybrid-FST fairness
 // engine and the metrics collector into one simulation, and produces the
 // per-policy Summary that every figure in the evaluation reads from.
+//
+// Policies are composed from orthogonal components (package sched): a Spec
+// is pure data naming a point in the (order × backfill × starvation) design
+// space, resolved from the named registry or the spec grammar; the paper's
+// nine configurations are registry entries whose composed implementations
+// reproduce the original one-off schedulers byte-for-byte (DESIGN.md §9).
 package core
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
 
 	"fairsched/internal/fairness"
 	"fairsched/internal/fairshare"
@@ -18,109 +21,27 @@ import (
 	"fairsched/internal/sim"
 )
 
-// PolicyKind selects the scheduler family.
-type PolicyKind int
-
-const (
-	// KindCPlant is the baseline no-guarantee backfilling scheduler with
-	// the fairshare queue and the starvation queue (§2.1).
-	KindCPlant PolicyKind = iota
-	// KindConservative is conservative backfilling with the fairshare
-	// queue order (§5.3).
-	KindConservative
-	// KindConservativeDynamic adds dynamic reservations (§5.4).
-	KindConservativeDynamic
-	// KindFCFS is strict first-come-first-serve (Figure 1; baseline).
-	KindFCFS
-	// KindEASY is aggressive backfilling over an FCFS queue (Figure 2;
-	// baseline).
-	KindEASY
-	// KindListFairshare is the no-backfill fairshare list scheduler (the
-	// FST reference discipline; validation baseline).
-	KindListFairshare
-	// KindDepth is depth-n backfilling: the first Depth queued jobs hold
-	// reservations (the paper's "variations between conservative and
-	// aggressive backfilling"; extension baseline).
-	KindDepth
-)
-
-// Spec is one named scheduling configuration.
-type Spec struct {
-	// Key is the paper's name, e.g. "cplant24.nomax.all".
-	Key  string
-	Kind PolicyKind
-	// StarvationWait applies to KindCPlant (seconds).
-	StarvationWait int64
-	// FairOnly bars heavy users from the starvation queue (the ".fair"
-	// suffix).
-	FairOnly bool
-	// MaxRuntime, when positive, splits long jobs (the ".72max" middle
-	// token); applied in the simulator, so it composes with every kind.
-	MaxRuntime int64
-	// Depth applies to KindDepth: the number of reserved queue heads.
-	Depth int
-}
-
-// NewPolicy instantiates the scheduler for this spec.
-func (s Spec) NewPolicy() sim.Policy {
-	switch s.Kind {
-	case KindCPlant:
-		p := sched.NewNoGuarantee()
-		p.Label = s.Key
-		if s.StarvationWait > 0 {
-			p.StarvationWait = s.StarvationWait
-		}
-		if s.FairOnly {
-			p.Heavy = fairshare.AboveMean{}
-		}
-		return p
-	case KindConservative, KindConservativeDynamic:
-		p := sched.NewConservative(s.Kind == KindConservativeDynamic)
-		p.Label = s.Key
-		return p
-	case KindFCFS:
-		return sched.NewFCFS()
-	case KindEASY:
-		return sched.NewEASY(sched.OrderFCFS)
-	case KindListFairshare:
-		return sched.NewListFairshare()
-	case KindDepth:
-		d := sched.NewDepthBackfill(s.Depth, sched.OrderFairshare)
-		if s.Key != "" {
-			d.Label = s.Key
-		}
-		return d
-	default:
-		panic(fmt.Sprintf("core: unknown policy kind %d", s.Kind))
-	}
-}
-
-const (
-	hours24 = 24 * 3600
-	hours72 = 72 * 3600
-)
+// Spec is one named scheduling configuration: an alias of sched.Spec, so
+// the study, the sweeps and the campaigns all address policies through the
+// same component grammar and registry.
+type Spec = sched.Spec
 
 // MinorSpecs are the five policies of the "minor changes" comparison
 // (Figures 8-13), baseline first.
 func MinorSpecs() []Spec {
-	return []Spec{
-		{Key: "cplant24.nomax.all", Kind: KindCPlant, StarvationWait: hours24},
-		{Key: "cplant24.nomax.fair", Kind: KindCPlant, StarvationWait: hours24, FairOnly: true},
-		{Key: "cplant72.nomax.all", Kind: KindCPlant, StarvationWait: hours72},
-		{Key: "cplant24.72max.all", Kind: KindCPlant, StarvationWait: hours24, MaxRuntime: hours72},
-		{Key: "cplant72.72max.fair", Kind: KindCPlant, StarvationWait: hours72, FairOnly: true, MaxRuntime: hours72},
-	}
+	return specsByKey(
+		"cplant24.nomax.all",
+		"cplant24.nomax.fair",
+		"cplant72.nomax.all",
+		"cplant24.72max.all",
+		"cplant72.72max.fair",
+	)
 }
 
 // ConservativeSpecs are the four conservative configurations (§5.5 items
 // 5-8).
 func ConservativeSpecs() []Spec {
-	return []Spec{
-		{Key: "cons.nomax", Kind: KindConservative},
-		{Key: "consdyn.nomax", Kind: KindConservativeDynamic},
-		{Key: "cons.72max", Kind: KindConservative, MaxRuntime: hours72},
-		{Key: "consdyn.72max", Kind: KindConservativeDynamic, MaxRuntime: hours72},
-	}
+	return specsByKey("cons.nomax", "consdyn.nomax", "cons.72max", "consdyn.72max")
 }
 
 // AllSpecs are all nine policies of Figures 14-19, baseline first.
@@ -128,53 +49,31 @@ func AllSpecs() []Spec {
 	return append(MinorSpecs(), ConservativeSpecs()...)
 }
 
-// SpecByKey looks a spec up by its paper name (also accepts the extra
-// baselines "fcfs", "easy" and "list.fairshare").
-func SpecByKey(key string) (Spec, error) {
-	for _, s := range AllSpecs() {
-		if s.Key == key {
-			return s, nil
+func specsByKey(keys ...string) []Spec {
+	out := make([]Spec, 0, len(keys))
+	for _, k := range keys {
+		s, ok := sched.Lookup(k)
+		if !ok {
+			panic(fmt.Sprintf("core: registry lost policy %q", k))
 		}
+		out = append(out, s)
 	}
-	switch key {
-	case "fcfs":
-		return Spec{Key: key, Kind: KindFCFS}, nil
-	case "easy":
-		return Spec{Key: key, Kind: KindEASY}, nil
-	case "list.fairshare":
-		return Spec{Key: key, Kind: KindListFairshare}, nil
-	}
-	if depth, ok := parseDepthKey(key); ok {
-		return Spec{Key: key, Kind: KindDepth, Depth: depth}, nil
-	}
-	return Spec{}, fmt.Errorf("core: unknown policy %q (want one of %v)", key, SpecKeys())
+	return out
 }
 
-// parseDepthKey recognizes "depth<N>" names (depth-n backfilling over the
-// fairshare queue, N >= 1).
-func parseDepthKey(key string) (int, bool) {
-	const prefix = "depth"
-	if !strings.HasPrefix(key, prefix) {
-		return 0, false
-	}
-	n, err := strconv.Atoi(key[len(prefix):])
-	if err != nil || n < 1 {
-		return 0, false
-	}
-	return n, true
+// SpecByKey resolves a policy: a registered name from the sched registry
+// (the paper's "cplant24.nomax.all" style names, the reference baselines,
+// any "depth<N>") or an ad-hoc component chain such as
+// "order=fairshare+bf=easy+starve=24h.nonheavy" (see sched.ParseSpec).
+func SpecByKey(key string) (Spec, error) {
+	return sched.ParseSpec(key)
 }
 
-// SpecKeys lists every recognized policy name. Any "depth<n>" name (n >= 1,
-// e.g. "depth8") also resolves to depth-n backfilling over the fairshare
-// queue; the list shows depth8 as the representative.
+// SpecKeys lists every registered policy name. Ad-hoc component chains and
+// "depth<n>" names (n >= 1) also resolve through SpecByKey; the list shows
+// the registry entries.
 func SpecKeys() []string {
-	var keys []string
-	for _, s := range AllSpecs() {
-		keys = append(keys, s.Key)
-	}
-	keys = append(keys, "fcfs", "easy", "list.fairshare", "depth8")
-	sort.Strings(keys)
-	return keys
+	return sched.Names()
 }
 
 // StudyConfig parameterizes a run.
@@ -215,6 +114,10 @@ func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 	if cfg.SystemSize <= 0 {
 		cfg.SystemSize = 1000
 	}
+	pol, err := sched.New(spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	simCfg := sim.Config{
 		SystemSize:     cfg.SystemSize,
 		Fairshare:      cfg.Fairshare,
@@ -236,17 +139,17 @@ func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 		eq = fairness.NewEquality(cfg.SystemSize)
 		observers = append(observers, eq)
 	}
-	s := sim.New(simCfg, spec.NewPolicy(), observers...)
+	s := sim.New(simCfg, pol, observers...)
 	res, err := s.Run(workload)
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", spec.Key, err)
+		return nil, fmt.Errorf("core: %s: %w", spec.String(), err)
 	}
 	run := &Run{Spec: spec, Result: res, Equality: eq}
 	if fst != nil {
 		run.FST = fst.Table()
 	}
 	run.Summary = metrics.Summarize(res, run.FST, col)
-	run.Summary.Policy = spec.Key
+	run.Summary.Policy = spec.String()
 	return run, nil
 }
 

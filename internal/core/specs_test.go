@@ -1,10 +1,12 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"fairsched/internal/fairness"
 	"fairsched/internal/job"
+	"fairsched/internal/sched"
 )
 
 func TestSpecKeysNamedLikeThePaper(t *testing.T) {
@@ -33,7 +35,7 @@ func TestSpecByKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Kind != KindConservative || s.MaxRuntime != 72*3600 {
+	if s.Backfill != sched.BackfillConservative || s.MaxRuntime != 72*3600 {
 		t.Fatalf("cons.72max spec wrong: %+v", s)
 	}
 	if _, err := SpecByKey("nonsense"); err == nil {
@@ -46,15 +48,32 @@ func TestSpecByKey(t *testing.T) {
 	}
 }
 
+func TestSpecByKeyAcceptsComponentChains(t *testing.T) {
+	s, err := SpecByKey("order=sjf+bf=easy+max=72h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Order != "sjf" || s.Backfill != sched.BackfillEASY || s.MaxRuntime != 72*3600 {
+		t.Fatalf("chain spec wrong: %+v", s)
+	}
+	_, err = SpecByKey("order=sjf+bf=teleport")
+	if err == nil || !strings.Contains(err.Error(), "position") {
+		t.Fatalf("bad chain error lacks parse position: %v", err)
+	}
+}
+
 func TestEverySpecBuildsAPolicy(t *testing.T) {
 	for _, key := range SpecKeys() {
 		spec, err := SpecByKey(key)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pol := spec.NewPolicy()
-		if pol == nil {
-			t.Fatalf("%s built a nil policy", key)
+		pol, err := sched.New(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if pol.Name() != key {
+			t.Errorf("%s built policy named %q", key, pol.Name())
 		}
 		pol.Reset(nil)
 	}
@@ -63,28 +82,20 @@ func TestEverySpecBuildsAPolicy(t *testing.T) {
 func TestSpecPropertiesMatchNames(t *testing.T) {
 	for _, s := range AllSpecs() {
 		has72max := s.MaxRuntime == 72*3600
-		if has72max != containsToken(s.Key, "72max") {
+		if has72max != strings.Contains(s.Key, "72max") {
 			t.Errorf("%s: MaxRuntime inconsistent with name", s.Key)
 		}
-		if s.FairOnly != containsToken(s.Key, "fair") {
-			t.Errorf("%s: FairOnly inconsistent with name", s.Key)
+		isFair := s.Heavy == sched.HeavyNonheavy
+		if isFair != strings.HasSuffix(s.Key, ".fair") {
+			t.Errorf("%s: heavy classifier inconsistent with name", s.Key)
 		}
-		if s.Kind == KindCPlant {
-			wait72 := s.StarvationWait == 72*3600
-			if wait72 != containsToken(s.Key, "cplant72") {
-				t.Errorf("%s: StarvationWait inconsistent with name", s.Key)
+		if strings.HasPrefix(s.Key, "cplant") {
+			wait72 := s.Wait == 72*3600
+			if wait72 != strings.Contains(s.Key, "cplant72") {
+				t.Errorf("%s: starvation wait inconsistent with name", s.Key)
 			}
 		}
 	}
-}
-
-func containsToken(key, token string) bool {
-	for i := 0; i+len(token) <= len(key); i++ {
-		if key[i:i+len(token)] == token {
-			return true
-		}
-	}
-	return false
 }
 
 func TestStartsFeedsSabin(t *testing.T) {
@@ -155,10 +166,13 @@ func TestDepthSpecResolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Kind != KindDepth || s.Depth != 4 {
+	if s.Backfill != sched.BackfillDepth || s.Depth != 4 {
 		t.Fatalf("depth4 spec wrong: %+v", s)
 	}
-	pol := s.NewPolicy()
+	pol, err := sched.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pol.Name() != "depth4" {
 		t.Fatalf("policy name = %q", pol.Name())
 	}
@@ -180,6 +194,13 @@ func TestExecuteDepthPolicy(t *testing.T) {
 	}
 	if run.Summary.Jobs != len(tinyWorkload()) {
 		t.Fatalf("jobs = %d", run.Summary.Jobs)
+	}
+}
+
+func TestExecuteRejectsInvalidSpec(t *testing.T) {
+	bad := Spec{Order: "fairshare", Backfill: "optimistic"}
+	if _, err := Execute(StudyConfig{SystemSize: 128}, bad, tinyWorkload()); err == nil {
+		t.Fatal("invalid spec executed")
 	}
 }
 

@@ -25,6 +25,19 @@ func RenderCampaign(w io.Writer, cells []*sweep.CellSummary) {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w)
+	// The policy column widens to the longest name in the campaign (ad-hoc
+	// component chains run long) so every cell's table stays aligned.
+	polW := 22
+	for _, c := range cells {
+		if c == nil {
+			continue
+		}
+		for _, p := range c.Policies {
+			if len(p) > polW {
+				polW = len(p)
+			}
+		}
+	}
 	for i, c := range cells {
 		if c == nil {
 			fmt.Fprintf(w, "cell %d: FAILED (see errors)\n\n", i+1)
@@ -32,11 +45,11 @@ func RenderCampaign(w io.Writer, cells []*sweep.CellSummary) {
 		}
 		fmt.Fprintf(w, "%s × %s (seed %d) — %d jobs on %d nodes\n",
 			c.Source, c.Scenario, c.Seed, c.Jobs, c.SystemSize)
-		fmt.Fprintf(w, "  %-22s %12s %12s %8s %9s %12s\n",
-			"policy", "avgwait(h)", "avgTAT(h)", "util", "%unfair", "avgmiss(h)")
+		fmt.Fprintf(w, "  %-*s %12s %12s %8s %9s %12s\n",
+			polW, "policy", "avgwait(h)", "avgTAT(h)", "util", "%unfair", "avgmiss(h)")
 		for k, s := range c.Summaries {
-			fmt.Fprintf(w, "  %-22s %12.2f %12.2f %8.3f %9.1f %12.2f\n",
-				c.Policies[k], s.AvgWait/3600, s.AvgTurnaround/3600,
+			fmt.Fprintf(w, "  %-*s %12.2f %12.2f %8.3f %9.1f %12.2f\n",
+				polW, c.Policies[k], s.AvgWait/3600, s.AvgTurnaround/3600,
 				s.Utilization, s.PercentUnfair, s.AvgMissTime/3600)
 		}
 		fmt.Fprintln(w)

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"fairsched/internal/core"
+	"fairsched/internal/scenario"
+	"fairsched/internal/sched"
+	"fairsched/internal/sweep"
+	"fairsched/internal/workload"
+)
+
+// legacyExpansions pins, independently of the registry source, the exact
+// component chain each pre-composable policy name must expand to — the
+// chains proven schedule-identical to the deleted legacy schedulers before
+// their deletion. Editing a builtin's components in registry.go breaks
+// this table, not silently the paper's numbers (the equivalence guarantee
+// DESIGN.md §9 documents).
+var legacyExpansions = map[string]string{
+	"cplant24.nomax.all":  "order=fairshare+bf=noguarantee+starve=24h.all",
+	"cplant24.nomax.fair": "order=fairshare+bf=noguarantee+starve=24h.nonheavy",
+	"cplant72.nomax.all":  "order=fairshare+bf=noguarantee+starve=72h.all",
+	"cplant24.72max.all":  "order=fairshare+bf=noguarantee+starve=24h.all+max=72h",
+	"cplant72.72max.fair": "order=fairshare+bf=noguarantee+starve=72h.nonheavy+max=72h",
+	"cons.nomax":          "order=fairshare+bf=conservative",
+	"consdyn.nomax":       "order=fairshare+bf=consdyn",
+	"cons.72max":          "order=fairshare+bf=conservative+max=72h",
+	"consdyn.72max":       "order=fairshare+bf=consdyn+max=72h",
+	"fcfs":                "order=fcfs+bf=none",
+	"easy":                "order=fcfs+bf=easy",
+	"list.fairshare":      "order=fairshare+bf=none",
+	"depth8":              "order=fairshare+bf=depth+depth=8",
+}
+
+// legacyPolicyNames lists the pinned names in deterministic order.
+func legacyPolicyNames() []string {
+	names := make([]string, 0, len(legacyExpansions))
+	for n := range legacyExpansions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// campaignReport renders a four-cell campaign (2 scenarios × 2 seeds — a
+// real multi-cell grid, so -parallel 8 genuinely races cell completions)
+// for one spec at the given parallelism.
+func campaignReport(t *testing.T, spec core.Spec, parallel int) []byte {
+	t.Helper()
+	cells, err := sweep.Campaign{
+		Sources: []scenario.Source{
+			scenario.Synthetic(workload.Config{Scale: 0.03, SystemSize: 150}),
+		},
+		Scenarios: []scenario.Scenario{scenario.Baseline(), mustScenario(t, "load=1.4")},
+		Seeds:     []int64{42, 43},
+		Specs:     []core.Spec{spec},
+		Study:     core.StudyConfig{SystemSize: 150},
+		Parallel:  parallel,
+	}.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", spec.String(), err)
+	}
+	var buf bytes.Buffer
+	RenderCampaign(&buf, cells)
+	return buf.Bytes()
+}
+
+func mustScenario(t *testing.T, spec string) scenario.Scenario {
+	t.Helper()
+	s, err := scenario.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestComposedPolicyCampaignDeterminism: for every legacy paper policy
+// name, the composed spec yields a byte-identical campaign report at
+// -parallel 1 and -parallel 8.
+func TestComposedPolicyCampaignDeterminism(t *testing.T) {
+	for _, name := range legacyPolicyNames() {
+		spec, err := core.SpecByKey(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		serial := campaignReport(t, spec, 1)
+		parallel := campaignReport(t, spec, 8)
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s: campaign report differs between -parallel 1 and 8", name)
+		}
+	}
+}
+
+// TestNamedSpecMatchesPinnedExpansion: each legacy name resolves to
+// exactly its pinned component chain, and the chain spelled out explicitly
+// (parsed from this file's table, not from the registry) renders a
+// byte-identical report once the display label is held fixed.
+func TestNamedSpecMatchesPinnedExpansion(t *testing.T) {
+	for _, name := range legacyPolicyNames() {
+		pinned := legacyExpansions[name]
+		named, err := core.SpecByKey(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := named.Canonical(); got != pinned {
+			t.Errorf("%s: registry expands to %q, pinned equivalence chain is %q", name, got, pinned)
+			continue
+		}
+		chain, err := sched.ParseSpec(pinned)
+		if err != nil {
+			t.Fatalf("%s: pinned chain %q: %v", name, pinned, err)
+		}
+		chain.Key = named.Key // hold the display label fixed
+		a := campaignReport(t, named, 1)
+		b := campaignReport(t, chain, 1)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: named spec and pinned chain %q render different reports", name, pinned)
+		}
+	}
+}

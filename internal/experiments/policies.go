@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fairsched/internal/sched"
+)
+
+// ListPolicies writes the named-policy registry — every builtin spec with
+// its component expansion and description — followed by the spec grammar,
+// symmetric with the -list-scenarios listing.
+func ListPolicies(w io.Writer) {
+	fmt.Fprintln(w, "Built-in policies (name, expansion, description):")
+	keyW, expW := 0, 0
+	for _, b := range sched.Builtins() {
+		if len(b.Key) > keyW {
+			keyW = len(b.Key)
+		}
+		if c := b.Spec.Canonical(); len(c) > expW {
+			expW = len(c)
+		}
+	}
+	for _, b := range sched.Builtins() {
+		fmt.Fprintf(w, "  %-*s  %-*s  %s\n", keyW, b.Key, expW, b.Spec.Canonical(), b.Description)
+	}
+	fmt.Fprintln(w, "\nAny \"depth<N>\" (N >= 1) is depth-N backfilling over the fairshare queue.")
+	fmt.Fprintln(w, "\nAd-hoc chains join components with '+':")
+	fmt.Fprintln(w, "  order=fairshare|fcfs|sjf|lxf|widest|narrowest   queue order (default fairshare)")
+	fmt.Fprintln(w, "  bf=none|noguarantee|easy|depth|conservative|consdyn")
+	fmt.Fprintln(w, "                                                  backfill discipline (default noguarantee)")
+	fmt.Fprintln(w, "  starve=24h[.all|.nonheavy]                      starvation queue: wait threshold + admission")
+	fmt.Fprintln(w, "  depth=2                                         reservation depth (with starve or bf=depth)")
+	fmt.Fprintln(w, "  max=72h                                         maximum-runtime limit (simulator-enforced)")
+	fmt.Fprintln(w, "\nExample: -policy 'order=fairshare+bf=easy+starve=24h.nonheavy+depth=2'")
+}
+
+// PolicyTableMarkdown writes the registry as the Markdown table embedded in
+// README.md (regenerate with `experiments -list-policies -markdown`).
+func PolicyTableMarkdown(w io.Writer) {
+	fmt.Fprintln(w, "| Name | Components | Description |")
+	fmt.Fprintln(w, "|------|------------|-------------|")
+	for _, b := range sched.Builtins() {
+		fmt.Fprintf(w, "| `%s` | `%s` | %s |\n", b.Key, b.Spec.Canonical(), b.Description)
+	}
+}

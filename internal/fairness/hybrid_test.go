@@ -13,7 +13,7 @@ import (
 
 func TestHybridFSTIdleSystem(t *testing.T) {
 	fst := NewHybridFST()
-	pol := sched.NewListFairshare()
+	pol := sched.MustParse("list.fairshare")
 	jobs := []*job.Job{{ID: 1, User: 1, Submit: 100, Runtime: 50, Estimate: 50, Nodes: 4}}
 	if _, err := sim.New(sim.Config{SystemSize: 8, Validate: true}, pol, fst).Run(jobs); err != nil {
 		t.Fatal(err)
@@ -26,7 +26,7 @@ func TestHybridFSTIdleSystem(t *testing.T) {
 
 func TestHybridFSTBehindRunningJob(t *testing.T) {
 	fst := NewHybridFST()
-	pol := sched.NewListFairshare()
+	pol := sched.MustParse("list.fairshare")
 	jobs := []*job.Job{
 		{ID: 1, User: 1, Submit: 0, Runtime: 500, Estimate: 999, Nodes: 8},
 		{ID: 2, User: 2, Submit: 100, Runtime: 50, Estimate: 50, Nodes: 8},
@@ -47,7 +47,7 @@ func TestHybridFSTFairshareOrder(t *testing.T) {
 	// jobs are queued behind a wall when user 2's job arrives; in fairshare
 	// order user 2 goes first, so its FST beats the queued job's position.
 	fst := NewHybridFST()
-	pol := sched.NewListFairshare()
+	pol := sched.MustParse("list.fairshare")
 	day := int64(86400)
 	jobs := []*job.Job{
 		{ID: 1, User: 1, Submit: 0, Runtime: day, Estimate: day, Nodes: 8}, // wall + usage
@@ -76,7 +76,7 @@ func TestHybridFSTFairshareOrder(t *testing.T) {
 
 func TestHybridFSTSkipsRestartSegments(t *testing.T) {
 	fst := NewHybridFST()
-	pol := sched.NewListFairshare()
+	pol := sched.MustParse("list.fairshare")
 	h := int64(3600)
 	jobs := []*job.Job{{ID: 1, User: 1, Submit: 0, Runtime: 200 * h, Estimate: 250 * h, Nodes: 4}}
 	cfg := sim.Config{SystemSize: 8, MaxRuntime: 72 * h, Split: sim.SplitChained, Validate: true}
@@ -118,7 +118,7 @@ func TestHybridFSTNeverBeforeArrival(t *testing.T) {
 			}
 		}
 		fst := NewHybridFST()
-		pol := sched.NewNoGuarantee()
+		pol := sched.MustParse("cplant24.nomax.all")
 		res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, pol, fst).Run(jobs)
 		if err != nil {
 			return false
@@ -160,7 +160,7 @@ func TestListFairshareNeverBeatsItsFST(t *testing.T) {
 			}
 		}
 		fst := NewHybridFST()
-		pol := sched.NewListFairshare()
+		pol := sched.MustParse("list.fairshare")
 		res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, pol, fst).Run(jobs)
 		if err != nil {
 			return false

@@ -6,6 +6,7 @@ import (
 
 	"fairsched/internal/fairshare"
 	"fairsched/internal/job"
+	"fairsched/internal/profile"
 	"fairsched/internal/sim"
 )
 
@@ -74,7 +75,10 @@ func (f *fakeEnv) SystemSize() int               { return 10 }
 func (f *fakeEnv) FreeNodes() int                { return 10 }
 func (f *fakeEnv) Running() []sim.RunningJob     { return nil }
 func (f *fakeEnv) Fairshare() *fairshare.Tracker { return nil }
-func (f *fakeEnv) Start(*job.Job) error          { return nil }
+func (f *fakeEnv) Availability() *profile.Profile {
+	return profile.New(f.now, 10, 10)
+}
+func (f *fakeEnv) Start(*job.Job) error { return nil }
 
 var _ sim.Env = (*fakeEnv)(nil)
 

@@ -48,6 +48,28 @@ func New(origin int64, free, size int) *Profile {
 	return p
 }
 
+// Reset reinitializes the profile in place to `free` nodes available from
+// origin onwards out of `size`, reusing the breakpoint backing array. It is
+// the allocation-free equivalent of New for hot paths that rebuild a profile
+// every scheduling event.
+func (p *Profile) Reset(origin int64, free, size int) {
+	if free > size {
+		free = size
+	}
+	p.size = size
+	p.bps = append(p.bps[:0], breakpoint{t: origin, free: free})
+	if free != size {
+		p.bps = append(p.bps, breakpoint{t: Horizon, free: size})
+	}
+}
+
+// CopyFrom makes p a deep copy of src, reusing p's breakpoint backing array.
+// The allocation-free equivalent of src.Clone() for reused scratch profiles.
+func (p *Profile) CopyFrom(src *Profile) {
+	p.size = src.size
+	p.bps = append(p.bps[:0], src.bps...)
+}
+
 // Size returns the system size.
 func (p *Profile) Size() int { return p.size }
 

@@ -199,3 +199,62 @@ func TestCoalesceMergesAdjacentEqualCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestResetReusesBackingArray(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Occupy(5, 20, 4); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset(100, 8, 16)
+	if p.Size() != 16 || p.Origin() != 100 {
+		t.Fatalf("reset profile: size=%d origin=%d", p.Size(), p.Origin())
+	}
+	if got := p.FreeAt(100); got != 8 {
+		t.Fatalf("free at origin = %d, want 8", got)
+	}
+	if got := p.SteadyFree(); got != 16 {
+		t.Fatalf("steady free = %d, want 16 (capacity returns to size)", got)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Reset to full capacity drops the horizon breakpoint.
+	p.Reset(0, 12, 12)
+	if times, _ := p.Breakpoints(); len(times) != 1 {
+		t.Fatalf("full-capacity reset kept %d breakpoints", len(times))
+	}
+}
+
+func TestCopyFromMatchesClone(t *testing.T) {
+	src := New(0, 32, 32)
+	for _, iv := range []struct {
+		from, to int64
+		n        int
+	}{{0, 100, 8}, {50, 200, 4}, {150, 400, 16}} {
+		if err := src.Occupy(iv.from, iv.to, iv.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := New(0, 1, 1) // arbitrary prior state; CopyFrom must replace it
+	dst.CopyFrom(src)
+	st, sf := src.Breakpoints()
+	dt, df := dst.Breakpoints()
+	if len(st) != len(dt) {
+		t.Fatalf("breakpoint counts differ: %d vs %d", len(st), len(dt))
+	}
+	for i := range st {
+		if st[i] != dt[i] || sf[i] != df[i] {
+			t.Fatalf("breakpoint %d differs: (%d,%d) vs (%d,%d)", i, st[i], sf[i], dt[i], df[i])
+		}
+	}
+	// The copy is independent: mutating it leaves the source untouched.
+	if err := dst.Occupy(0, 50, 20); err != nil {
+		t.Fatal(err)
+	}
+	if src.FreeAt(0) != 24 {
+		t.Fatalf("source mutated through copy: free at 0 = %d", src.FreeAt(0))
+	}
+	if err := dst.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+package sched
+
+import (
+	"fmt"
+
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// aggressiveEngine is the aggressive backfill family — the disciplines
+// whose reservations (if any) are rebuilt from the running jobs at every
+// scheduling event:
+//
+//   - mode noguarantee: any main-queue job that fits starts, in queue
+//     order, with no internal reservations (CPlant §2.1);
+//   - mode easy: only the blocked main-queue head holds a reservation
+//     (Lifka's EASY, Figure 2 semantics);
+//   - mode depth: the first depth main-queue heads hold reservations (the
+//     spectrum between aggressive and conservative backfilling).
+//
+// The optional starvation component composes with noguarantee and easy: a
+// job queued longer than the threshold moves to an FCFS starvation queue
+// whose first reserve-depth heads hold reservations; while starved jobs
+// exist they own the reservation set and every other job (starvation-queue
+// tail first, then the main queue in queue order) may start only where it
+// delays none of them.
+type aggressiveEngine struct {
+	comp   *Composite
+	order  Order
+	mode   string // BackfillNoGuarantee, BackfillEASY or BackfillDepth
+	depth  int    // reserved queue heads in mode depth
+	starve *starvation
+
+	main    []*job.Job
+	starved []*job.Job
+}
+
+func (e *aggressiveEngine) reset() { e.main, e.starved = nil, nil }
+
+func (e *aggressiveEngine) arrive(env sim.Env, j *job.Job) {
+	e.main = append(e.main, j)
+	e.schedule(env)
+}
+
+// nextWake is the next starvation-promotion instant.
+func (e *aggressiveEngine) nextWake(now int64) (int64, bool) {
+	if e.starve == nil {
+		return 0, false
+	}
+	return e.starve.nextPromotion(now, e.main)
+}
+
+// queued returns the starvation queue first, then the main queue.
+func (e *aggressiveEngine) queued() []*job.Job {
+	if e.starve == nil {
+		return e.main
+	}
+	out := make([]*job.Job, 0, len(e.starved)+len(e.main))
+	out = append(out, e.starved...)
+	out = append(out, e.main...)
+	return out
+}
+
+func (e *aggressiveEngine) schedule(env sim.Env) {
+	if e.starve != nil {
+		e.main, e.starved = e.starve.promote(env, e.main, e.starved)
+		// Drain starvation-queue heads that fit right now.
+		for len(e.starved) > 0 && e.starved[0].Nodes <= env.FreeNodes() {
+			var head *job.Job
+			e.starved, head = popHead(e.starved)
+			if err := env.Start(head); err != nil {
+				panic(err)
+			}
+		}
+	}
+	sortQueue(env, e.order, e.main)
+	if len(e.starved) == 0 {
+		switch e.mode {
+		case BackfillNoGuarantee:
+			// No reservations at all: start everything that fits, in queue
+			// order (no-guarantee backfilling).
+			e.main = startAllFitting(env, e.main)
+		case BackfillEASY:
+			e.easyPass(env)
+		default: // BackfillDepth
+			e.depthPass(env)
+		}
+		return
+	}
+	e.starvedPass(env)
+}
+
+// startAllFitting starts every job that fits the free nodes, in queue
+// order, and returns the jobs kept queued.
+func startAllFitting(env sim.Env, q []*job.Job) []*job.Job {
+	kept := q[:0]
+	for _, c := range q {
+		if c.Nodes <= env.FreeNodes() {
+			if err := env.Start(c); err != nil {
+				panic(err)
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	clear(q[len(kept):]) // drop started jobs' pointers from the vacated tail
+	return kept
+}
+
+// easyPass runs aggressive backfilling on the main queue: start heads while
+// they fit, give the blocked head the only reservation, backfill the rest
+// against it.
+func (e *aggressiveEngine) easyPass(env sim.Env) {
+	for len(e.main) > 0 && e.main[0].Nodes <= env.FreeNodes() {
+		var head *job.Job
+		e.main, head = popHead(e.main)
+		if err := env.Start(head); err != nil {
+			panic(err)
+		}
+	}
+	if len(e.main) == 0 {
+		return
+	}
+	resAt, shadow := reservation(env, e.main[0].Nodes)
+	rest := e.main[1:]
+	kept := rest[:0]
+	for _, c := range rest {
+		if canBackfill(env, c, resAt, shadow) {
+			if env.Now()+c.Estimate > resAt {
+				shadow -= c.Nodes
+			}
+			if err := env.Start(c); err != nil {
+				panic(err)
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	clear(rest[len(kept):])
+	e.main = e.main[:1+len(kept)]
+}
+
+// depthPass reserves the first depth main-queue heads on the shared
+// availability profile and backfills the rest into the remaining holes.
+func (e *aggressiveEngine) depthPass(env sim.Env) {
+	now := env.Now()
+	for len(e.main) > 0 && e.main[0].Nodes <= env.FreeNodes() {
+		var head *job.Job
+		e.main, head = popHead(e.main)
+		if err := env.Start(head); err != nil {
+			panic(err)
+		}
+	}
+	if len(e.main) == 0 {
+		return
+	}
+	prof := e.comp.scratchFrom(env)
+	depth := e.depth
+	if depth > len(e.main) {
+		depth = len(e.main)
+	}
+	for _, r := range e.main[:depth] {
+		s, ok := prof.EarliestFit(now, r.Estimate, r.Nodes)
+		if !ok {
+			panic(fmt.Sprintf("sched: depth reservation impossible for %v", r))
+		}
+		if err := prof.Occupy(s, s+r.Estimate, r.Nodes); err != nil {
+			panic(fmt.Sprintf("sched: depth reserve: %v", err))
+		}
+	}
+	// Backfill the rest: a candidate may start now only if its rectangle
+	// fits the reserved profile starting immediately.
+	kept := e.main[:depth]
+	for _, c := range e.main[depth:] {
+		if c.Nodes <= env.FreeNodes() && fitsNow(prof, now, c) {
+			if err := prof.Occupy(now, now+c.Estimate, c.Nodes); err != nil {
+				panic(fmt.Sprintf("sched: depth backfill: %v", err))
+			}
+			if err := env.Start(c); err != nil {
+				panic(err)
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	clear(e.main[len(kept):])
+	e.main = kept
+}
+
+// starvedPass schedules while starved jobs exist: the first reserve-depth
+// starvation-queue jobs hold reservations (CPlant reserved only the head);
+// everything else (rest of the starvation queue FCFS, then the main queue
+// in queue order) may start only where it delays no reservation.
+func (e *aggressiveEngine) starvedPass(env sim.Env) {
+	depth := e.starve.depth
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > len(e.starved) {
+		depth = len(e.starved)
+	}
+	if depth == 1 {
+		// The production fast path: a single reservation needs no mutable
+		// profile copy — the shared availability profile answers it directly.
+		resAt, shadow := reservation(env, e.starved[0].Nodes)
+		backfill := func(q []*job.Job) []*job.Job {
+			kept := q[:0]
+			for _, c := range q {
+				if canBackfill(env, c, resAt, shadow) {
+					if env.Now()+c.Estimate > resAt {
+						shadow -= c.Nodes
+					}
+					if err := env.Start(c); err != nil {
+						panic(err)
+					}
+					continue
+				}
+				kept = append(kept, c)
+			}
+			clear(q[len(kept):])
+			return kept
+		}
+		rest := backfill(e.starved[1:])
+		e.starved = e.starved[:1+len(rest)]
+		e.main = backfill(e.main)
+		return
+	}
+	prof := e.comp.scratchFrom(env)
+	now := env.Now()
+	for _, r := range e.starved[:depth] {
+		s, ok := prof.EarliestFit(now, r.Estimate, r.Nodes)
+		if !ok {
+			panic(fmt.Sprintf("sched: starvation reservation impossible for %v", r))
+		}
+		if err := prof.Occupy(s, s+r.Estimate, r.Nodes); err != nil {
+			panic(fmt.Sprintf("sched: starvation reserve: %v", err))
+		}
+	}
+	backfill := func(q []*job.Job) []*job.Job {
+		kept := q[:0]
+		for _, c := range q {
+			if c.Nodes <= env.FreeNodes() && fitsNow(prof, now, c) {
+				if err := prof.Occupy(now, now+c.Estimate, c.Nodes); err != nil {
+					panic(fmt.Sprintf("sched: starvation backfill: %v", err))
+				}
+				if err := env.Start(c); err != nil {
+					panic(err)
+				}
+				continue
+			}
+			kept = append(kept, c)
+		}
+		clear(q[len(kept):])
+		return kept
+	}
+	rest := backfill(e.starved[depth:])
+	e.starved = e.starved[:depth+len(rest)]
+	e.main = backfill(e.main)
+}
+
+// depthReservations computes the reservation starts a fresh depth-mode
+// scheduling pass would place (tests and diagnostics). It works on its own
+// profile copy, NOT the composite's scratch: observers may call it from
+// inside a scheduling pass (env.Start fires JobStarted synchronously while
+// the engine still holds reservations in the scratch profile), and
+// clobbering the scratch mid-pass would corrupt the pass.
+func (e *aggressiveEngine) depthReservations(env sim.Env) map[job.ID]int64 {
+	now := env.Now()
+	prof := env.Availability().Clone()
+	q := append([]*job.Job(nil), e.main...)
+	sortQueue(env, e.order, q)
+	depth := e.depth
+	if depth > len(q) {
+		depth = len(q)
+	}
+	out := make(map[job.ID]int64, depth)
+	for _, r := range q[:depth] {
+		s, ok := prof.EarliestFit(now, r.Estimate, r.Nodes)
+		if !ok {
+			continue
+		}
+		if err := prof.Occupy(s, s+r.Estimate, r.Nodes); err != nil {
+			continue
+		}
+		out[r.ID] = s
+	}
+	return out
+}

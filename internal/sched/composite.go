@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"fmt"
+
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+	"fairsched/internal/profile"
+	"fairsched/internal/sim"
+)
+
+// engine is the backfill-discipline component: it owns the queues and
+// reacts to scheduling events by starting jobs through the environment.
+// Engines are assembled (with their Order and starvation components) by New
+// and driven only through a Composite.
+type engine interface {
+	reset()
+	arrive(env sim.Env, j *job.Job)
+	schedule(env sim.Env)
+	nextWake(now int64) (int64, bool)
+	queued() []*job.Job
+}
+
+// Composite is the generic composed scheduling policy: an Order, a backfill
+// engine and an optional starvation component, assembled from a Spec. Every
+// policy the paper studies — and every other point in the (order × backfill
+// × starvation) design space — is a Composite; there are no other policy
+// implementations.
+type Composite struct {
+	spec   Spec
+	engine engine
+
+	// scratch is the reusable mutable copy of the environment's shared
+	// availability profile: engines that place reservations copy the
+	// per-event base profile into it instead of rebuilding the running
+	// jobs' release timeline from scratch.
+	scratch profile.Profile
+}
+
+// New assembles the runnable policy for a spec.
+func New(spec Spec) (*Composite, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: policy %q: %w", spec.String(), err)
+	}
+	norm := spec.normalized()
+	if norm.Key == "" {
+		norm.Key = norm.Canonical()
+	}
+	ord, err := OrderByName(norm.Order)
+	if err != nil {
+		return nil, fmt.Errorf("sched: policy %q: %w", spec.String(), err)
+	}
+	c := &Composite{spec: norm}
+	switch norm.Backfill {
+	case BackfillNone:
+		c.engine = &listEngine{order: ord}
+	case BackfillConservative, BackfillConservativeDynamic:
+		c.engine = &conservativeEngine{
+			comp:    c,
+			order:   ord,
+			dynamic: norm.Backfill == BackfillConservativeDynamic,
+		}
+	case BackfillNoGuarantee, BackfillEASY, BackfillDepth:
+		c.engine = &aggressiveEngine{
+			comp:   c,
+			order:  ord,
+			mode:   norm.Backfill,
+			depth:  norm.Depth,
+			starve: newStarvation(norm),
+		}
+	default:
+		return nil, fmt.Errorf("sched: policy %q: unknown backfill %q", spec.String(), norm.Backfill)
+	}
+	return c, nil
+}
+
+// MustNew is New, panicking on an invalid spec (for registry-sourced specs,
+// which are valid by construction).
+func MustNew(spec Spec) *Composite {
+	c, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustParse builds the policy for a registered name or spec chain,
+// panicking on a bad spec (tests and examples).
+func MustParse(spec string) *Composite {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	return MustNew(s)
+}
+
+// Spec returns the spec the policy was assembled from (normalized).
+func (c *Composite) Spec() Spec { return c.spec }
+
+// Name implements sim.Policy.
+func (c *Composite) Name() string { return c.spec.Key }
+
+// Reset implements sim.Policy.
+func (c *Composite) Reset(sim.Env) { c.engine.reset() }
+
+// Arrive implements sim.Policy.
+func (c *Composite) Arrive(env sim.Env, j *job.Job) { c.engine.arrive(env, j) }
+
+// Complete implements sim.Policy.
+func (c *Composite) Complete(env sim.Env, _ *job.Job) { c.engine.schedule(env) }
+
+// Wake implements sim.Policy.
+func (c *Composite) Wake(env sim.Env) { c.engine.schedule(env) }
+
+// NextWake implements sim.Policy.
+func (c *Composite) NextWake(now int64) (int64, bool) { return c.engine.nextWake(now) }
+
+// Queued implements sim.Policy.
+func (c *Composite) Queued() []*job.Job { return c.engine.queued() }
+
+// scratchFrom copies the environment's shared per-event availability
+// profile into the composite's reusable scratch profile and returns it.
+// The copy is mutable (engines occupy reservations into it); the shared
+// base stays pristine for the other components of the same pass.
+func (c *Composite) scratchFrom(env sim.Env) *profile.Profile {
+	c.scratch.CopyFrom(env.Availability())
+	return &c.scratch
+}
+
+// SetHeavyClassifier overrides the starvation component's heavy-user
+// classifier, for ablations exploring classifiers the spec grammar does not
+// name (e.g. fairshare.AboveQuantile). It panics if the policy has no
+// starvation component.
+func (c *Composite) SetHeavyClassifier(h fairshare.HeavyClassifier) {
+	a, ok := c.engine.(*aggressiveEngine)
+	if !ok || a.starve == nil {
+		panic(fmt.Sprintf("sched: policy %s has no starvation component", c.Name()))
+	}
+	a.starve.heavy = h
+}
+
+// StarvedLen reports the current starvation-queue length (diagnostics; 0
+// for policies without a starvation component).
+func (c *Composite) StarvedLen() int {
+	if a, ok := c.engine.(*aggressiveEngine); ok {
+		return len(a.starved)
+	}
+	return 0
+}
+
+// Reservations exposes the current reservation table (job id -> start) for
+// tests and diagnostics. Conservative engines report their standing
+// reservations; depth engines compute the reservations a fresh scheduling
+// pass would place; other engines hold none.
+func (c *Composite) Reservations(env sim.Env) map[job.ID]int64 {
+	switch e := c.engine.(type) {
+	case *conservativeEngine:
+		return e.reservations()
+	case *aggressiveEngine:
+		if e.mode == BackfillDepth {
+			return e.depthReservations(env)
+		}
+	}
+	return nil
+}

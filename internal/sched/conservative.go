@@ -5,37 +5,37 @@ import (
 	"sort"
 
 	"fairsched/internal/job"
-	"fairsched/internal/profile"
 	"fairsched/internal/sim"
 )
 
-// Conservative implements conservative backfilling with the fairshare queue
-// order (paper §5.3) and, with Dynamic set, dynamic reservations (§5.4).
+// conservativeEngine implements conservative backfilling generically over
+// the queue order: bf=conservative (paper §5.3 with order=fairshare) and,
+// with dynamic set, bf=consdyn (§5.4).
 //
-// Static (Dynamic=false): every job holds a reservation from arrival on. At
+// Static (dynamic=false): every job holds a reservation from arrival on. At
 // each scheduling event the schedule is re-validated preserving the current
 // reservation order (a reservation never moves later except when a running
-// job overruns its estimate), and then every job, in fairshare priority
-// order, attempts to improve its reservation into any hole opened by early
+// job overruns its estimate), and then every job, in queue priority order,
+// attempts to improve its reservation into any hole opened by early
 // completions ("jobs do not relinquish their current reservations unless
 // better reservations are found"). The first reservation therefore upper
 // bounds a job's wait and no starvation queue is needed.
 //
-// Dynamic (Dynamic=true): at each scheduling event all reservations are
-// discarded and the schedule is rebuilt from scratch in fairshare priority
+// Dynamic (dynamic=true): at each scheduling event all reservations are
+// discarded and the schedule is rebuilt from scratch in queue priority
 // order. Reservations are no longer wait-time upper bounds, removing the
-// "FCFS feel", but "fair" jobs still cannot starve because low-usage users
-// rise in the rebuild order.
-type Conservative struct {
-	// Dynamic selects dynamic reservations (§5.4).
-	Dynamic bool
-	// Label overrides Name (the paper's cons.nomax style names).
-	Label string
+// "FCFS feel", but "fair" jobs still cannot starve under usage-decaying
+// orders because low-usage users rise in the rebuild order.
+type conservativeEngine struct {
+	comp    *Composite
+	order   Order
+	dynamic bool
 
-	queue []*resJob
+	queue []*reservedJob
 }
 
-type resJob struct {
+// reservedJob is a queued job with its current reservation.
+type reservedJob struct {
 	job *job.Job
 	// res is the reserved start time; hasRes is false for a job that has
 	// not been placed yet (a fresh arrival mid-event).
@@ -43,48 +43,24 @@ type resJob struct {
 	hasRes bool
 }
 
-// maxImprovementPasses bounds the static-conservative compression loop; in
+// improvementPasses bounds the static-conservative compression loop; in
 // practice two or three passes reach the fixpoint.
-const maxImprovementPasses = 8
+const improvementPasses = 8
 
-// NewConservative returns a conservative backfilling policy.
-func NewConservative(dynamic bool) *Conservative {
-	return &Conservative{Dynamic: dynamic}
+func (e *conservativeEngine) reset() { e.queue = nil }
+
+func (e *conservativeEngine) arrive(env sim.Env, j *job.Job) {
+	e.queue = append(e.queue, &reservedJob{job: j})
+	e.schedule(env)
 }
 
-// Name implements sim.Policy.
-func (p *Conservative) Name() string {
-	if p.Label != "" {
-		return p.Label
-	}
-	if p.Dynamic {
-		return "consdyn"
-	}
-	return "cons"
-}
-
-// Reset implements sim.Policy.
-func (p *Conservative) Reset(sim.Env) { p.queue = nil }
-
-// Arrive implements sim.Policy.
-func (p *Conservative) Arrive(env sim.Env, j *job.Job) {
-	p.queue = append(p.queue, &resJob{job: j})
-	p.schedule(env)
-}
-
-// Complete implements sim.Policy.
-func (p *Conservative) Complete(env sim.Env, _ *job.Job) { p.schedule(env) }
-
-// Wake implements sim.Policy.
-func (p *Conservative) Wake(env sim.Env) { p.schedule(env) }
-
-// NextWake implements sim.Policy. Reservations are start instants the
-// simulator would otherwise not visit (no arrival or completion need fall on
-// them), so the policy asks to be woken at its earliest reservation.
-func (p *Conservative) NextWake(now int64) (int64, bool) {
+// nextWake implements the engine hook. Reservations are start instants the
+// simulator would otherwise not visit (no arrival or completion need fall
+// on them), so the engine asks to be woken at its earliest reservation.
+func (e *conservativeEngine) nextWake(now int64) (int64, bool) {
 	var t int64
 	have := false
-	for _, q := range p.queue {
+	for _, q := range e.queue {
 		if q.hasRes && q.res > now && (!have || q.res < t) {
 			t, have = q.res, true
 		}
@@ -92,20 +68,18 @@ func (p *Conservative) NextWake(now int64) (int64, bool) {
 	return t, have
 }
 
-// Queued implements sim.Policy.
-func (p *Conservative) Queued() []*job.Job {
-	out := make([]*job.Job, 0, len(p.queue))
-	for _, q := range p.queue {
+func (e *conservativeEngine) queued() []*job.Job {
+	out := make([]*job.Job, 0, len(e.queue))
+	for _, q := range e.queue {
 		out = append(out, q.job)
 	}
 	return out
 }
 
-// Reservations exposes the current reservation table (job id -> start) for
-// tests and diagnostics.
-func (p *Conservative) Reservations() map[job.ID]int64 {
-	out := make(map[job.ID]int64, len(p.queue))
-	for _, q := range p.queue {
+// reservations exposes the current reservation table (job id -> start).
+func (e *conservativeEngine) reservations() map[job.ID]int64 {
+	out := make(map[job.ID]int64, len(e.queue))
+	for _, q := range e.queue {
 		if q.hasRes {
 			out[q.job.ID] = q.res
 		}
@@ -113,46 +87,35 @@ func (p *Conservative) Reservations() map[job.ID]int64 {
 	return out
 }
 
-// baseProfile builds the free-capacity timeline implied by the running jobs
-// (estimated completions, clamped for overruns).
-func baseProfile(env sim.Env) *profile.Profile {
+func (e *conservativeEngine) schedule(env sim.Env) {
 	now := env.Now()
-	prof := profile.New(now, env.SystemSize(), env.SystemSize())
-	for _, r := range env.Running() {
-		if err := prof.Occupy(now, r.EstimatedCompletion(now), r.Job.Nodes); err != nil {
-			panic(fmt.Sprintf("sched: running occupancy: %v", err))
-		}
-	}
-	return prof
-}
+	prof := e.comp.scratchFrom(env)
 
-func (p *Conservative) schedule(env sim.Env) {
-	now := env.Now()
-	prof := baseProfile(env)
-
-	if p.Dynamic {
-		// Discard everything; rebuild in fairshare priority order.
-		p.sortByFairshare(env)
+	if e.dynamic {
+		// Discard everything; rebuild in queue priority order.
+		sort.SliceStable(e.queue, func(i, k int) bool {
+			return e.order.Less(env, e.queue[i].job, e.queue[k].job)
+		})
 	} else {
 		// Re-validate preserving reservation order (unreserved arrivals
 		// last), so existing reservations only move later under estimate
-		// overruns; then improve in fairshare order below.
-		sort.SliceStable(p.queue, func(i, k int) bool {
-			qi, qk := p.queue[i], p.queue[k]
+		// overruns; then improve in queue priority order below.
+		sort.SliceStable(e.queue, func(i, k int) bool {
+			qi, qk := e.queue[i], e.queue[k]
 			if qi.hasRes != qk.hasRes {
 				return qi.hasRes
 			}
 			if qi.hasRes && qi.res != qk.res {
 				return qi.res < qk.res
 			}
-			return env.Fairshare().Less(qi.job, qk.job)
+			return e.order.Less(env, qi.job, qk.job)
 		})
 	}
-	for _, q := range p.queue {
+	for _, q := range e.queue {
 		after := now
-		if !p.Dynamic && q.hasRes && q.res > now {
+		if !e.dynamic && q.hasRes && q.res > now {
 			// Static re-validation does not improve reservations (that is
-			// the fairshare pass's privilege below); it only pushes them
+			// the priority pass's privilege below); it only pushes them
 			// later when a running job's overrun makes the slot infeasible.
 			after = q.res
 		}
@@ -166,18 +129,18 @@ func (p *Conservative) schedule(env sim.Env) {
 		q.res, q.hasRes = s, true
 	}
 
-	if !p.Dynamic {
-		// Improvement passes: in fairshare priority order, each job may
-		// move its reservation strictly earlier into holes left by others.
-		// One pass under-compresses — a wide job's window only opens after
-		// the jobs reserved behind it have themselves moved forward — so
-		// the pass repeats until no reservation improves (bounded; each
-		// pass strictly reduces total reserved start time).
-		improved := append([]*resJob(nil), p.queue...)
+	if !e.dynamic {
+		// Improvement passes: in queue priority order, each job may move
+		// its reservation strictly earlier into holes left by others. One
+		// pass under-compresses — a wide job's window only opens after the
+		// jobs reserved behind it have themselves moved forward — so the
+		// pass repeats until no reservation improves (bounded; each pass
+		// strictly reduces total reserved start time).
+		improved := append([]*reservedJob(nil), e.queue...)
 		sort.SliceStable(improved, func(i, k int) bool {
-			return env.Fairshare().Less(improved[i].job, improved[k].job)
+			return e.order.Less(env, improved[i].job, improved[k].job)
 		})
-		for pass := 0; pass < maxImprovementPasses; pass++ {
+		for pass := 0; pass < improvementPasses; pass++ {
 			changed := false
 			for _, q := range improved {
 				est := q.job.Estimate
@@ -204,14 +167,14 @@ func (p *Conservative) schedule(env sim.Env) {
 
 	// Start every job whose reservation has come due. Capacity is
 	// guaranteed by the profile; start in reservation order.
-	sort.SliceStable(p.queue, func(i, k int) bool {
-		if p.queue[i].res != p.queue[k].res {
-			return p.queue[i].res < p.queue[k].res
+	sort.SliceStable(e.queue, func(i, k int) bool {
+		if e.queue[i].res != e.queue[k].res {
+			return e.queue[i].res < e.queue[k].res
 		}
-		return env.Fairshare().Less(p.queue[i].job, p.queue[k].job)
+		return e.order.Less(env, e.queue[i].job, e.queue[k].job)
 	})
-	kept := p.queue[:0]
-	for _, q := range p.queue {
+	kept := e.queue[:0]
+	for _, q := range e.queue {
 		if q.res <= now {
 			if err := env.Start(q.job); err != nil {
 				panic(fmt.Sprintf("sched: start reserved job: %v", err))
@@ -220,11 +183,6 @@ func (p *Conservative) schedule(env sim.Env) {
 		}
 		kept = append(kept, q)
 	}
-	p.queue = kept
-}
-
-func (p *Conservative) sortByFairshare(env sim.Env) {
-	sort.SliceStable(p.queue, func(i, k int) bool {
-		return env.Fairshare().Less(p.queue[i].job, p.queue[k].job)
-	})
+	clear(e.queue[len(kept):]) // drop started jobs' pointers from the tail
+	e.queue = kept
 }

@@ -9,14 +9,19 @@ import (
 	"fairsched/internal/sim"
 )
 
+// depthSpec builds a depth-n backfilling spec over the given order.
+func depthSpec(depth int, order string) *Composite {
+	return MustNew(Spec{Order: order, Backfill: BackfillDepth, Depth: depth})
+}
+
 func TestDepthOneFCFSBehavesLikeEASY(t *testing.T) {
 	jobs := []*job.Job{
 		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 6},
 		{ID: 2, User: 2, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 6},
 		{ID: 3, User: 3, Submit: 20, Runtime: 30, Estimate: 30, Nodes: 2},
 	}
-	easy := runPolicy(t, NewEASY(OrderFCFS), 8, jobs)
-	depth1 := runPolicy(t, NewDepthBackfill(1, OrderFCFS), 8, jobs)
+	easy := runPolicy(t, MustParse("easy"), 8, jobs)
+	depth1 := runPolicy(t, depthSpec(1, "fcfs"), 8, jobs)
 	for id := range easy {
 		if easy[id] != depth1[id] {
 			t.Fatalf("job %d: easy starts at %d, depth1 at %d", id, easy[id], depth1[id])
@@ -37,8 +42,8 @@ func TestDepthTwoProtectsSecondJob(t *testing.T) {
 		// job 3 has actually run.
 		{ID: 4, User: 4, Submit: 20, Runtime: 1000, Estimate: 1000, Nodes: 3},
 	}
-	easy := runPolicy(t, NewDepthBackfill(1, OrderFCFS), 8, jobs)
-	depth2 := runPolicy(t, NewDepthBackfill(2, OrderFCFS), 8, jobs)
+	easy := runPolicy(t, depthSpec(1, "fcfs"), 8, jobs)
+	depth2 := runPolicy(t, depthSpec(2, "fcfs"), 8, jobs)
 	if easy[4] != 20 {
 		t.Fatalf("depth-1 should backfill job 4 at 20 (only the head is protected), got %d", easy[4])
 	}
@@ -68,8 +73,8 @@ func TestDepthReservedJobsStartOnTimeWithPerfectEstimates(t *testing.T) {
 			}
 		}
 		for _, depth := range []int{1, 2, 4} {
-			pol := NewDepthBackfill(depth, OrderFCFS)
-			res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, pol).Run(jobs)
+			res, err := sim.New(sim.Config{SystemSize: size, Validate: true},
+				depthSpec(depth, "fcfs")).Run(jobs)
 			if err != nil {
 				return false
 			}
@@ -93,24 +98,50 @@ func TestDepthFairshareOrder(t *testing.T) {
 		{ID: 2, User: 1, Submit: 100, Runtime: 1000, Estimate: 1000, Nodes: 8},
 		{ID: 3, User: 2, Submit: 200, Runtime: 1000, Estimate: 1000, Nodes: 8},
 	}
-	starts := runPolicy(t, NewDepthBackfill(2, OrderFairshare), 8, jobs)
+	starts := runPolicy(t, MustParse("depth2"), 8, jobs)
 	if !(starts[3] < starts[2]) {
 		t.Fatalf("fairshare depth policy should run the light user first: %d vs %d",
 			starts[3], starts[2])
 	}
 }
 
-func TestDepthName(t *testing.T) {
-	if got := NewDepthBackfill(4, OrderFairshare).Name(); got != "depth4.fairshare" {
+func TestDepthNames(t *testing.T) {
+	if got := MustParse("depth4").Name(); got != "depth4" {
 		t.Fatalf("name = %q", got)
 	}
-	p := NewDepthBackfill(0, OrderFCFS)
-	if p.Depth != 1 {
-		t.Fatal("depth floor not applied")
+	if got := depthSpec(4, "fairshare").Name(); got != "order=fairshare+bf=depth+depth=4" {
+		t.Fatalf("canonical name = %q", got)
 	}
-	p.Label = "custom"
-	if p.Name() != "custom" {
-		t.Fatal("label ignored")
+	if got := MustParse("depth8.fcfs").Spec().Order; got != "fcfs" {
+		t.Fatalf("depth8.fcfs order = %q", got)
+	}
+}
+
+func TestDepthReservationsAccessor(t *testing.T) {
+	pol := depthSpec(2, "fcfs")
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 1000, Estimate: 1000, Nodes: 8},
+		{ID: 2, User: 2, Submit: 10, Runtime: 100, Estimate: 100, Nodes: 8},
+		{ID: 3, User: 3, Submit: 20, Runtime: 100, Estimate: 100, Nodes: 8},
+	}
+	probe := &depthReservationProbe{pol: pol}
+	if _, err := sim.New(sim.Config{SystemSize: 8, Validate: true}, pol, probe).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.sawReservations {
+		t.Fatal("depth reservations never observed mid-run")
+	}
+}
+
+type depthReservationProbe struct {
+	sim.BaseObserver
+	pol             *Composite
+	sawReservations bool
+}
+
+func (p *depthReservationProbe) JobArrived(env sim.Env, _ *job.Job, _ []*job.Job) {
+	if len(p.pol.Reservations(env)) > 0 {
+		p.sawReservations = true
 	}
 }
 
@@ -128,7 +159,7 @@ func TestDepthDeeperIsNeverLessProtective(t *testing.T) {
 		{ID: 5, User: 5, Submit: 20, Runtime: 50, Estimate: 50, Nodes: 2},
 	}
 	for depth := 1; depth <= 5; depth++ {
-		starts := runPolicy(t, NewDepthBackfill(depth, OrderFCFS), 16, jobs)
+		starts := runPolicy(t, depthSpec(depth, "fcfs"), 16, jobs)
 		for id, s := range starts {
 			var submit int64
 			for _, j := range jobs {

@@ -13,8 +13,7 @@ import (
 // computed for it while it was the blocked queue head.
 type headTracker struct {
 	sim.BaseObserver
-	pol      *EASY
-	env      sim.Env
+	pol      *Composite
 	earliest map[job.ID]int64
 }
 
@@ -27,7 +26,7 @@ func (h *headTracker) snapshot(env sim.Env) {
 	if head.Nodes <= env.FreeNodes() {
 		return // not blocked
 	}
-	at, _ := aggressiveReservation(env, head.Nodes)
+	at, _ := reservation(env, head.Nodes)
 	if prev, ok := h.earliest[head.ID]; !ok || at < prev {
 		h.earliest[head.ID] = at
 	}
@@ -57,7 +56,7 @@ func TestEASYHeadNeverMissesItsReservation(t *testing.T) {
 				Nodes:    rng.Intn(size) + 1,
 			}
 		}
-		pol := NewEASY(OrderFCFS)
+		pol := MustParse("easy")
 		tracker := &headTracker{pol: pol, earliest: map[job.ID]int64{}}
 		res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, pol, tracker).Run(jobs)
 		if err != nil {
@@ -82,7 +81,7 @@ func TestEASYFairshareOrderPrefersLightUsers(t *testing.T) {
 		{ID: 2, User: 1, Submit: 100, Runtime: 1000, Estimate: 1000, Nodes: 8},
 		{ID: 3, User: 2, Submit: 200, Runtime: 1000, Estimate: 1000, Nodes: 8},
 	}
-	starts := runPolicy(t, NewEASY(OrderFairshare), 8, jobs)
+	starts := runPolicy(t, MustParse("easy.fairshare"), 8, jobs)
 	if !(starts[3] < starts[2]) {
 		t.Fatalf("fairshare EASY should run the light user first: job3=%d job2=%d",
 			starts[3], starts[2])
@@ -107,7 +106,7 @@ func TestEASYDrainsQueueCompletely(t *testing.T) {
 				Nodes:    rng.Intn(size) + 1,
 			}
 		}
-		res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, NewEASY(OrderFCFS)).Run(jobs)
+		res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, MustParse("easy")).Run(jobs)
 		if err != nil {
 			return false
 		}
@@ -115,5 +114,22 @@ func TestEASYDrainsQueueCompletely(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEASYWithStarvationEscalation: easy.starve24 behaves like EASY until a
+// job has waited past the threshold, then the starved job owns the
+// reservation set.
+func TestEASYWithStarvationEscalation(t *testing.T) {
+	day := int64(24 * 3600)
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 10 * day, Estimate: 10 * day, Nodes: 5},
+		{ID: 2, User: 2, Submit: 10, Runtime: 10 * day, Estimate: 10 * day, Nodes: 6}, // starves
+		{ID: 3, User: 3, Submit: 20, Runtime: 10 * day, Estimate: 10 * day, Nodes: 3},
+		{ID: 4, User: 4, Submit: day + 100, Runtime: 10 * day, Estimate: 10 * day, Nodes: 3},
+	}
+	starts := runPolicy(t, MustParse("easy.starve24"), 8, jobs)
+	if starts[4] < 10*day {
+		t.Fatalf("job 4 started at %d, delaying the starved head", starts[4])
 	}
 }

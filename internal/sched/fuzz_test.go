@@ -1,0 +1,46 @@
+package sched
+
+import "testing"
+
+// FuzzParseSpec asserts the parse/canonical round trip: any input the
+// parser accepts must render a canonical chain that re-parses to the
+// identical spec (and builds a runnable policy). Run continuously in CI as
+// a smoke step; `go test -fuzz FuzzParseSpec ./internal/sched` digs deeper.
+func FuzzParseSpec(f *testing.F) {
+	for _, b := range Builtins() {
+		f.Add(b.Key)
+		f.Add(b.Spec.Canonical())
+	}
+	f.Add("order=fairshare+bf=easy+starve=24h.nonheavy+depth=2")
+	f.Add("starve=90s+depth=7")
+	f.Add("bf=depth+depth=100+max=1w")
+	f.Add("depth999")
+	f.Add(" order=sjf + bf=none ")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return // rejected inputs only need to fail cleanly
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) returned invalid spec %+v: %v", in, s, err)
+		}
+		c := s.Canonical()
+		s2, err := ParseSpec(c)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not re-parse: %v", c, in, err)
+		}
+		if s2.Canonical() != c {
+			t.Fatalf("canonical unstable: %q -> %q", c, s2.Canonical())
+		}
+		// Components must survive the round trip (keys may differ: a
+		// registered name keeps its name, the chain takes the canonical).
+		a, b := s, s2
+		a.Key, b.Key = "", ""
+		if a != b {
+			t.Fatalf("round trip changed components: %+v -> %+v", a, b)
+		}
+		if pol := MustNew(s); pol == nil {
+			t.Fatal("nil policy")
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package sched
+
+import (
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// listEngine is the bf=none discipline: pure list scheduling. At each
+// scheduling event the queue is sorted by the order and heads are started
+// while they fit; the first blocked head blocks the rest (no backfilling).
+// Over an FCFS queue this is the strict scheduler of Figure 1 ("fair" but
+// poor utilization); over the fairshare queue it is the reference
+// discipline of the hybrid FST metric (paper §4.1).
+type listEngine struct {
+	order Order
+	queue []*job.Job
+}
+
+func (e *listEngine) reset() { e.queue = nil }
+
+func (e *listEngine) arrive(env sim.Env, j *job.Job) {
+	e.queue = append(e.queue, j)
+	e.schedule(env)
+}
+
+func (e *listEngine) nextWake(int64) (int64, bool) { return 0, false }
+
+func (e *listEngine) queued() []*job.Job { return e.queue }
+
+func (e *listEngine) schedule(env sim.Env) {
+	sortQueue(env, e.order, e.queue)
+	for len(e.queue) > 0 && e.queue[0].Nodes <= env.FreeNodes() {
+		var head *job.Job
+		e.queue, head = popHead(e.queue)
+		if err := env.Start(head); err != nil {
+			panic(err) // capacity was checked; a failure is a policy bug
+		}
+	}
+}

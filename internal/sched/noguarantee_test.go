@@ -3,7 +3,6 @@ package sched
 import (
 	"testing"
 
-	"fairsched/internal/fairshare"
 	"fairsched/internal/job"
 	"fairsched/internal/sim"
 )
@@ -16,7 +15,7 @@ func TestNoGuaranteeStartsAnythingThatFits(t *testing.T) {
 		{ID: 2, User: 2, Submit: 10, Runtime: 500, Estimate: 500, Nodes: 6},
 		{ID: 3, User: 3, Submit: 20, Runtime: 400, Estimate: 400, Nodes: 2},
 	}
-	starts := runPolicy(t, NewNoGuarantee(), 8, jobs)
+	starts := runPolicy(t, MustParse("cplant24.nomax.all"), 8, jobs)
 	if starts[3] != 20 {
 		t.Fatalf("no-guarantee backfilling should start job 3 at 20, got %d", starts[3])
 	}
@@ -29,7 +28,7 @@ func TestNoGuaranteeFairshareOrder(t *testing.T) {
 		{ID: 2, User: 1, Submit: 10, Runtime: 100, Estimate: 100, Nodes: 8},
 		{ID: 3, User: 2, Submit: 20, Runtime: 100, Estimate: 100, Nodes: 8},
 	}
-	starts := runPolicy(t, NewNoGuarantee(), 8, jobs)
+	starts := runPolicy(t, MustParse("cplant24.nomax.all"), 8, jobs)
 	if !(starts[3] < starts[2]) {
 		t.Fatalf("fairshare order violated: user2 job at %d, user1 job at %d", starts[3], starts[2])
 	}
@@ -48,7 +47,7 @@ func TestStarvationPromotionGivesReservation(t *testing.T) {
 		{ID: 3, User: 3, Submit: 20, Runtime: 10 * day, Estimate: 10 * day, Nodes: 3},
 		{ID: 4, User: 4, Submit: day + 100, Runtime: 10 * day, Estimate: 10 * day, Nodes: 3},
 	}
-	starts := runPolicy(t, NewNoGuarantee(), 8, jobs)
+	starts := runPolicy(t, MustParse("cplant24.nomax.all"), 8, jobs)
 	// Job 4 arrives after job 2 was promoted (24h). Starting job 4 (3 nodes,
 	// est 10d) would delay job 2's reservation at 10d: it must wait.
 	if starts[4] < 10*day {
@@ -58,9 +57,7 @@ func TestStarvationPromotionGivesReservation(t *testing.T) {
 
 func TestHeavyUserBarredFromStarvationQueue(t *testing.T) {
 	day := int64(24 * 3600)
-	mk := func(heavy fairshare.HeavyClassifier) map[job.ID]int64 {
-		pol := NewNoGuarantee()
-		pol.Heavy = heavy
+	mk := func(spec string) map[job.ID]int64 {
 		jobs := []*job.Job{
 			// User 1 builds heavy usage on half the machine; user 9 keeps a
 			// small job running so the mean usage stays low.
@@ -69,10 +66,10 @@ func TestHeavyUserBarredFromStarvationQueue(t *testing.T) {
 			// User 1's second job wants the whole machine and waits > 24h.
 			{ID: 3, User: 1, Submit: 10, Runtime: day, Estimate: day, Nodes: 8},
 		}
-		return runPolicy(t, pol, 8, jobs)
+		return runPolicy(t, MustParse(spec), 8, jobs)
 	}
-	admitted := mk(fairshare.Never{})
-	barred := mk(fairshare.AboveMean{})
+	admitted := mk("cplant24.nomax.all")
+	barred := mk("cplant24.nomax.fair")
 	// With everyone admitted the wide job starts when jobs 1+2 end (5d);
 	// the classifier cannot make it later on this tiny workload, but the
 	// policy paths differ: ensure both complete and the barred run is not
@@ -83,9 +80,10 @@ func TestHeavyUserBarredFromStarvationQueue(t *testing.T) {
 }
 
 func TestNoGuaranteeNextWake(t *testing.T) {
-	pol := NewNoGuarantee()
+	pol := MustParse("cplant24.nomax.all")
 	pol.Reset(nil)
-	pol.main = []*job.Job{
+	eng := pol.engine.(*aggressiveEngine)
+	eng.main = []*job.Job{
 		{ID: 1, Submit: 100},
 		{ID: 2, Submit: 500},
 	}
@@ -100,10 +98,11 @@ func TestNoGuaranteeNextWake(t *testing.T) {
 }
 
 func TestNoGuaranteeQueuedOrdersStarvedFirst(t *testing.T) {
-	pol := NewNoGuarantee()
+	pol := MustParse("cplant24.nomax.all")
 	pol.Reset(nil)
-	pol.main = []*job.Job{{ID: 1}}
-	pol.starved = []*job.Job{{ID: 2}}
+	eng := pol.engine.(*aggressiveEngine)
+	eng.main = []*job.Job{{ID: 1}}
+	eng.starved = []*job.Job{{ID: 2}}
 	q := pol.Queued()
 	if len(q) != 2 || q[0].ID != 2 || q[1].ID != 1 {
 		t.Fatalf("Queued() = %v", q)
@@ -113,23 +112,13 @@ func TestNoGuaranteeQueuedOrdersStarvedFirst(t *testing.T) {
 	}
 }
 
-func TestNoGuaranteeLabelOverridesName(t *testing.T) {
-	pol := NewNoGuarantee()
-	pol.Label = "cplant24.nomax.all"
-	if pol.Name() != "cplant24.nomax.all" {
-		t.Fatal("label ignored")
-	}
-}
-
-func TestNoGuaranteeResetDefaults(t *testing.T) {
-	pol := &NoGuarantee{}
+func TestPureNoGuaranteeHasNoStarvationWake(t *testing.T) {
+	pol := MustParse("noguarantee")
 	pol.Reset(nil)
-	if pol.StarvationWait != 24*3600 {
-		t.Fatalf("default starvation wait = %d", pol.StarvationWait)
+	eng := pol.engine.(*aggressiveEngine)
+	eng.main = []*job.Job{{ID: 1, Submit: 100}}
+	if _, ok := pol.NextWake(0); ok {
+		t.Fatal("starvation-free policy requested a promotion wake")
 	}
-	if pol.Heavy == nil {
-		t.Fatal("nil heavy classifier after reset")
-	}
+	var _ sim.Policy = pol
 }
-
-var _ sim.Policy = (*NoGuarantee)(nil)

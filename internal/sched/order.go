@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// Order is the queue-ordering component of a composed policy: a strict weak
+// ordering over queued jobs, evaluated against the live environment (the
+// fairshare order reads decayed usage, the expansion-factor order reads the
+// clock). Orders are stateless; all state lives in the environment.
+type Order interface {
+	// Name is the grammar token ("fairshare", "fcfs", "sjf", ...).
+	Name() string
+	// Less reports whether a schedules before b. It must be a strict weak
+	// ordering and deterministic: implementations tie-break on submission
+	// time then job id so equal-priority jobs keep a stable order.
+	Less(env sim.Env, a, b *job.Job) bool
+}
+
+// sortQueue stable-sorts q into the order's priority order.
+func sortQueue(env sim.Env, o Order, q []*job.Job) {
+	sort.SliceStable(q, func(i, k int) bool { return o.Less(env, q[i], q[k]) })
+}
+
+// arrivalLess is the shared FCFS tie-break: submission time then job id.
+func arrivalLess(a, b *job.Job) bool {
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+// fcfsOrder schedules in arrival order (Figure 1 semantics).
+type fcfsOrder struct{}
+
+func (fcfsOrder) Name() string                       { return "fcfs" }
+func (fcfsOrder) Less(_ sim.Env, a, b *job.Job) bool { return arrivalLess(a, b) }
+
+// fairshareOrder is the Sandia decaying-usage priority: lowest decayed usage
+// first (paper §2.1), ties FCFS.
+type fairshareOrder struct{}
+
+func (fairshareOrder) Name() string { return "fairshare" }
+func (fairshareOrder) Less(env sim.Env, a, b *job.Job) bool {
+	return env.Fairshare().Less(a, b)
+}
+
+// sjfOrder is shortest-job-first by the user's wall-clock estimate — the
+// size-based ordering whose fairness trade-offs Dell'Amico et al. ("On Fair
+// Size-Based Scheduling") study. Ties FCFS.
+type sjfOrder struct{}
+
+func (sjfOrder) Name() string { return "sjf" }
+func (sjfOrder) Less(_ sim.Env, a, b *job.Job) bool {
+	if a.Estimate != b.Estimate {
+		return a.Estimate < b.Estimate
+	}
+	return arrivalLess(a, b)
+}
+
+// lxfOrder is largest-expansion-factor first: (wait + estimate)/estimate,
+// descending — the slowdown-driven ordering of the heSRPT line of work
+// (Berg et al.). A job's factor grows as it waits, so starvation
+// self-corrects. Ties FCFS.
+type lxfOrder struct{}
+
+func (lxfOrder) Name() string { return "lxf" }
+func (lxfOrder) Less(env sim.Env, a, b *job.Job) bool {
+	now := env.Now()
+	// Compare (wait_a+est_a)/est_a > (wait_b+est_b)/est_b without division:
+	// cross-multiply by the (positive) estimates.
+	ea, eb := a.Estimate, b.Estimate
+	if ea < 1 {
+		ea = 1
+	}
+	if eb < 1 {
+		eb = 1
+	}
+	xa := (now - a.Submit + ea) * eb
+	xb := (now - b.Submit + eb) * ea
+	if xa != xb {
+		return xa > xb
+	}
+	return arrivalLess(a, b)
+}
+
+// widestOrder schedules the widest jobs (most nodes) first; narrowest the
+// opposite. Width-based orders probe the packing/fairness trade-off the
+// paper's per-width breakdowns (Figures 16-19) measure. Ties FCFS.
+type widestOrder struct{}
+
+func (widestOrder) Name() string { return "widest" }
+func (widestOrder) Less(_ sim.Env, a, b *job.Job) bool {
+	if a.Nodes != b.Nodes {
+		return a.Nodes > b.Nodes
+	}
+	return arrivalLess(a, b)
+}
+
+type narrowestOrder struct{}
+
+func (narrowestOrder) Name() string { return "narrowest" }
+func (narrowestOrder) Less(_ sim.Env, a, b *job.Job) bool {
+	if a.Nodes != b.Nodes {
+		return a.Nodes < b.Nodes
+	}
+	return arrivalLess(a, b)
+}
+
+// orders is the Order registry, in listing order.
+var orders = []Order{
+	fairshareOrder{},
+	fcfsOrder{},
+	sjfOrder{},
+	lxfOrder{},
+	widestOrder{},
+	narrowestOrder{},
+}
+
+// OrderNames lists the registered queue orders in listing order.
+func OrderNames() []string {
+	out := make([]string, len(orders))
+	for i, o := range orders {
+		out[i] = o.Name()
+	}
+	return out
+}
+
+// OrderByName resolves a queue order by its grammar token.
+func OrderByName(name string) (Order, error) {
+	for _, o := range orders {
+		if o.Name() == name {
+			return o, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown order %q (want %s)", name, strings.Join(OrderNames(), ", "))
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"testing"
+
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+	"fairsched/internal/profile"
+	"fairsched/internal/sim"
+)
+
+// orderEnv is a minimal Env for exercising Order comparators directly.
+type orderEnv struct {
+	now int64
+	fs  *fairshare.Tracker
+}
+
+func (e *orderEnv) Now() int64                     { return e.now }
+func (e *orderEnv) SystemSize() int                { return 64 }
+func (e *orderEnv) FreeNodes() int                 { return 64 }
+func (e *orderEnv) Running() []sim.RunningJob      { return nil }
+func (e *orderEnv) Fairshare() *fairshare.Tracker  { return e.fs }
+func (e *orderEnv) Availability() *profile.Profile { return profile.New(e.now, 64, 64) }
+func (e *orderEnv) Start(*job.Job) error           { return nil }
+
+var _ sim.Env = (*orderEnv)(nil)
+
+func mustOrder(t *testing.T, name string) Order {
+	t.Helper()
+	o, err := OrderByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestOrderSemantics(t *testing.T) {
+	env := &orderEnv{now: 1000, fs: fairshare.NewTracker(fairshare.Config{}, 0)}
+	env.fs.Charge(1, 5000) // user 1 is heavier
+	short := &job.Job{ID: 1, User: 1, Submit: 900, Estimate: 100, Nodes: 4}
+	long := &job.Job{ID: 2, User: 2, Submit: 0, Estimate: 10000, Nodes: 2}
+	wide := &job.Job{ID: 3, User: 3, Submit: 950, Estimate: 100, Nodes: 32}
+
+	cases := []struct {
+		order  string
+		first  *job.Job
+		second *job.Job
+	}{
+		{"fcfs", long, short},      // earlier submit wins
+		{"fairshare", long, short}, // user 2 has no usage
+		{"sjf", short, long},       // smaller estimate wins
+		{"widest", wide, short},    // more nodes wins
+		{"narrowest", long, wide},  // fewer nodes wins
+		// lxf: long's factor is (1000-0+10000)/10000 = 1.1, wide's is
+		// (1000-950+100)/100 = 1.5 -> wide first.
+		{"lxf", wide, long},
+	}
+	for _, tc := range cases {
+		o := mustOrder(t, tc.order)
+		if !o.Less(env, tc.first, tc.second) {
+			t.Errorf("%s: %d should come before %d", tc.order, tc.first.ID, tc.second.ID)
+		}
+		if o.Less(env, tc.second, tc.first) {
+			t.Errorf("%s: comparator not antisymmetric for %d,%d", tc.order, tc.second.ID, tc.first.ID)
+		}
+	}
+}
+
+func TestOrderTieBreaksAreArrivalOrder(t *testing.T) {
+	env := &orderEnv{now: 100, fs: fairshare.NewTracker(fairshare.Config{}, 0)}
+	a := &job.Job{ID: 1, User: 1, Submit: 10, Estimate: 50, Nodes: 4}
+	b := &job.Job{ID: 2, User: 2, Submit: 10, Estimate: 50, Nodes: 4}
+	for _, name := range OrderNames() {
+		o := mustOrder(t, name)
+		if !o.Less(env, a, b) || o.Less(env, b, a) {
+			t.Errorf("%s: equal-priority jobs must tie-break by id", name)
+		}
+	}
+}
+
+func TestOrderByNameRejectsUnknown(t *testing.T) {
+	if _, err := OrderByName("alphabetical"); err == nil {
+		t.Fatal("unknown order accepted")
+	}
+	if len(OrderNames()) < 4 {
+		t.Fatalf("order registry too small: %v", OrderNames())
+	}
+}
+
+func TestLXFGrowsWithWait(t *testing.T) {
+	o := mustOrder(t, "lxf")
+	early := &orderEnv{now: 0, fs: fairshare.NewTracker(fairshare.Config{}, 0)}
+	late := &orderEnv{now: 100000, fs: early.fs}
+	patient := &job.Job{ID: 1, User: 1, Submit: 0, Estimate: 10000, Nodes: 1}
+	fresh := &job.Job{ID: 2, User: 2, Submit: 0, Estimate: 100, Nodes: 1}
+	// At t=0 both have factor 1: the shorter job wins on... neither — tie
+	// breaks to id order, so patient (id 1) first.
+	if !o.Less(early, patient, fresh) {
+		t.Error("equal factors should tie-break FCFS")
+	}
+	// Much later the short job's factor exploded: (100000+100)/100 >> 11.
+	if !o.Less(late, fresh, patient) {
+		t.Error("waiting short job should overtake on expansion factor")
+	}
+}

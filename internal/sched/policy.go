@@ -1,96 +1,92 @@
-// Package sched implements the scheduling policies the paper studies:
+// Package sched implements the scheduling policies the paper studies as a
+// composable design space instead of a fixed menu. A policy is a point in
 //
-//   - the baseline CPlant scheduler: no-guarantee backfilling over a
-//     fairshare-ordered queue plus an FCFS starvation queue whose head holds
-//     an aggressive reservation (paper §2.1);
-//   - the paper's "minor change" variants: longer starvation-entry delay and
-//     heavy-user exclusion (§5.2);
-//   - conservative backfilling with the fairshare queue order (§5.3) and its
-//     dynamic-reservation variant (§5.4);
-//   - reference baselines: strict FCFS (Figure 1 semantics), EASY aggressive
-//     backfilling (Figure 2 semantics), and the no-backfill fairshare list
-//     scheduler that defines the hybrid FST.
+//	Order × Backfill × Starvation
 //
-// Maximum-runtime limits (§5.1) are a workload transformation implemented in
-// the simulator, composable with any policy here.
+// where Order ranks the main queue (fairshare, fcfs, sjf, lxf, widest,
+// narrowest), Backfill is the discipline deciding which queued jobs may
+// start (none, noguarantee, easy, depth, conservative, consdyn) and
+// Starvation optionally promotes long-waiting jobs to a reserved FCFS
+// queue (wait threshold, heavy-user classifier, reservation depth). The
+// generic Composite policy assembles the components; a Spec names a point
+// in the space, parsed from the `order=…+bf=…+starve=…` grammar or looked
+// up in the named registry (see Builtins).
+//
+// The paper's nine configurations are registry entries: the baseline
+// CPlant scheduler (§2.1) is order=fairshare+bf=noguarantee+starve=24h.all,
+// the §5.2 "minor change" variants adjust the starvation axis, and the
+// §5.3/§5.4 conservative policies swap the backfill axis. The reference
+// baselines (strict FCFS of Figure 1, EASY of Figure 2, the no-backfill
+// fairshare list scheduler defining the hybrid FST) and the size-based
+// orderings of the related fairness literature (SJF, LXF) are further
+// points in the same space.
+//
+// Maximum-runtime limits (§5.1) are a workload transformation implemented
+// in the simulator; Spec.MaxRuntime records them so a spec fully names a
+// configuration, and they compose with every policy here.
+//
+// All components of one scheduling pass share the environment's per-event
+// availability profile (sim.Env.Availability) instead of re-deriving the
+// running jobs' release times independently; see DESIGN.md §9.
 package sched
 
 import (
 	"sort"
 
 	"fairsched/internal/job"
+	"fairsched/internal/profile"
 	"fairsched/internal/sim"
 )
 
 // remove deletes the job with the given id from a queue slice, preserving
-// order, and reports whether it was present.
+// order, and reports whether it was present. The vacated tail slot is
+// cleared so the popped job pointer does not linger in the backing array.
 func remove(q []*job.Job, id job.ID) ([]*job.Job, bool) {
 	for i, j := range q {
 		if j.ID == id {
-			return append(q[:i], q[i+1:]...), true
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			return q[:len(q)-1], true
 		}
 	}
 	return q, false
 }
 
-// sortFairshare orders jobs by the fairshare priority (lowest decayed usage
-// first; ties FCFS then by id).
-func sortFairshare(env sim.Env, q []*job.Job) {
-	env.Fairshare().SortJobs(q)
+// popHead removes and returns the queue's head, clearing the vacated slot
+// so the backing array does not pin the started job.
+func popHead(q []*job.Job) ([]*job.Job, *job.Job) {
+	head := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1], head
 }
 
-// sortFCFS orders jobs by submission time then id.
+// sortFCFS orders jobs by submission time then id (the starvation queue's
+// discipline).
 func sortFCFS(q []*job.Job) {
-	sort.SliceStable(q, func(i, k int) bool {
-		if q[i].Submit != q[k].Submit {
-			return q[i].Submit < q[k].Submit
-		}
-		return q[i].ID < q[k].ID
-	})
+	sort.SliceStable(q, func(i, k int) bool { return arrivalLess(q[i], q[k]) })
 }
 
-// aggressiveReservation computes the earliest time a job needing `nodes`
-// nodes could start, given only the running jobs' estimated completions (no
-// queued-job reservations) — the reservation EASY backfilling and the
-// starvation-queue head use. It returns the reservation time and the
-// "shadow" capacity: the nodes left over at that time after the job is
-// placed, which bounds what backfilled jobs running past the reservation may
-// consume.
-func aggressiveReservation(env sim.Env, nodes int) (at int64, shadow int) {
-	free := env.FreeNodes()
-	now := env.Now()
-	if nodes <= free {
-		return now, free - nodes
+// reservation computes the earliest time a job needing `nodes` nodes could
+// start given only the running jobs' estimated completions (no queued-job
+// reservations) — the reservation EASY backfilling and the starvation-queue
+// head use. It reads the environment's shared availability profile rather
+// than re-deriving release times from the running set. It returns the
+// reservation time and the "shadow" capacity: the nodes left over at that
+// time after the job is placed, which bounds what backfilled jobs running
+// past the reservation may consume.
+func reservation(env sim.Env, nodes int) (at int64, shadow int) {
+	prof := env.Availability()
+	// The availability profile only ever gains capacity over time (running
+	// jobs release nodes; nothing is reserved in it), so the earliest
+	// single-instant fit is the earliest fit, period.
+	s, ok := prof.EarliestFit(env.Now(), 1, nodes)
+	if !ok {
+		// Unreachable for valid jobs: all running jobs complete eventually
+		// and nodes <= system size.
+		return env.Now(), env.SystemSize() - nodes
 	}
-	type release struct {
-		t int64
-		n int
-	}
-	running := env.Running()
-	rel := make([]release, 0, len(running))
-	for _, r := range running {
-		rel = append(rel, release{t: r.EstimatedCompletion(now), n: r.Job.Nodes})
-	}
-	sort.Slice(rel, func(i, k int) bool {
-		if rel[i].t != rel[k].t {
-			return rel[i].t < rel[k].t
-		}
-		return rel[i].n < rel[k].n
-	})
-	cum := free
-	for i, r := range rel {
-		cum += r.n
-		// Absorb simultaneous releases before testing.
-		if i+1 < len(rel) && rel[i+1].t == r.t {
-			continue
-		}
-		if cum >= nodes {
-			return r.t, cum - nodes
-		}
-	}
-	// Unreachable for valid jobs: all running jobs complete eventually and
-	// nodes <= system size.
-	return now, env.SystemSize() - nodes
+	return s, prof.FreeAt(s) - nodes
 }
 
 // canBackfill reports whether candidate c may start now without delaying a
@@ -105,4 +101,11 @@ func canBackfill(env sim.Env, c *job.Job, resAt int64, shadow int) bool {
 		return true
 	}
 	return c.Nodes <= shadow
+}
+
+// fitsNow reports whether a job starting immediately fits the profile for
+// its whole estimated duration.
+func fitsNow(prof *profile.Profile, now int64, c *job.Job) bool {
+	s, ok := prof.EarliestFit(now, c.Estimate, c.Nodes)
+	return ok && s == now
 }

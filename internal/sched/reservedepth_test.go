@@ -9,13 +9,20 @@ import (
 	"fairsched/internal/sim"
 )
 
+// cplantDepth builds the baseline CPlant policy with the given starvation
+// reserve depth.
+func cplantDepth(depth int) *Composite {
+	return MustNew(Spec{
+		Order: "fairshare", Backfill: BackfillNoGuarantee,
+		Wait: 24 * 3600, Heavy: HeavyAll, Depth: depth,
+	})
+}
+
 func TestStarvationReserveDepthProtectsSecondStarvedJob(t *testing.T) {
 	day := int64(24 * 3600)
 	// Jobs 2 and 3 both starve behind a 10-day wall; with depth 2 the
 	// backfill stream cannot delay either of their reservations.
 	mk := func(depth int) map[job.ID]int64 {
-		pol := NewNoGuarantee()
-		pol.ReserveDepth = depth
 		jobs := []*job.Job{
 			{ID: 1, User: 1, Submit: 0, Runtime: 10 * day, Estimate: 10 * day, Nodes: 5},
 			{ID: 2, User: 2, Submit: 10, Runtime: day, Estimate: day, Nodes: 6}, // starves
@@ -25,7 +32,7 @@ func TestStarvationReserveDepthProtectsSecondStarvedJob(t *testing.T) {
 			// 3's slot; with depth 2 it must wait.
 			{ID: 4, User: 4, Submit: day + 100, Runtime: 30 * day, Estimate: 30 * day, Nodes: 2},
 		}
-		return runPolicy(t, pol, 8, jobs)
+		return runPolicy(t, cplantDepth(depth), 8, jobs)
 	}
 	d1 := mk(1)
 	d2 := mk(2)
@@ -57,9 +64,7 @@ func TestStarvationReserveDepthCompletesRandomWorkloads(t *testing.T) {
 			}
 		}
 		for _, depth := range []int{1, 3} {
-			pol := NewNoGuarantee()
-			pol.ReserveDepth = depth
-			res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, pol).Run(jobs)
+			res, err := sim.New(sim.Config{SystemSize: size, Validate: true}, cplantDepth(depth)).Run(jobs)
 			if err != nil {
 				return false
 			}
@@ -77,9 +82,12 @@ func TestStarvationReserveDepthCompletesRandomWorkloads(t *testing.T) {
 }
 
 func TestStarvationReserveDepthDefault(t *testing.T) {
-	pol := &NoGuarantee{}
-	pol.Reset(nil)
-	if pol.ReserveDepth != 1 {
-		t.Fatalf("default reserve depth = %d, want 1", pol.ReserveDepth)
+	pol := MustParse("cplant24.nomax.all")
+	eng := pol.engine.(*aggressiveEngine)
+	if eng.starve == nil || eng.starve.depth != 1 {
+		t.Fatalf("default reserve depth wrong: %+v", eng.starve)
+	}
+	if d2 := MustParse("cplant24.depth2").engine.(*aggressiveEngine).starve.depth; d2 != 2 {
+		t.Fatalf("cplant24.depth2 reserve depth = %d", d2)
 	}
 }

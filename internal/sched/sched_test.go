@@ -3,7 +3,6 @@ package sched
 import (
 	"testing"
 
-	"fairsched/internal/fairshare"
 	"fairsched/internal/job"
 	"fairsched/internal/sim"
 )
@@ -31,7 +30,7 @@ func TestFigure1FCFSBlocks(t *testing.T) {
 		{ID: 2, User: 2, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 6},  // jobA: blocked
 		{ID: 3, User: 3, Submit: 20, Runtime: 30, Estimate: 30, Nodes: 2},  // jobB: would fit
 	}
-	starts := runPolicy(t, NewFCFS(), 8, jobs)
+	starts := runPolicy(t, MustParse("fcfs"), 8, jobs)
 	if starts[3] < starts[2] {
 		t.Fatalf("strict FCFS must not let jobB (start %d) pass jobA (start %d)", starts[3], starts[2])
 	}
@@ -48,7 +47,7 @@ func TestFigure2BackfillStarts(t *testing.T) {
 		{ID: 2, User: 2, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 6},
 		{ID: 3, User: 3, Submit: 20, Runtime: 30, Estimate: 30, Nodes: 2},
 	}
-	starts := runPolicy(t, NewEASY(OrderFCFS), 8, jobs)
+	starts := runPolicy(t, MustParse("easy"), 8, jobs)
 	if starts[3] != 20 {
 		t.Fatalf("jobB should backfill immediately at 20, got %d", starts[3])
 	}
@@ -65,7 +64,7 @@ func TestEASYDeniesDelayingBackfill(t *testing.T) {
 		// shadow (8-6=2 free at the reservation): denied.
 		{ID: 3, User: 3, Submit: 20, Runtime: 300, Estimate: 300, Nodes: 3},
 	}
-	starts := runPolicy(t, NewEASY(OrderFCFS), 8, jobs)
+	starts := runPolicy(t, MustParse("easy"), 8, jobs)
 	if starts[3] < 100 {
 		t.Fatalf("backfill would delay the head reservation; started at %d", starts[3])
 	}
@@ -81,7 +80,7 @@ func TestEASYShadowBackfill(t *testing.T) {
 		// Runs past the reservation but fits the 2-node shadow: allowed.
 		{ID: 3, User: 3, Submit: 20, Runtime: 300, Estimate: 300, Nodes: 2},
 	}
-	starts := runPolicy(t, NewEASY(OrderFCFS), 8, jobs)
+	starts := runPolicy(t, MustParse("easy"), 8, jobs)
 	if starts[3] != 20 {
 		t.Fatalf("shadow backfill denied; started at %d", starts[3])
 	}
@@ -94,7 +93,7 @@ func TestListFairshareRunsInPriorityOrder(t *testing.T) {
 		{ID: 2, User: 1, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 4},
 		{ID: 3, User: 2, Submit: 20, Runtime: 50, Estimate: 50, Nodes: 4},
 	}
-	starts := runPolicy(t, NewListFairshare(), 8, jobs)
+	starts := runPolicy(t, MustParse("list.fairshare"), 8, jobs)
 	if !(starts[3] <= starts[2]) {
 		t.Fatalf("user 2 (no usage) should start no later: job3=%d job2=%d", starts[3], starts[2])
 	}
@@ -106,7 +105,7 @@ func TestListFairshareDoesNotBackfill(t *testing.T) {
 		{ID: 2, User: 2, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 6},
 		{ID: 3, User: 3, Submit: 20, Runtime: 30, Estimate: 30, Nodes: 2},
 	}
-	starts := runPolicy(t, NewListFairshare(), 8, jobs)
+	starts := runPolicy(t, MustParse("list.fairshare"), 8, jobs)
 	// Job 3 has the same (zero) usage as job 2 but arrived later; the list
 	// scheduler may not let it jump the blocked head.
 	if starts[3] < 100 {
@@ -126,7 +125,7 @@ func TestAggressiveReservationMath(t *testing.T) {
 		// 2-node long job would eat the head's nodes: denied until the head starts.
 		{ID: 5, User: 5, Submit: 30, Runtime: 1000, Estimate: 1000, Nodes: 2},
 	}
-	starts := runPolicy(t, NewEASY(OrderFCFS), 8, jobs)
+	starts := runPolicy(t, MustParse("easy"), 8, jobs)
 	if starts[3] != 200 {
 		t.Fatalf("head reservation should be met at 200, got %d", starts[3])
 	}
@@ -138,30 +137,106 @@ func TestAggressiveReservationMath(t *testing.T) {
 	}
 }
 
-func TestQueueOrderString(t *testing.T) {
-	if OrderFCFS.String() != "fcfs" || OrderFairshare.String() != "fairshare" {
-		t.Fatal("queue order names wrong")
-	}
-}
-
 func TestPolicyNames(t *testing.T) {
-	if NewFCFS().Name() != "fcfs" {
-		t.Error("fcfs name")
-	}
-	if NewListFairshare().Name() != "list.fairshare" {
-		t.Error("list name")
-	}
-	if NewEASY(OrderFairshare).Name() != "easy.fairshare" {
-		t.Error("easy name")
-	}
-	ng := NewNoGuarantee()
-	ng.Reset(nil)
-	if ng.Name() == "" {
-		t.Error("noguarantee name empty")
-	}
-	if NewConservative(false).Name() != "cons" || NewConservative(true).Name() != "consdyn" {
-		t.Error("conservative names")
+	for _, tc := range []struct{ spec, want string }{
+		{"fcfs", "fcfs"},
+		{"list.fairshare", "list.fairshare"},
+		{"easy.fairshare", "easy.fairshare"},
+		{"cplant24.nomax.all", "cplant24.nomax.all"},
+		{"cons.nomax", "cons.nomax"},
+		{"consdyn.nomax", "consdyn.nomax"},
+		{"order=fairshare+bf=noguarantee+starve=24h.all",
+			"order=fairshare+bf=noguarantee+starve=24h.all"},
+	} {
+		if got := MustParse(tc.spec).Name(); got != tc.want {
+			t.Errorf("Name(%q) = %q, want %q", tc.spec, got, tc.want)
+		}
 	}
 }
 
-var _ = fairshare.Never{} // keep the import for the label test below
+// TestRemoveClearsVacatedSlot pins the queue-splice hygiene contract every
+// in-place splice in this package follows: the vacated tail slot must not
+// keep the removed job pointer alive in the backing array.
+func TestRemoveClearsVacatedSlot(t *testing.T) {
+	a, b, c := &job.Job{ID: 1}, &job.Job{ID: 2}, &job.Job{ID: 3}
+	q := []*job.Job{a, b, c}
+	q, ok := remove(q, 2)
+	if !ok || len(q) != 2 || q[0] != a || q[1] != c {
+		t.Fatalf("remove(2) = %v, %v", q, ok)
+	}
+	if tail := q[:3][2]; tail != nil {
+		t.Fatalf("vacated slot still holds job %v", tail.ID)
+	}
+	if q, ok = remove(q, 99); ok || len(q) != 2 {
+		t.Fatalf("remove of absent id = %v, %v", q, ok)
+	}
+	q2, head := popHead(q)
+	if head != a || len(q2) != 1 || q2[0] != c {
+		t.Fatalf("popHead = %v, %v", q2, head)
+	}
+	if tail := q2[:2][1]; tail != nil {
+		t.Fatalf("popHead left job %v in the vacated slot", tail.ID)
+	}
+}
+
+// TestSharedReservationMatchesFirstPrinciples cross-checks the shared-
+// profile reservation against a direct release-time derivation on a live
+// environment mid-run.
+func TestSharedReservationMatchesFirstPrinciples(t *testing.T) {
+	probe := &reservationProbe{}
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 3},
+		{ID: 2, User: 2, Submit: 0, Runtime: 200, Estimate: 200, Nodes: 3},
+		{ID: 3, User: 3, Submit: 10, Runtime: 50, Estimate: 50, Nodes: 7},
+	}
+	if _, err := sim.New(sim.Config{SystemSize: 8, Validate: true}, MustParse("easy"), probe).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.checked {
+		t.Fatal("probe never saw a blocked-head state")
+	}
+}
+
+type reservationProbe struct {
+	sim.BaseObserver
+	checked bool
+}
+
+func (p *reservationProbe) JobArrived(env sim.Env, j *job.Job, _ []*job.Job) {
+	if j.Nodes <= env.FreeNodes() {
+		return
+	}
+	at, shadow := reservation(env, j.Nodes)
+	// First-principles: walk running completions in time order.
+	type rel struct {
+		t int64
+		n int
+	}
+	free := env.FreeNodes()
+	var rels []rel
+	for _, r := range env.Running() {
+		rels = append(rels, rel{r.EstimatedCompletion(env.Now()), r.Job.Nodes})
+	}
+	for i := range rels {
+		for k := i + 1; k < len(rels); k++ {
+			if rels[k].t < rels[i].t {
+				rels[i], rels[k] = rels[k], rels[i]
+			}
+		}
+	}
+	cum, wantAt := free, env.Now()
+	for i, r := range rels {
+		cum += r.n
+		if i+1 < len(rels) && rels[i+1].t == r.t {
+			continue
+		}
+		if cum >= j.Nodes {
+			wantAt = r.t
+			break
+		}
+	}
+	if at != wantAt || shadow != cum-j.Nodes {
+		panic("shared-profile reservation diverges from first principles")
+	}
+	p.checked = true
+}

@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Backfill discipline tokens: the `bf=` axis of the spec grammar. Each
+// names a backfilling discipline for the main queue; the starvation axis
+// (`starve=`) composes with the aggressive family only.
+const (
+	// BackfillNone is pure list scheduling: queue heads start while they
+	// fit; the first blocked head blocks everything behind it.
+	BackfillNone = "none"
+	// BackfillNoGuarantee starts every queued job that fits, in queue
+	// order, with no reservations at all (CPlant's main-queue discipline).
+	BackfillNoGuarantee = "noguarantee"
+	// BackfillEASY gives only the blocked queue head a reservation
+	// (aggressive backfilling, Lifka's EASY).
+	BackfillEASY = "easy"
+	// BackfillDepth gives the first `depth` queue heads reservations (the
+	// spectrum between aggressive and conservative backfilling).
+	BackfillDepth = "depth"
+	// BackfillConservative gives every job a reservation from arrival on,
+	// kept until a strictly better one is found (paper §5.3).
+	BackfillConservative = "conservative"
+	// BackfillConservativeDynamic rebuilds all reservations from scratch in
+	// queue priority order at every scheduling event (paper §5.4).
+	BackfillConservativeDynamic = "consdyn"
+)
+
+// Heavy classifier tokens: the optional second component of `starve=`.
+const (
+	// HeavyAll admits every user's jobs to the starvation queue
+	// (fairshare.Never — the paper's "*.all" policies).
+	HeavyAll = "all"
+	// HeavyNonheavy bars users whose decayed usage exceeds the mean over
+	// live users (fairshare.AboveMean — the paper's "*.fair" policies).
+	HeavyNonheavy = "nonheavy"
+)
+
+// backfills lists the valid backfill tokens in listing order.
+var backfills = []string{
+	BackfillNone, BackfillNoGuarantee, BackfillEASY,
+	BackfillDepth, BackfillConservative, BackfillConservativeDynamic,
+}
+
+// Spec is one point in the policy design space: pure data naming the
+// composed components. Specs are comparable, serializable and cheap to
+// copy; New assembles the runnable policy.
+//
+// The zero value of each field means "default": order=fairshare,
+// bf=noguarantee, no starvation queue, depth 1, no maximum runtime.
+type Spec struct {
+	// Key is the display name: the registered name ("cplant24.nomax.all")
+	// or, for ad-hoc chains, the canonical chain. Reports key on it.
+	Key string
+	// Order is the queue-order token (see OrderNames).
+	Order string
+	// Backfill is the backfill-discipline token (see the Backfill constants).
+	Backfill string
+	// Wait is the starvation-queue entry threshold in seconds; 0 disables
+	// the starvation queue entirely.
+	Wait int64
+	// Heavy is the heavy-user classifier token barring users from the
+	// starvation queue (meaningful only with Wait > 0).
+	Heavy string
+	// Depth is the reservation depth: the number of starvation-queue heads
+	// holding reservations (with Wait > 0), or the number of reserved queue
+	// heads (with Backfill == BackfillDepth).
+	Depth int
+	// MaxRuntime, when positive, is the paper's maximum-runtime limit: the
+	// simulator caps estimates to it and splits longer jobs into
+	// checkpoint/restart segments. Recorded here so a Spec fully names a
+	// configuration; the simulator, not the policy, enforces it.
+	MaxRuntime int64
+}
+
+// normalized returns the spec with defaults filled in.
+func (s Spec) normalized() Spec {
+	if s.Order == "" {
+		s.Order = "fairshare"
+	}
+	if s.Backfill == "" {
+		s.Backfill = BackfillNoGuarantee
+	}
+	if s.Wait > 0 && s.Heavy == "" {
+		s.Heavy = HeavyAll
+	}
+	if s.Depth == 0 && (s.Wait > 0 || s.Backfill == BackfillDepth) {
+		s.Depth = 1
+	}
+	return s
+}
+
+// Validate checks the spec's components and their compatibility. New calls
+// it; callers constructing Specs directly can call it for early errors.
+func (s Spec) Validate() error {
+	s = s.normalized()
+	if _, err := OrderByName(s.Order); err != nil {
+		return err
+	}
+	valid := false
+	for _, b := range backfills {
+		if s.Backfill == b {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("unknown backfill %q (want %s)", s.Backfill, strings.Join(backfills, ", "))
+	}
+	if s.Wait < 0 {
+		return fmt.Errorf("starvation wait %d is negative", s.Wait)
+	}
+	if s.Wait > 0 {
+		switch s.Backfill {
+		case BackfillNoGuarantee, BackfillEASY:
+		default:
+			return fmt.Errorf("starve is incompatible with bf=%s (reservations already bound waits; want bf=noguarantee or bf=easy)", s.Backfill)
+		}
+		if s.Heavy != HeavyAll && s.Heavy != HeavyNonheavy {
+			return fmt.Errorf("unknown heavy classifier %q (want %s or %s)", s.Heavy, HeavyAll, HeavyNonheavy)
+		}
+	} else {
+		if s.Heavy != "" {
+			return fmt.Errorf("heavy classifier %q without starve", s.Heavy)
+		}
+		if s.Depth != 0 && s.Backfill != BackfillDepth {
+			return fmt.Errorf("depth=%d needs starve or bf=depth", s.Depth)
+		}
+	}
+	if s.Depth < 0 || (s.Depth < 1 && s.Backfill == BackfillDepth) {
+		return fmt.Errorf("depth %d out of range (want >= 1)", s.Depth)
+	}
+	if s.Wait > 0 && s.Depth < 1 {
+		return fmt.Errorf("depth %d out of range (want >= 1)", s.Depth)
+	}
+	if s.MaxRuntime < 0 {
+		return fmt.Errorf("max runtime %d is negative", s.MaxRuntime)
+	}
+	return nil
+}
+
+// Canonical renders the normalized spec as its full grammar chain:
+// "order=fairshare+bf=noguarantee+starve=24h.all". Parsing the canonical
+// form yields an identical spec (the round-trip property FuzzParseSpec
+// checks), so the canonical chain is a stable cross-tool policy identifier.
+func (s Spec) Canonical() string {
+	s = s.normalized()
+	var b strings.Builder
+	b.WriteString("order=")
+	b.WriteString(s.Order)
+	b.WriteString("+bf=")
+	b.WriteString(s.Backfill)
+	if s.Wait > 0 {
+		b.WriteString("+starve=")
+		b.WriteString(fmtDur(s.Wait))
+		b.WriteString(".")
+		b.WriteString(s.Heavy)
+	}
+	if s.Backfill == BackfillDepth || (s.Wait > 0 && s.Depth > 1) {
+		fmt.Fprintf(&b, "+depth=%d", s.Depth)
+	}
+	if s.MaxRuntime > 0 {
+		b.WriteString("+max=")
+		b.WriteString(fmtDur(s.MaxRuntime))
+	}
+	return b.String()
+}
+
+// String returns the display name: Key when set, the canonical chain
+// otherwise.
+func (s Spec) String() string {
+	if s.Key != "" {
+		return s.Key
+	}
+	return s.Canonical()
+}
+
+// ParseSpec resolves a policy spec: a registered name (see Builtins; any
+// "depth<N>" also resolves), or an ad-hoc chain of key=value components
+// joined with "+", mirroring scenario.Parse:
+//
+//	order=fairshare|fcfs|sjf|lxf|widest|narrowest   queue order (default fairshare)
+//	bf=none|noguarantee|easy|depth|conservative|consdyn
+//	                                                backfill discipline (default noguarantee)
+//	starve=24h[.all|.nonheavy]                      starvation-queue threshold + admission
+//	depth=2                                         reservation depth (with starve or bf=depth)
+//	max=72h                                         maximum-runtime limit (simulator-enforced)
+//
+// Example: "order=fairshare+bf=easy+starve=24h.nonheavy+depth=2". Parse
+// errors name the byte position of the offending component.
+func ParseSpec(spec string) (Spec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Spec{}, fmt.Errorf("sched: empty policy spec")
+	}
+	if s, ok := Lookup(spec); ok {
+		return s, nil
+	}
+	if !strings.Contains(spec, "=") {
+		return Spec{}, fmt.Errorf("sched: unknown policy %q (want a registered name — see -list-policies — or an order=/bf=/starve=/depth=/max= chain)", spec)
+	}
+	var s Spec
+	seen := map[string]int{} // key -> position of first use, for duplicate errors
+	pos := 0
+	for _, part := range strings.Split(spec, "+") {
+		if err := parseComponent(part, pos, seen, &s); err != nil {
+			return Spec{}, fmt.Errorf("sched: policy spec %q: %w", spec, err)
+		}
+		pos += len(part) + 1 // the '+' separator
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("sched: policy spec %q: %w", spec, err)
+	}
+	s = s.normalized()
+	s.Key = s.Canonical()
+	return s, nil
+}
+
+// parseComponent parses one key=value component at byte position pos of the
+// full spec, accumulating into s.
+func parseComponent(part string, pos int, seen map[string]int, s *Spec) error {
+	trimmed := strings.TrimSpace(part)
+	pos += strings.Index(part, trimmed) // account for leading spaces
+	key, val, ok := strings.Cut(trimmed, "=")
+	if !ok {
+		return fmt.Errorf("position %d: component %q is not key=value (want order=, bf=, starve=, depth= or max=)", pos, trimmed)
+	}
+	if prev, dup := seen[key]; dup {
+		return fmt.Errorf("position %d: duplicate %s= (first at position %d)", pos, key, prev)
+	}
+	seen[key] = pos
+	valPos := pos + len(key) + 1
+	switch key {
+	case "order":
+		if _, err := OrderByName(val); err != nil {
+			return fmt.Errorf("position %d: %w", valPos, err)
+		}
+		s.Order = val
+	case "bf":
+		for _, b := range backfills {
+			if val == b {
+				s.Backfill = val
+				return nil
+			}
+		}
+		return fmt.Errorf("position %d: unknown backfill %q (want %s)", valPos, val, strings.Join(backfills, ", "))
+	case "starve":
+		dur, heavy, _ := strings.Cut(val, ".")
+		w, err := parseDur(dur)
+		if err != nil {
+			return fmt.Errorf("position %d: starve wait: %w", valPos, err)
+		}
+		if w <= 0 {
+			return fmt.Errorf("position %d: starve wait %q must be positive", valPos, dur)
+		}
+		if heavy == "" {
+			heavy = HeavyAll
+		}
+		if heavy != HeavyAll && heavy != HeavyNonheavy {
+			return fmt.Errorf("position %d: unknown heavy classifier %q (want %s or %s)",
+				valPos+len(dur)+1, heavy, HeavyAll, HeavyNonheavy)
+		}
+		s.Wait, s.Heavy = w, heavy
+	case "depth":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("position %d: depth %q: want an integer >= 1", valPos, val)
+		}
+		s.Depth = n
+	case "max":
+		m, err := parseDur(val)
+		if err != nil {
+			return fmt.Errorf("position %d: max runtime: %w", valPos, err)
+		}
+		if m <= 0 {
+			return fmt.Errorf("position %d: max runtime %q must be positive", valPos, val)
+		}
+		s.MaxRuntime = m
+	default:
+		return fmt.Errorf("position %d: unknown component %q (want order, bf, starve, depth or max)", pos, key)
+	}
+	return nil
+}
+
+const (
+	hourSeconds = 3600
+	daySeconds  = 24 * hourSeconds
+	weekSeconds = 7 * daySeconds
+)
+
+// parseDur parses a duration with optional unit suffix s/m/h/d/w; a bare
+// number is seconds (the scenario grammar's convention).
+func parseDur(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty duration")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 's':
+		s = s[:len(s)-1]
+	case 'm':
+		mult, s = 60, s[:len(s)-1]
+	case 'h':
+		mult, s = hourSeconds, s[:len(s)-1]
+	case 'd':
+		mult, s = daySeconds, s[:len(s)-1]
+	case 'w':
+		mult, s = weekSeconds, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q (want e.g. 90, 15m, 24h, 3d)", s)
+	}
+	return n * mult, nil
+}
+
+// fmtDur renders seconds compactly, preferring hours — the paper's
+// vocabulary ("24h", "72h") — over days/weeks so canonical chains read like
+// the policy names they expand.
+func fmtDur(sec int64) string {
+	switch {
+	case sec != 0 && sec%hourSeconds == 0:
+		return fmt.Sprintf("%dh", sec/hourSeconds)
+	case sec != 0 && sec%60 == 0:
+		return fmt.Sprintf("%dm", sec/60)
+	default:
+		return fmt.Sprintf("%ds", sec)
+	}
+}

@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRegisteredNames(t *testing.T) {
+	s, err := ParseSpec("cplant24.nomax.all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Key: "cplant24.nomax.all", Order: "fairshare",
+		Backfill: BackfillNoGuarantee, Wait: 24 * 3600, Heavy: HeavyAll, Depth: 1,
+	}
+	if s != want {
+		t.Fatalf("spec = %+v, want %+v", s, want)
+	}
+	if s.Canonical() != "order=fairshare+bf=noguarantee+starve=24h.all" {
+		t.Fatalf("canonical = %q", s.Canonical())
+	}
+}
+
+func TestParseSpecChains(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"order=fairshare+bf=easy+starve=24h.nonheavy+depth=2",
+			Spec{Order: "fairshare", Backfill: BackfillEASY, Wait: 24 * 3600, Heavy: HeavyNonheavy, Depth: 2}},
+		{"bf=none+order=sjf",
+			Spec{Order: "sjf", Backfill: BackfillNone}},
+		{"starve=72h",
+			Spec{Order: "fairshare", Backfill: BackfillNoGuarantee, Wait: 72 * 3600, Heavy: HeavyAll, Depth: 1}},
+		{"order=lxf+bf=consdyn+max=72h",
+			Spec{Order: "lxf", Backfill: BackfillConservativeDynamic, MaxRuntime: 72 * 3600}},
+		{"bf=depth+depth=3",
+			Spec{Order: "fairshare", Backfill: BackfillDepth, Depth: 3}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		want := tc.want.normalized()
+		want.Key = want.Canonical()
+		if got != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.in, got, want)
+		}
+	}
+}
+
+func TestParseSpecErrorsCarryPosition(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantPos string // substring naming the expected position
+		wantMsg string
+	}{
+		{"order=bogus+bf=easy", "position 6", "unknown order"},
+		{"order=fairshare+bf=bogus", "position 19", "unknown backfill"},
+		{"order=fairshare+frobnicate=1", "position 16", "unknown component"},
+		{"order=fairshare+starve=24h.sometimes", "position 27", "unknown heavy classifier"},
+		{"order=fairshare+depth=x", "position 22", "depth"},
+		{"bf=easy+bf=none", "position 8", "duplicate bf="},
+		{"order=fairshare+starve=0h", "position 23", "must be positive"},
+		{"order=fairshare+bf", "position 16", "not key=value"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantPos) || !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("ParseSpec(%q) error %q: want position %q and message %q",
+				tc.in, err, tc.wantPos, tc.wantMsg)
+		}
+	}
+}
+
+func TestParseSpecUnknownNameFailsLoudly(t *testing.T) {
+	_, err := ParseSpec("nonsense")
+	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ParseSpec(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestSpecValidationRejectsIncompatibleCombos(t *testing.T) {
+	bad := []Spec{
+		{Backfill: BackfillConservative, Wait: 3600, Heavy: HeavyAll}, // starve × cons
+		{Backfill: BackfillNone, Wait: 3600, Heavy: HeavyAll},         // starve × none
+		{Backfill: BackfillDepth, Depth: 2, Wait: 3600, Heavy: HeavyAll},
+		{Backfill: BackfillEASY, Depth: 2},     // depth without starve or bf=depth
+		{Backfill: BackfillEASY, Heavy: "all"}, // heavy without starve
+		{Order: "alphabetical"},
+		{Backfill: "optimistic"},
+		{Wait: -1},
+		{MaxRuntime: -5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, s)
+		}
+		if _, err := New(s); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, s)
+		}
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	// Every builtin's canonical chain re-parses to the same components.
+	for _, b := range Builtins() {
+		c := b.Spec.Canonical()
+		got, err := ParseSpec(c)
+		if err != nil {
+			t.Errorf("%s: canonical %q does not parse: %v", b.Key, c, err)
+			continue
+		}
+		if got.Canonical() != c {
+			t.Errorf("%s: canonical not stable: %q -> %q", b.Key, c, got.Canonical())
+		}
+		want := b.Spec.normalized()
+		want.Key = c
+		if got != want {
+			t.Errorf("%s: round trip changed spec: %+v -> %+v", b.Key, want, got)
+		}
+	}
+}
+
+func TestSpecStringPrefersKey(t *testing.T) {
+	s, _ := ParseSpec("fcfs")
+	if s.String() != "fcfs" {
+		t.Fatalf("String = %q", s.String())
+	}
+	anon := Spec{Order: "sjf", Backfill: BackfillEASY}
+	if anon.String() != "order=sjf+bf=easy" {
+		t.Fatalf("anonymous String = %q", anon.String())
+	}
+}
+
+func TestParseDurUnits(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{{"90", 90}, {"90s", 90}, {"15m", 900}, {"24h", 86400}, {"3d", 3 * 86400}, {"2w", 14 * 86400}} {
+		got, err := parseDur(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseDur(%q) = %d,%v want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "1.5h", "h"} {
+		if _, err := parseDur(bad); err == nil {
+			t.Errorf("parseDur(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"fairsched/internal/fairshare"
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// starvation is the starvation-promotion component (paper §2.1, §5.2): a
+// job queued longer than wait moves from the main queue to an FCFS
+// starvation queue — unless its user is classified heavy — and the first
+// depth starvation-queue heads hold reservations every other job must
+// respect.
+type starvation struct {
+	wait  int64
+	heavy fairshare.HeavyClassifier
+	depth int
+}
+
+// newStarvation builds the component from the spec's starvation axis;
+// returns nil when the spec disables starvation.
+func newStarvation(s Spec) *starvation {
+	if s.Wait <= 0 {
+		return nil
+	}
+	st := &starvation{wait: s.Wait, depth: s.Depth}
+	if st.depth < 1 {
+		st.depth = 1
+	}
+	switch s.Heavy {
+	case HeavyNonheavy:
+		st.heavy = fairshare.AboveMean{}
+	default:
+		st.heavy = fairshare.Never{}
+	}
+	return st
+}
+
+// nextPromotion returns the earliest starvation-promotion instant strictly
+// after now among the main-queue jobs.
+func (st *starvation) nextPromotion(now int64, main []*job.Job) (int64, bool) {
+	var t int64
+	have := false
+	for _, j := range main {
+		e := j.Submit + st.wait
+		if e > now && (!have || e < t) {
+			t, have = e, true
+		}
+	}
+	return t, have
+}
+
+// promote moves starvation-eligible jobs from main to the FCFS starvation
+// queue and returns the two updated queues. Heavy users' jobs stay in the
+// main queue and are re-evaluated at later events ("temporarily
+// restricted").
+func (st *starvation) promote(env sim.Env, main, starved []*job.Job) (m, s []*job.Job) {
+	now := env.Now()
+	var live []int
+	kept := main[:0]
+	for _, j := range main {
+		if now-j.Submit < st.wait {
+			kept = append(kept, j)
+			continue
+		}
+		if _, isNever := st.heavy.(fairshare.Never); !isNever {
+			if live == nil {
+				live = liveUsers(env, main, starved)
+			}
+			if st.heavy.IsHeavy(env.Fairshare(), j.User, live) {
+				kept = append(kept, j)
+				continue
+			}
+		}
+		starved = append(starved, j)
+	}
+	clear(main[len(kept):]) // drop moved jobs' pointers from the vacated tail
+	sortFCFS(starved)
+	return kept, starved
+}
+
+// liveUsers returns the distinct users with queued or running jobs, for the
+// heavy classifier.
+func liveUsers(env sim.Env, main, starved []*job.Job) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(u int) {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	for _, r := range env.Running() {
+		add(r.Job.User)
+	}
+	for _, j := range starved {
+		add(j.User)
+	}
+	for _, j := range main {
+		add(j.User)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"fairsched/internal/job"
+)
+
+// availProbe is a policy that inspects the shared availability profile
+// during its scheduling events.
+type availProbe struct {
+	greedy
+	t       *testing.T
+	checked bool
+}
+
+func (p *availProbe) Arrive(env Env, j *job.Job) {
+	p.inspect(env)
+	p.greedy.Arrive(env, j)
+}
+
+func (p *availProbe) inspect(env Env) {
+	prof := env.Availability()
+	now := env.Now()
+	if prof.Origin() != now {
+		p.t.Errorf("availability origin %d != now %d", prof.Origin(), now)
+	}
+	if got := prof.FreeAt(now); got != env.FreeNodes() {
+		p.t.Errorf("availability free at now = %d, want FreeNodes %d", got, env.FreeNodes())
+	}
+	if got := prof.SteadyFree(); got != env.SystemSize() {
+		p.t.Errorf("availability steady free = %d, want full system %d", got, env.SystemSize())
+	}
+	// Each running job's nodes return exactly at its estimated completion.
+	for _, r := range env.Running() {
+		ec := r.EstimatedCompletion(now)
+		if ec <= now {
+			continue
+		}
+		before, after := prof.FreeAt(ec-1), prof.FreeAt(ec)
+		if after < before {
+			p.t.Errorf("capacity shrank across a release at %d: %d -> %d", ec, before, after)
+		}
+	}
+	// The cache returns the same profile while nothing changed...
+	if again := env.Availability(); again != prof {
+		p.t.Error("availability rebuilt without invalidation")
+	}
+	p.checked = true
+}
+
+func TestAvailabilityReflectsRunningSetAndCaches(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 120, Nodes: 6},
+		{ID: 2, User: 2, Submit: 10, Runtime: 200, Estimate: 200, Nodes: 2},
+		{ID: 3, User: 3, Submit: 20, Runtime: 50, Estimate: 60, Nodes: 4},
+		{ID: 4, User: 4, Submit: 150, Runtime: 80, Estimate: 80, Nodes: 8},
+	}
+	probe := &availProbe{t: t}
+	if _, err := New(Config{SystemSize: 8, Validate: true}, probe).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.checked {
+		t.Fatal("probe never ran")
+	}
+}
+
+// startInvalidates is a policy asserting that Start invalidates the shared
+// profile within one scheduling pass.
+type startInvalidates struct {
+	greedy
+	t       *testing.T
+	checked bool
+}
+
+func (p *startInvalidates) Arrive(env Env, j *job.Job) {
+	if j.Nodes <= env.FreeNodes() {
+		before := env.Availability().FreeAt(env.Now())
+		if err := env.Start(j); err != nil {
+			p.t.Fatal(err)
+		}
+		after := env.Availability().FreeAt(env.Now())
+		if after != before-j.Nodes {
+			p.t.Errorf("availability stale after Start: free %d -> %d, want %d",
+				before, after, before-j.Nodes)
+		}
+		p.checked = true
+		return
+	}
+	p.greedy.Arrive(env, j)
+}
+
+func TestAvailabilityInvalidatedByStart(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 3},
+		{ID: 2, User: 2, Submit: 5, Runtime: 100, Estimate: 100, Nodes: 3},
+	}
+	probe := &startInvalidates{t: t}
+	if _, err := New(Config{SystemSize: 8, Validate: true}, probe).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.checked {
+		t.Fatal("probe never started a job")
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"fairsched/internal/fairshare"
 	"fairsched/internal/job"
+	"fairsched/internal/profile"
 )
 
 // KillPolicy selects what happens when a job reaches its wall-clock limit
@@ -120,8 +121,20 @@ type Env interface {
 	Running() []RunningJob
 	// Fairshare returns the usage tracker (settled up to Now).
 	Fairshare() *fairshare.Tracker
+	// Availability returns the free-capacity timeline implied by the running
+	// jobs: free nodes from Now onwards, with each running job occupying its
+	// nodes until its estimated completion (overruns backed off as in
+	// RunningJob.EstimatedCompletion). The profile is built at most once per
+	// scheduling pass and shared by every policy component — reservation
+	// searches, backfill feasibility checks, starvation-queue reservations —
+	// so callers MUST NOT mutate it; copy it (profile.CopyFrom) before
+	// occupying. The returned profile is invalidated by the next Start call
+	// and by the clock advancing: re-fetch it rather than retaining it across
+	// starts.
+	Availability() *profile.Profile
 	// Start launches a queued job immediately. It fails if the job does not
-	// fit in the free nodes or was already started.
+	// fit in the free nodes or was already started. Starting a job
+	// invalidates the Availability profile.
 	Start(j *job.Job) error
 }
 

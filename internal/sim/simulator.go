@@ -7,6 +7,7 @@ import (
 	"fairsched/internal/eventq"
 	"fairsched/internal/fairshare"
 	"fairsched/internal/job"
+	"fairsched/internal/profile"
 )
 
 // Event kinds on the future event list.
@@ -70,6 +71,13 @@ type Simulator struct {
 	// event time, one completion batch per completion instant).
 	usageBuf []fairshare.Usage
 	batchBuf []*job.Job
+
+	// avail is the shared availability profile handed out by Availability():
+	// rebuilt lazily (into the same backing array) whenever the running set
+	// or the clock has changed since it was last built.
+	avail      profile.Profile
+	availDirty bool
+	availInit  bool
 }
 
 // New creates a simulator for the given configuration and policy.
@@ -97,6 +105,26 @@ func (s *Simulator) Running() []RunningJob { return s.running }
 // Fairshare implements Env.
 func (s *Simulator) Fairshare() *fairshare.Tracker { return s.fs }
 
+// Availability implements Env: the free-capacity profile implied by the
+// running jobs, built at most once per scheduling pass. Every policy
+// component in that pass (reservation search, backfill check, starvation
+// reservation) reads the same profile instead of re-deriving release times
+// from the running set; Start and the advancing clock invalidate it.
+func (s *Simulator) Availability() *profile.Profile {
+	if !s.availInit || s.availDirty {
+		s.avail.Reset(s.now, s.cfg.SystemSize, s.cfg.SystemSize)
+		for _, r := range s.running {
+			if err := s.avail.Occupy(s.now, r.EstimatedCompletion(s.now), r.Job.Nodes); err != nil {
+				// Running jobs always fit: they were started within capacity.
+				panic(fmt.Sprintf("sim: availability occupancy: %v", err))
+			}
+		}
+		s.availInit = true
+		s.availDirty = false
+	}
+	return &s.avail
+}
+
 // Start implements Env: a policy launches a queued job now.
 func (s *Simulator) Start(j *job.Job) error {
 	if !s.inEvent {
@@ -116,6 +144,7 @@ func (s *Simulator) Start(j *job.Job) error {
 	rec.Start = s.now
 	s.used += j.Nodes
 	s.running = append(s.running, RunningJob{Job: j, Start: s.now})
+	s.availDirty = true
 	runtime := j.Runtime
 	if s.cfg.Kill == KillAlways && j.Estimate < runtime {
 		runtime = j.Estimate
@@ -250,6 +279,7 @@ func (s *Simulator) advanceTo(t int64) {
 		panic(err)
 	}
 	s.now = t
+	s.availDirty = true
 }
 
 func (s *Simulator) handleArrival(j *job.Job) {
@@ -352,8 +382,11 @@ func (s *Simulator) release(j *job.Job, killed bool) (start int64, ok bool) {
 		panic(fmt.Sprintf("sim: completion for job %d not running", j.ID))
 	}
 	start = s.running[idx].Start
-	s.running = append(s.running[:idx], s.running[idx+1:]...)
+	copy(s.running[idx:], s.running[idx+1:])
+	s.running[len(s.running)-1] = RunningJob{} // drop the job pointer for the GC
+	s.running = s.running[:len(s.running)-1]
 	s.used -= j.Nodes
+	s.availDirty = true
 	rec := s.records[j.ID]
 	rec.Complete = s.now
 	rec.Finished = true

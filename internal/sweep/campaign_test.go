@@ -25,14 +25,23 @@ func testCampaign(parallel int) sweep.Campaign {
 			mustScenario("window=0..4w"),
 			mustScenario("perturb=3"),
 		},
-		Seeds: []int64{42, 43},
-		Specs: []core.Spec{
-			{Key: "fcfs", Kind: core.KindFCFS},
-			{Key: "easy", Kind: core.KindEASY},
-		},
+		Seeds:    []int64{42, 43},
+		Specs:    mustSpecs("fcfs", "easy"),
 		Study:    core.StudyConfig{SystemSize: 100},
 		Parallel: parallel,
 	}
+}
+
+func mustSpecs(keys ...string) []core.Spec {
+	out := make([]core.Spec, 0, len(keys))
+	for _, k := range keys {
+		s, err := core.SpecByKey(k)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 func mustScenario(spec string) scenario.Scenario {
@@ -152,7 +161,7 @@ func TestCampaignWindowShiftsEpoch(t *testing.T) {
 		Scenarios: []scenario.Scenario{
 			scenario.Baseline().With(scenario.Window{Start: 12 * 3600}),
 		},
-		Specs:    []core.Spec{{Key: "fcfs", Kind: core.KindFCFS}},
+		Specs:    mustSpecs("fcfs"),
 		Study:    core.StudyConfig{SystemSize: 100},
 		Parallel: 1,
 	}
