@@ -22,6 +22,7 @@
 //	experiments -trace ross.swf -trace kth.swf -scenario estimate-perturbed
 //	experiments -scenario 'load=1.5+perturb=3' -window 1w..5w -seeds 3
 //	experiments -policy cplant24.nomax.all -policy 'order=sjf+bf=easy+starve=24h.all'
+//	experiments -policy-parallel ...     # fan the policy axis across workers too
 package main
 
 import (
@@ -62,6 +63,7 @@ func main() {
 		markdown = flag.Bool("markdown", false, "also emit the paper-vs-measured and claim tables as Markdown (for EXPERIMENTS.md)")
 
 		window    = flag.String("window", "", "campaign: slice every scenario to START..END (e.g. 1w..5w)")
+		polPar    = flag.Bool("policy-parallel", false, "campaign: fan the policy axis out across the worker pool too (wide-registry sweeps over few cells; report stays byte-identical)")
 		listScens = flag.Bool("list-scenarios", false, "list the built-in scenarios and the spec grammar, then exit")
 		listPols  = flag.Bool("list-policies", false, "list the policy registry and the spec grammar, then exit (-markdown: README table)")
 		keepCanc  = flag.Bool("keep-cancelled", false, "keep cancelled (status 5) trace records, the pre-filtering behaviour")
@@ -115,9 +117,12 @@ func main() {
 		}
 		runCampaign(traces, scenarios, policies, *window, study, convOpts, campaignParams{
 			seed: *seed, seeds: *sweepN, scale: *scale, burstGamma: *burst,
-			systemSize: *nodes, parallel: *parallel,
+			systemSize: *nodes, parallel: *parallel, policyParallel: *polPar,
 		})
 		return
+	}
+	if *polPar {
+		fatal(fmt.Errorf("-policy-parallel only applies to campaign mode (add -trace/-scenario/-policy/-window)"))
 	}
 
 	t0 := time.Now()
@@ -190,12 +195,13 @@ func main() {
 }
 
 type campaignParams struct {
-	seed       int64
-	seeds      int
-	scale      float64
-	burstGamma float64
-	systemSize int
-	parallel   int
+	seed           int64
+	seeds          int
+	scale          float64
+	burstGamma     float64
+	systemSize     int
+	parallel       int
+	policyParallel bool
 }
 
 // runCampaign assembles and executes the (trace × scenario × seed × policy)
@@ -252,12 +258,13 @@ func runCampaign(traces, scenSpecs, polSpecs []string, window string, study core
 		nPolicies = len(core.AllSpecs())
 	}
 	cells, err := sweep.Campaign{
-		Sources:   sources,
-		Scenarios: scens,
-		Seeds:     seeds,
-		Specs:     specs,
-		Study:     study,
-		Parallel:  p.parallel,
+		Sources:        sources,
+		Scenarios:      scens,
+		Seeds:          seeds,
+		Specs:          specs,
+		Study:          study,
+		Parallel:       p.parallel,
+		PolicyParallel: p.policyParallel,
 	}.Run()
 	experiments.RenderCampaign(os.Stdout, cells)
 	fmt.Printf("campaign: %d cells × %d policies in %s\n",

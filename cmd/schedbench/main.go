@@ -5,13 +5,18 @@
 //     policies on a contended workload, exercising the shared-availability-
 //     profile path every reservation and backfill check reads;
 //   - sweep throughput (runs/sec, events/sec) for the paper's nine-policy
-//     study over the calibrated synthetic trace.
+//     study over the calibrated synthetic trace;
+//   - measurement-plane cost: the hybrid fair-start-time engine's
+//     ns/arrival and allocs/arrival on deep contended queues (the §4.1
+//     metric every fairness figure reads).
 //
 // Usage:
 //
 //	schedbench                          # default: scale 0.05 sweep, contended events
 //	schedbench -out BENCH_sched.json    # write JSON to a file (default stdout)
 //	schedbench -scale 0.1 -repeat 3     # heavier sweep, best-of-3 timing
+//	schedbench -compare prev.json ...   # also print a warn-only benchstat-style
+//	                                    # delta against a previous report
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"fairsched/internal/core"
+	"fairsched/internal/fairness"
 	"fairsched/internal/job"
 	"fairsched/internal/sched"
 	"fairsched/internal/sim"
@@ -49,15 +55,34 @@ type sweepBench struct {
 	Parallel     int     `json:"parallel"`
 }
 
+// fairnessBench is one measurement-plane probe: the hybrid-FST engine's
+// cost per arrival on a contended system with a queue of the given depth.
+type fairnessBench struct {
+	Queue            int     `json:"queue"`
+	Running          int     `json:"running"`
+	NsPerArrival     float64 `json:"ns_per_arrival"`
+	AllocsPerArrival float64 `json:"allocs_per_arrival"`
+}
+
+// eventSchema versions the meaning of the event-count denominators
+// (Events, ns_per_event, events_per_sec). Version 2: the simulator dedups
+// identical wake reschedules, so Result.Events counts real scheduling
+// events only — about a third fewer than version-0/1 reports, whose counts
+// included stale wake pops. Per-event rates are not comparable across
+// schema versions (docs/PERFORMANCE.md).
+const eventSchema = 2
+
 type report struct {
-	GoOS     string        `json:"goos"`
-	GoArch   string        `json:"goarch"`
-	CPUs     int           `json:"cpus"`
-	When     string        `json:"when"`
-	Scale    float64       `json:"scale"`
-	Events   []policyBench `json:"per_event"`
-	Sweep    sweepBench    `json:"sweep"`
-	Failures []string      `json:"failures,omitempty"`
+	Schema   int             `json:"event_schema"`
+	GoOS     string          `json:"goos"`
+	GoArch   string          `json:"goarch"`
+	CPUs     int             `json:"cpus"`
+	When     string          `json:"when"`
+	Scale    float64         `json:"scale"`
+	Events   []policyBench   `json:"per_event"`
+	Sweep    sweepBench      `json:"sweep"`
+	Fairness []fairnessBench `json:"fairness,omitempty"`
+	Failures []string        `json:"failures,omitempty"`
 }
 
 var eventPolicies = []string{
@@ -74,10 +99,12 @@ func main() {
 		parN    = flag.Int("parallel", 1, "sweep worker count (1: serial, the comparable configuration)")
 		indent  = flag.Bool("indent", true, "indent the JSON output")
 		timeout = flag.Duration("budget", 10*time.Minute, "soft overall budget; exceeded -> partial report")
+		compare = flag.String("compare", "", "previous BENCH_sched.json to diff against (warn-only; a missing file is noted, never fatal)")
 	)
 	flag.Parse()
 
 	rep := report{
+		Schema: eventSchema,
 		GoOS:   runtime.GOOS,
 		GoArch: runtime.GOARCH,
 		CPUs:   runtime.NumCPU(),
@@ -124,6 +151,22 @@ func main() {
 	}
 	rep.Sweep = best
 
+	// Measurement-plane cost: the hybrid-FST engine's per-arrival hot path
+	// at increasing queue depths (fairness.MeasureArrivalCost drives the
+	// same probe BenchmarkHybridFST uses).
+	for _, queue := range []int{16, 128, 512} {
+		const arrivals = 2000
+		ns, allocs := fairness.MeasureArrivalCost(queue, 64, arrivals)
+		for r := 1; r < *repeat; r++ {
+			if n2, a2 := fairness.MeasureArrivalCost(queue, 64, arrivals); n2 < ns {
+				ns, allocs = n2, a2
+			}
+		}
+		rep.Fairness = append(rep.Fairness, fairnessBench{
+			Queue: queue, Running: 64, NsPerArrival: ns, AllocsPerArrival: allocs,
+		})
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -140,9 +183,74 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
 	}
+	if *compare != "" {
+		compareAgainst(*compare, rep)
+	}
 	if len(rep.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "schedbench: %d measurements failed\n", len(rep.Failures))
 		os.Exit(1)
+	}
+}
+
+// compareAgainst prints a benchstat-style delta table between a previous
+// report and the current one on stderr. It is strictly warn-only: a
+// missing or unreadable baseline is noted and never fails the run — CI
+// wires the previous push's artifact in here, and the first run of a new
+// repository has nothing to compare against.
+func compareAgainst(path string, cur report) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedbench: no comparison baseline (%v); skipping delta table\n", err)
+		return
+	}
+	var prev report
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "schedbench: unreadable baseline %s (%v); skipping delta table\n", path, err)
+		return
+	}
+	w := os.Stderr
+	fmt.Fprintf(w, "\nBENCH DELTA (warn-only) vs %s (recorded %s)\n", path, prev.When)
+	fmt.Fprintf(w, "  %-34s %12s %12s %9s\n", "metric", "old", "new", "delta")
+	row := func(name string, old, new float64) {
+		if old == 0 && new == 0 {
+			fmt.Fprintf(w, "  %-34s %12.1f %12.1f %9s\n", name, old, new, "=")
+			return
+		}
+		if old == 0 {
+			fmt.Fprintf(w, "  %-34s %12.1f %12.1f %9s\n", name, old, new, "n/a")
+			return
+		}
+		fmt.Fprintf(w, "  %-34s %12.1f %12.1f %+8.1f%%\n", name, old, new, 100*(new-old)/old)
+	}
+	if prev.Schema == cur.Schema {
+		prevEvents := make(map[string]policyBench, len(prev.Events))
+		for _, p := range prev.Events {
+			prevEvents[p.Policy] = p
+		}
+		for _, c := range cur.Events {
+			if p, ok := prevEvents[c.Policy]; ok {
+				row(c.Policy+" ns/event", p.NsPerEvt, c.NsPerEvt)
+			}
+		}
+		row("sweep events/sec", prev.Sweep.EventsPerSec, cur.Sweep.EventsPerSec)
+	} else {
+		// The event-count denominator changed meaning between schema
+		// versions (e.g. stale wake pops no longer counted), so per-event
+		// rates from the two reports are not comparable: printing them
+		// would show large spurious "regressions".
+		fmt.Fprintf(w, "  (per-event rows skipped: baseline event schema %d, current %d — denominators differ)\n",
+			prev.Schema, cur.Schema)
+	}
+	row("sweep runs/sec", prev.Sweep.RunsPerSec, cur.Sweep.RunsPerSec)
+	prevFair := make(map[int]fairnessBench, len(prev.Fairness))
+	for _, p := range prev.Fairness {
+		prevFair[p.Queue] = p
+	}
+	for _, c := range cur.Fairness {
+		if p, ok := prevFair[c.Queue]; ok {
+			row(fmt.Sprintf("fst queue%d ns/arrival", c.Queue), p.NsPerArrival, c.NsPerArrival)
+			row(fmt.Sprintf("fst queue%d allocs/arrival", c.Queue), p.AllocsPerArrival, c.AllocsPerArrival)
+		}
 	}
 }
 

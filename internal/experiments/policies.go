@@ -29,7 +29,9 @@ func ListPolicies(w io.Writer) {
 	fmt.Fprintln(w, "  order=fairshare|fcfs|sjf|lxf|widest|narrowest   queue order (default fairshare)")
 	fmt.Fprintln(w, "  bf=none|noguarantee|easy|depth|conservative|consdyn")
 	fmt.Fprintln(w, "                                                  backfill discipline (default noguarantee)")
-	fmt.Fprintln(w, "  starve=24h[.all|.nonheavy]                      starvation queue: wait threshold + admission")
+	fmt.Fprintln(w, "  starve=24h[.all|.nonheavy|.q75|.abs280h]        starvation queue: wait threshold + admission")
+	fmt.Fprintln(w, "                                                  (q<N>: heavy above the N-th usage quantile;")
+	fmt.Fprintln(w, "                                                  abs<S>: heavy above S decayed proc-seconds)")
 	fmt.Fprintln(w, "  depth=2                                         reservation depth (with starve or bf=depth)")
 	fmt.Fprintln(w, "  max=72h                                         maximum-runtime limit (simulator-enforced)")
 	fmt.Fprintln(w, "\nExample: -policy 'order=fairshare+bf=easy+starve=24h.nonheavy+depth=2'")

@@ -61,6 +61,38 @@ func (a *availability) add(t int64, n int) {
 	a.entries[i] = availEntry{t: t, n: n}
 }
 
+// remove deletes n nodes from the entry at exactly t; the inverse of add.
+// The entry must exist and hold at least n nodes.
+func (a *availability) remove(t int64, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	i := sort.Search(len(a.entries), func(i int) bool { return a.entries[i].t >= t })
+	if i >= len(a.entries) || a.entries[i].t != t || a.entries[i].n < n {
+		return fmt.Errorf("fairness: no %d nodes releasing at t=%d in multiset", n, t)
+	}
+	a.entries[i].n -= n
+	a.total -= n
+	if a.entries[i].n == 0 {
+		copy(a.entries[i:], a.entries[i+1:])
+		a.entries = a.entries[:len(a.entries)-1]
+	}
+	return nil
+}
+
+// reset empties the multiset in place, keeping the backing array.
+func (a *availability) reset() {
+	a.entries = a.entries[:0]
+	a.total = 0
+}
+
+// copyFrom makes a an exact copy of src, reusing a's backing array — the
+// allocation-free seeding step of the per-arrival scratch multiset.
+func (a *availability) copyFrom(src *availability) {
+	a.entries = append(a.entries[:0], src.entries...)
+	a.total = src.total
+}
+
 // allocate places a job needing `nodes` nodes for `runtime` seconds at the
 // earliest time that many nodes are simultaneously free — the n-th smallest
 // availability time — consumes those nodes and returns them at start +
@@ -78,13 +110,16 @@ func (a *availability) allocate(nodes int, runtime int64) (int64, error) {
 		need -= a.entries[idx].n
 	}
 	start := a.entries[idx].t
-	// Consume the `need` nodes from entry idx and all of entries [0, idx).
+	// Consume the `need` nodes from entry idx and all of entries [0, idx),
+	// compacting in place: a forward re-slice would pin the vacated head of
+	// the backing array for the multiset's whole lifetime.
 	if a.entries[idx].n == need {
-		a.entries = a.entries[idx+1:]
+		idx++
 	} else {
 		a.entries[idx].n -= need
-		a.entries = a.entries[idx:]
 	}
+	kept := copy(a.entries, a.entries[idx:])
+	a.entries = a.entries[:kept]
 	a.total -= nodes
 	a.add(start+runtime, nodes)
 	return start, nil

@@ -72,6 +72,75 @@ func TestAllocateConservesTotal(t *testing.T) {
 	}
 }
 
+// TestRemoveInvertsAdd: remove deletes exactly what add inserted, merging
+// and unmerging equal times, and errors on absent entries.
+func TestRemoveInvertsAdd(t *testing.T) {
+	a := &availability{}
+	a.add(100, 4)
+	a.add(100, 2)
+	a.add(50, 3)
+	if err := a.remove(100, 4); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 5 {
+		t.Fatalf("total = %d, want 5", a.Total())
+	}
+	if err := a.remove(100, 3); err == nil {
+		t.Fatal("removed more nodes than the entry holds")
+	}
+	if err := a.remove(70, 1); err == nil {
+		t.Fatal("removed from a time with no entry")
+	}
+	if err := a.remove(100, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.remove(50, 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 0 || len(a.entries) != 0 {
+		t.Fatalf("multiset not empty after removing everything: %+v", a)
+	}
+}
+
+// TestCopyFromAndReset: the scratch-reuse helpers preserve content and keep
+// the copy independent of the source.
+func TestCopyFromAndReset(t *testing.T) {
+	src := &availability{}
+	src.add(10, 2)
+	src.add(20, 5)
+	var dst availability
+	dst.copyFrom(src)
+	if dst.Total() != 7 || len(dst.entries) != 2 {
+		t.Fatalf("copy = %+v", dst)
+	}
+	if _, err := dst.allocate(6, 100); err != nil {
+		t.Fatal(err)
+	}
+	if src.Total() != 7 || len(src.entries) != 2 || src.entries[0] != (availEntry{t: 10, n: 2}) {
+		t.Fatalf("source mutated by copy's allocation: %+v", src)
+	}
+	dst.reset()
+	if dst.Total() != 0 || len(dst.entries) != 0 {
+		t.Fatalf("reset left %+v", dst)
+	}
+}
+
+// TestAllocateDoesNotPinBackingArray: repeated allocations must compact in
+// place rather than re-slicing forward, so the backing array's head stays
+// reusable across a long run.
+func TestAllocateDoesNotPinBackingArray(t *testing.T) {
+	a := &availability{}
+	a.add(0, 8)
+	for i := 0; i < 1000; i++ {
+		if _, err := a.allocate(8, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cap(a.entries) > 16 {
+		t.Fatalf("backing array grew to %d entries over steady-state allocations", cap(a.entries))
+	}
+}
+
 // TestQuickAllocateMatchesPerNodeReference checks the RLE multiset against
 // a brute-force per-node list scheduler (the paper's formulation).
 func TestQuickAllocateMatchesPerNodeReference(t *testing.T) {

@@ -2,6 +2,7 @@ package fairness
 
 import (
 	"fmt"
+	"slices"
 
 	"fairsched/internal/job"
 	"fairsched/internal/sim"
@@ -19,15 +20,63 @@ import (
 // unlike the Sabin/Sadayappan FST it uses a fixed reference discipline
 // (fairshare list scheduling) instead of the policy under test, so values
 // are comparable across schedulers.
+//
+// The engine is incremental: the running set's availability multiset is
+// maintained across events by the JobStarted/JobCompleted hooks (one add
+// and one remove per job) instead of being re-derived from env.Running()
+// at every arrival, and the per-arrival reference schedule reuses
+// persistent scratch buffers, so the steady-state hot path is
+// allocation-free. It deliberately does NOT read the simulator's shared
+// sim.Env.Availability() profile: that profile promises release times from
+// user estimates (with overrun backoff), while the fair reference schedule
+// uses the running jobs' true remaining runtimes (perfect estimates, as in
+// CONS-P) — see DESIGN.md §10 on measurement-plane invariants.
 type HybridFST struct {
 	sim.BaseObserver
 	fst map[job.ID]int64
+
+	// base is the running set's availability multiset: one (start +
+	// EffectiveRuntime, nodes) entry per running job, inserted at start and
+	// removed at completion. A running segment of a checkpoint chain holds
+	// its nodes for the chain's remaining runtime, so the entry key is
+	// reproducible at completion from the recorded start time.
+	base availability
+	// scratch is the per-arrival working multiset the reference list
+	// schedule consumes; seeded from base plus the free-nodes-now entry and
+	// reused across arrivals.
+	scratch availability
+	// ahead is the reused buffer of queued jobs the fairshare order places
+	// ahead of the arriving job, with their priority keys precomputed.
+	ahead []aheadJob
+}
+
+// aheadJob pairs a queued job with its precomputed fairshare priority key,
+// so the reference-order sort never re-reads the usage map.
+type aheadJob struct {
+	job   *job.Job
+	usage float64
 }
 
 // NewHybridFST returns an empty engine; attach it to a simulator as an
 // observer.
 func NewHybridFST() *HybridFST {
 	return &HybridFST{fst: make(map[job.ID]int64)}
+}
+
+// JobStarted implements sim.Observer: the job's nodes re-enter the
+// availability multiset at its true completion time.
+func (h *HybridFST) JobStarted(env sim.Env, j *job.Job) {
+	h.base.add(env.Now()+j.EffectiveRuntime(), j.Nodes)
+}
+
+// JobCompleted implements sim.Observer: drop exactly the entry JobStarted
+// inserted. Kills and early completions fire this too, so the multiset
+// tracks the live running set even when the promised release time was never
+// reached.
+func (h *HybridFST) JobCompleted(_ sim.Env, j *job.Job, start int64) {
+	if err := h.base.remove(start+j.EffectiveRuntime(), j.Nodes); err != nil {
+		panic(fmt.Sprintf("fairness: hybrid FST availability drift: %v", err))
+	}
 }
 
 // JobArrived implements sim.Observer.
@@ -39,11 +88,17 @@ func NewHybridFST() *HybridFST {
 // the full chain runtime — and restart segments are neither scheduled
 // separately nor measured (fairness.Measure skips records without an FST
 // entry, so the unfairness denominators count user-submitted jobs).
+//
+// Jobs the fairshare order places after the arriving job cannot influence a
+// no-backfill list schedule, so only the jobs ahead of it are selected,
+// sorted and placed — the rest of the queue is never touched.
 func (h *HybridFST) JobArrived(env sim.Env, j *job.Job, queued []*job.Job) {
 	if j.Segment > 1 {
 		return // restart of an already-measured logical job
 	}
-	order := make([]*job.Job, 0, len(queued)+1)
+	fs := env.Fairshare()
+	target := aheadJob{job: j, usage: fs.Usage(j.User)}
+	ahead := h.ahead[:0]
 	for _, q := range queued {
 		if q.Segment > 1 {
 			// A restart's remaining chain is already accounted for in the
@@ -51,23 +106,57 @@ func (h *HybridFST) JobArrived(env sim.Env, j *job.Job, queued []*job.Job) {
 			// the logical job's own first segment (upfront splitting).
 			continue
 		}
-		order = append(order, q)
+		qa := aheadJob{job: q, usage: fs.Usage(q.User)}
+		if aheadLess(qa, target) {
+			ahead = append(ahead, qa)
+		}
 	}
-	order = append(order, j)
-	env.Fairshare().SortJobs(order)
+	// The fairshare order is total over distinct jobs (usage, submission,
+	// id), so a plain (unstable, reflection-free) sort is deterministic.
+	slices.SortFunc(ahead, aheadCmp)
+	h.ahead = ahead
 
-	avail := newAvailability(env.Now(), env.FreeNodes(), env.Running())
-	for _, q := range order {
-		start, err := avail.allocate(q.Nodes, q.EffectiveRuntime())
-		if err != nil {
+	h.scratch.copyFrom(&h.base)
+	h.scratch.add(env.Now(), env.FreeNodes())
+	for _, q := range ahead {
+		if _, err := h.scratch.allocate(q.job.Nodes, q.job.EffectiveRuntime()); err != nil {
 			panic(fmt.Sprintf("fairness: hybrid FST: %v", err))
 		}
-		if q.ID == j.ID {
-			// Jobs ordered after the target cannot influence a no-backfill
-			// list schedule, so we can stop here.
-			h.fst[j.ID] = start
-			return
+	}
+	start, err := h.scratch.allocate(j.Nodes, j.EffectiveRuntime())
+	if err != nil {
+		panic(fmt.Sprintf("fairness: hybrid FST: %v", err))
+	}
+	h.fst[j.ID] = start
+}
+
+// aheadLess is the fairshare queue order over precomputed keys.
+func aheadLess(a, b aheadJob) bool { return aheadCmp(a, b) < 0 }
+
+// aheadCmp is the fairshare queue order over precomputed keys as a
+// three-way comparison: lower decayed usage first, then earlier
+// submission, then lower id — exactly fairshare.Tracker.Less, without
+// re-reading the usage map. A total order over distinct jobs, so it never
+// answers 0 for different jobs.
+func aheadCmp(a, b aheadJob) int {
+	switch {
+	case a.usage != b.usage:
+		if a.usage < b.usage {
+			return -1
 		}
+		return 1
+	case a.job.Submit != b.job.Submit:
+		if a.job.Submit < b.job.Submit {
+			return -1
+		}
+		return 1
+	case a.job.ID != b.job.ID:
+		if a.job.ID < b.job.ID {
+			return -1
+		}
+		return 1
+	default:
+		return 0
 	}
 }
 
@@ -77,5 +166,12 @@ func (h *HybridFST) FST(id job.ID) (int64, bool) {
 	return t, ok
 }
 
-// Table returns the complete id -> FST table.
-func (h *HybridFST) Table() map[job.ID]int64 { return h.fst }
+// Table returns a copy of the complete id -> FST table. Handing out the
+// live internal map would let callers corrupt engine state.
+func (h *HybridFST) Table() map[job.ID]int64 {
+	out := make(map[job.ID]int64, len(h.fst))
+	for id, t := range h.fst {
+		out[id] = t
+	}
+	return out
+}

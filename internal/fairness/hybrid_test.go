@@ -98,6 +98,23 @@ func TestHybridFSTSkipsRestartSegments(t *testing.T) {
 	}
 }
 
+// TestTableReturnsACopy: mutating the returned table must not corrupt the
+// engine's internal state.
+func TestTableReturnsACopy(t *testing.T) {
+	fst := NewHybridFST()
+	pol := sched.MustParse("list.fairshare")
+	jobs := []*job.Job{{ID: 1, User: 1, Submit: 100, Runtime: 50, Estimate: 50, Nodes: 4}}
+	if _, err := sim.New(sim.Config{SystemSize: 8, Validate: true}, pol, fst).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	table := fst.Table()
+	table[1] = -999
+	delete(table, 1)
+	if got, ok := fst.FST(1); !ok || got != 100 {
+		t.Fatalf("engine state corrupted through Table(): %d, %v", got, ok)
+	}
+}
+
 // TestHybridFSTNeverBeforeArrival: the fair start time can never precede
 // the job's own submission.
 func TestHybridFSTNeverBeforeArrival(t *testing.T) {

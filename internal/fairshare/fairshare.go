@@ -64,15 +64,31 @@ type Usage struct {
 // calls Accrue for every interval between events with the set of running
 // jobs during that interval; Accrue splits the interval at decay boundaries
 // so usage earned before a boundary decays at it.
+//
+// Decay is applied lazily: a boundary crossing only bumps a generation
+// counter, and each user's value is settled to the current generation on
+// first read or charge (the per-boundary multiplications are replayed one
+// at a time, so the floating-point results are bit-identical to an eager
+// sweep — the measurement plane's equivalence bar, DESIGN.md §10). This
+// removes the full-map decay sweep from the event loop's profile.
 type Tracker struct {
 	cfg   Config
 	epoch int64 // decay boundaries are epoch + k*interval
 	now   int64 // accrual frontier
-	usage map[int]float64
-	// perUser is Accrue's scratch map (per-interval node counts), reused
-	// across calls: Accrue runs once per simulation event, and allocating
-	// the map anew each time dominated its profile.
+	usage map[int]decayedUsage
+	gen   int64 // decay generation: boundaries crossed so far
+	// perUser and aggBuf are Accrue's reused aggregation scratch (per-
+	// interval node counts): Accrue runs once per simulation event, and
+	// allocating them anew each time dominated its profile.
 	perUser map[int]int
+	aggBuf  []Usage
+}
+
+// decayedUsage is one user's processor-seconds, settled up to decay
+// generation gen.
+type decayedUsage struct {
+	v   float64
+	gen int64
 }
 
 // NewTracker creates a tracker whose decay boundaries align to epoch.
@@ -81,7 +97,7 @@ func NewTracker(cfg Config, epoch int64) *Tracker {
 		cfg:   cfg.withDefaults(),
 		epoch: epoch,
 		now:   epoch,
-		usage: make(map[int]float64),
+		usage: make(map[int]decayedUsage),
 	}
 }
 
@@ -89,13 +105,52 @@ func NewTracker(cfg Config, epoch int64) *Tracker {
 func (t *Tracker) Now() int64 { return t.now }
 
 // Usage returns user's decayed processor-seconds as of the accrual frontier.
-func (t *Tracker) Usage(user int) float64 { return t.usage[user] }
+func (t *Tracker) Usage(user int) float64 {
+	v, _ := t.settled(user)
+	return v
+}
+
+// settled returns user's usage settled to the current decay generation,
+// replaying any pending per-boundary decays. Vanishing entries are dropped
+// exactly when the eager sweep would have dropped them (the first boundary
+// pushing them under the threshold).
+func (t *Tracker) settled(user int) (float64, bool) {
+	e, ok := t.usage[user]
+	if !ok {
+		return 0, false
+	}
+	if e.gen == t.gen {
+		return e.v, true
+	}
+	v := e.v
+	for g := e.gen; g < t.gen; g++ {
+		v *= t.cfg.DecayFactor
+		if v < 1e-9 {
+			delete(t.usage, user) // drop vanishing entries to keep the map small
+			return 0, false
+		}
+	}
+	t.usage[user] = decayedUsage{v: v, gen: t.gen}
+	return v, true
+}
+
+// charge settles user to the current generation and adds procSeconds.
+func (t *Tracker) charge(user int, procSeconds float64) {
+	v, _ := t.settled(user)
+	t.usage[user] = decayedUsage{v: v + procSeconds, gen: t.gen}
+}
 
 // Users returns the ids of all users with recorded usage, sorted.
 func (t *Tracker) Users() []int {
-	out := make([]int, 0, len(t.usage))
+	keys := make([]int, 0, len(t.usage))
 	for u := range t.usage {
-		out = append(out, u)
+		keys = append(keys, u)
+	}
+	out := keys[:0]
+	for _, u := range keys {
+		if _, ok := t.settled(u); ok {
+			out = append(out, u)
+		}
 	}
 	sort.Ints(out)
 	return out
@@ -104,22 +159,38 @@ func (t *Tracker) Users() []int {
 // Accrue advances the frontier from its current position to now, charging
 // each stream Nodes proc-seconds per second and applying the decay factor at
 // every interval boundary crossed. It is an error to move time backwards.
+// Streams may repeat a user; the counts are aggregated into a reused scratch
+// map first (callers that already hold aggregated counts should use
+// AccrueAggregated and skip that work).
 func (t *Tracker) Accrue(now int64, running []Usage) error {
-	if now < t.now {
-		return fmt.Errorf("fairshare: time moved backwards: %d < %d", now, t.now)
-	}
-	// Per-user node counts for this interval.
-	var perUser map[int]int
+	var perUser []Usage
 	if len(running) > 0 {
 		if t.perUser == nil {
 			t.perUser = make(map[int]int, len(running))
 		} else {
 			clear(t.perUser)
 		}
-		perUser = t.perUser
 		for _, u := range running {
-			perUser[u.User] += u.Nodes
+			t.perUser[u.User] += u.Nodes
 		}
+		perUser = t.aggBuf[:0]
+		for user, nodes := range t.perUser {
+			perUser = append(perUser, Usage{User: user, Nodes: nodes})
+		}
+		t.aggBuf = perUser
+	}
+	return t.AccrueAggregated(now, perUser)
+}
+
+// AccrueAggregated is Accrue for pre-aggregated streams: each user appears
+// at most once. The simulator maintains the aggregation incrementally across
+// events (one update per start/completion), so the per-event rebuild of the
+// per-user counts — which dominated Accrue's profile on deep runs —
+// disappears from the hot path. Charging is per-user independent, so the
+// slice order does not affect the resulting usage values.
+func (t *Tracker) AccrueAggregated(now int64, perUser []Usage) error {
+	if now < t.now {
+		return fmt.Errorf("fairshare: time moved backwards: %d < %d", now, t.now)
 	}
 	for t.now < now {
 		next := t.nextBoundary(t.now)
@@ -130,9 +201,11 @@ func (t *Tracker) Accrue(now int64, running []Usage) error {
 			atBoundary = true
 		}
 		dt := float64(end - t.now)
-		if dt > 0 && perUser != nil {
-			for user, nodes := range perUser {
-				t.usage[user] += float64(nodes) * dt
+		if dt > 0 {
+			for _, u := range perUser {
+				if u.Nodes != 0 {
+					t.charge(u.User, float64(u.Nodes)*dt)
+				}
 			}
 		}
 		t.now = end
@@ -153,16 +226,9 @@ func (t *Tracker) nextBoundary(ts int64) int64 {
 	return b
 }
 
-func (t *Tracker) decay() {
-	for u, v := range t.usage {
-		v *= t.cfg.DecayFactor
-		if v < 1e-9 {
-			delete(t.usage, u) // drop vanishing entries to keep the map small
-			continue
-		}
-		t.usage[u] = v
-	}
-}
+// decay crosses one boundary: O(1) — the per-user multiplications are
+// replayed lazily by settled.
+func (t *Tracker) decay() { t.gen++ }
 
 // NextBoundaryAfter exposes the next decay boundary strictly after ts, so
 // the simulator can schedule re-evaluation wake-ups at decay instants.
@@ -172,7 +238,7 @@ func (t *Tracker) NextBoundaryAfter(ts int64) int64 { return t.nextBoundary(ts) 
 // by tests and by warm-start scenarios.
 func (t *Tracker) Charge(user int, procSeconds float64) {
 	if procSeconds != 0 {
-		t.usage[user] += procSeconds
+		t.charge(user, procSeconds)
 	}
 }
 
@@ -180,7 +246,8 @@ func (t *Tracker) Charge(user int, procSeconds float64) {
 // submission, then lower job id. It is a strict weak ordering for distinct
 // jobs.
 func (t *Tracker) Less(a, b *job.Job) bool {
-	ua, ub := t.usage[a.User], t.usage[b.User]
+	ua, _ := t.settled(a.User)
+	ub, _ := t.settled(b.User)
 	if ua != ub {
 		return ua < ub
 	}
@@ -198,9 +265,15 @@ func (t *Tracker) SortJobs(jobs []*job.Job) {
 // Snapshot returns a copy of the per-user usage map (for metric engines that
 // must not observe later mutation).
 func (t *Tracker) Snapshot() map[int]float64 {
-	out := make(map[int]float64, len(t.usage))
-	for u, v := range t.usage {
-		out[u] = v
+	keys := make([]int, 0, len(t.usage))
+	for u := range t.usage {
+		keys = append(keys, u)
+	}
+	out := make(map[int]float64, len(keys))
+	for _, u := range keys {
+		if v, ok := t.settled(u); ok {
+			out[u] = v
+		}
 	}
 	return out
 }

@@ -89,6 +89,71 @@ func TestVanishingUsageIsDropped(t *testing.T) {
 	}
 }
 
+// TestLazyDecayBitIdenticalToEager: the lazy generation counter must
+// reproduce an eager per-boundary sweep bit for bit — the settled replay
+// multiplies once per boundary in the same order, never as a single
+// factor^k power.
+func TestLazyDecayBitIdenticalToEager(t *testing.T) {
+	cfg := Config{DecayFactor: 0.75, DecayInterval: 100}
+	tr := NewTracker(cfg, 0)
+	// Eager shadow: apply the same charges and per-boundary multiplies.
+	eager := map[int]float64{}
+	charge := func(user int, v float64) { eager[user] += v }
+	decayAll := func(n int) {
+		for i := 0; i < n; i++ {
+			for u := range eager {
+				eager[u] *= cfg.DecayFactor
+			}
+		}
+	}
+	tr.Charge(1, 1234.5)
+	tr.Charge(2, 17.25)
+	charge(1, 1234.5)
+	charge(2, 17.25)
+	if err := tr.Accrue(350, []Usage{{User: 1, Nodes: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Eager replay of Accrue(350): [0,100) +300 for user 1, decay, twice
+	// more, then [300,350) +150.
+	charge(1, 300)
+	decayAll(1)
+	charge(1, 300)
+	decayAll(1)
+	charge(1, 300)
+	decayAll(1)
+	charge(1, 150)
+	for _, u := range []int{1, 2} {
+		if got := tr.Usage(u); got != eager[u] {
+			t.Fatalf("user %d: lazy %v != eager %v (must be bit-identical)", u, got, eager[u])
+		}
+	}
+	// Reads in any order settle consistently: re-reads are stable.
+	if tr.Usage(2) != tr.Usage(2) {
+		t.Fatal("settled value not stable")
+	}
+}
+
+// TestAccrueAggregatedMatchesAccrue: the pre-aggregated entry point must
+// charge exactly like Accrue over the equivalent duplicated streams.
+func TestAccrueAggregatedMatchesAccrue(t *testing.T) {
+	a := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 100}, 0)
+	b := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 100}, 0)
+	if err := a.Accrue(250, []Usage{{User: 1, Nodes: 2}, {User: 2, Nodes: 1}, {User: 1, Nodes: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AccrueAggregated(250, []Usage{{User: 1, Nodes: 5}, {User: 2, Nodes: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int{1, 2} {
+		if a.Usage(u) != b.Usage(u) {
+			t.Fatalf("user %d: Accrue %v != AccrueAggregated %v", u, a.Usage(u), b.Usage(u))
+		}
+	}
+	if err := b.AccrueAggregated(100, nil); err == nil {
+		t.Fatal("time reversal accepted")
+	}
+}
+
 func TestNextBoundaryAfter(t *testing.T) {
 	tr := NewTracker(Config{DecayFactor: 0.5, DecayInterval: 100}, 50)
 	cases := []struct{ ts, want int64 }{

@@ -70,6 +70,28 @@ func (p *Profile) CopyFrom(src *Profile) {
 	p.bps = append(p.bps[:0], src.bps...)
 }
 
+// TrimBefore advances the profile's origin to t, dropping the breakpoints
+// strictly before the segment containing t. Capacity at every time >= t is
+// unchanged; only queries at or after the new origin remain meaningful. A
+// long-lived profile (the conservative engine's revalidation cache) calls
+// this to shed dead history, which would otherwise grow every structural
+// mutation's insertion cost without bound. Times before the current origin
+// are a no-op, and the compaction only runs once enough dead breakpoints
+// accumulate to pay for the copy.
+func (p *Profile) TrimBefore(t int64) {
+	const deadSlack = 32
+	i := sort.Search(len(p.bps), func(i int) bool { return p.bps[i].t > t })
+	// The segment containing t starts at i-1; everything before it is dead.
+	if i-1 < deadSlack {
+		return
+	}
+	kept := copy(p.bps, p.bps[i-1:])
+	p.bps = p.bps[:kept]
+	if p.bps[0].t < t {
+		p.bps[0].t = t
+	}
+}
+
 // Size returns the system size.
 func (p *Profile) Size() int { return p.size }
 

@@ -225,6 +225,51 @@ func TestResetReusesBackingArray(t *testing.T) {
 	}
 }
 
+func TestTrimBeforeShedsDeadHistory(t *testing.T) {
+	p := New(0, 100, 100)
+	// Lay down enough disjoint past rectangles to exceed the compaction
+	// slack, then trim at a later instant.
+	for i := int64(0); i < 50; i++ {
+		if err := p.Occupy(i*10, i*10+5, int(i%7)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trimAt := int64(497)
+	wantAt := map[int64]int{trimAt: p.FreeAt(trimAt), 1000: p.FreeAt(1000), 505: p.FreeAt(505)}
+	before := len(p.bps)
+	p.TrimBefore(trimAt)
+	if len(p.bps) >= before {
+		t.Fatalf("trim kept %d of %d breakpoints", len(p.bps), before)
+	}
+	if p.Origin() != trimAt {
+		t.Fatalf("origin = %d, want %d", p.Origin(), trimAt)
+	}
+	for at, want := range wantAt {
+		if got := p.FreeAt(at); got != want {
+			t.Fatalf("FreeAt(%d) = %d after trim, want %d", at, got, want)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations at and after the new origin still work.
+	if err := p.Occupy(trimAt, trimAt+10, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimBeforeSmallHistoryIsNoOp(t *testing.T) {
+	p := New(0, 10, 10)
+	if err := p.Occupy(5, 15, 3); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]breakpoint(nil), p.bps...)
+	p.TrimBefore(100) // only a couple of dead breakpoints: below the slack
+	if len(p.bps) != len(before) {
+		t.Fatalf("no-op trim changed the timeline: %v -> %v", before, p.bps)
+	}
+}
+
 func TestCopyFromMatchesClone(t *testing.T) {
 	src := New(0, 32, 32)
 	for _, iv := range []struct {

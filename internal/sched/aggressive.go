@@ -33,6 +33,8 @@ type aggressiveEngine struct {
 
 	main    []*job.Job
 	starved []*job.Job
+	// qBuf is the reused queued() buffer (callers must not retain it).
+	qBuf []*job.Job
 }
 
 func (e *aggressiveEngine) reset() { e.main, e.starved = nil, nil }
@@ -42,6 +44,8 @@ func (e *aggressiveEngine) arrive(env sim.Env, j *job.Job) {
 	e.schedule(env)
 }
 
+func (e *aggressiveEngine) complete(env sim.Env, _ *job.Job) { e.schedule(env) }
+
 // nextWake is the next starvation-promotion instant.
 func (e *aggressiveEngine) nextWake(now int64) (int64, bool) {
 	if e.starve == nil {
@@ -50,15 +54,14 @@ func (e *aggressiveEngine) nextWake(now int64) (int64, bool) {
 	return e.starve.nextPromotion(now, e.main)
 }
 
-// queued returns the starvation queue first, then the main queue.
+// queued returns the starvation queue first, then the main queue, in a
+// reused buffer (sim.Policy.Queued callers must not retain the slice).
 func (e *aggressiveEngine) queued() []*job.Job {
 	if e.starve == nil {
 		return e.main
 	}
-	out := make([]*job.Job, 0, len(e.starved)+len(e.main))
-	out = append(out, e.starved...)
-	out = append(out, e.main...)
-	return out
+	e.qBuf = append(append(e.qBuf[:0], e.starved...), e.main...)
+	return e.qBuf
 }
 
 func (e *aggressiveEngine) schedule(env sim.Env) {

@@ -25,12 +25,27 @@ func benchWorkload(b *testing.B) []*job.Job {
 // every reservation and backfill check reads the per-event availability
 // profile instead of re-deriving release times).
 func benchPolicyEvents(b *testing.B, spec string) {
+	benchPolicyEventsWith(b, func() *Composite { return MustParse(spec) })
+}
+
+// benchPolicyEventsRef runs a conservative policy with the revalidation
+// cache disabled — the from-scratch reference path — so the cache's win is
+// measurable inside one binary.
+func benchPolicyEventsRef(b *testing.B, spec string) {
+	benchPolicyEventsWith(b, func() *Composite {
+		pol := MustParse(spec)
+		pol.engine.(*conservativeEngine).noCache = true
+		return pol
+	})
+}
+
+func benchPolicyEventsWith(b *testing.B, mk func() *Composite) {
 	jobs := benchWorkload(b)
 	b.ReportAllocs()
 	var events int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.New(sim.Config{SystemSize: 250}, MustParse(spec)).Run(jobs)
+		res, err := sim.New(sim.Config{SystemSize: 250}, mk()).Run(jobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -48,6 +63,11 @@ func BenchmarkEventCPlantDepth2(b *testing.B)   { benchPolicyEvents(b, "cplant24
 func BenchmarkEventEASY(b *testing.B)           { benchPolicyEvents(b, "easy") }
 func BenchmarkEventConservative(b *testing.B)   { benchPolicyEvents(b, "cons.nomax") }
 func BenchmarkEventConsDynamic(b *testing.B)    { benchPolicyEvents(b, "consdyn.nomax") }
-func BenchmarkEventDepth8(b *testing.B)         { benchPolicyEvents(b, "depth8") }
-func BenchmarkEventListFairshare(b *testing.B)  { benchPolicyEvents(b, "list.fairshare") }
-func BenchmarkEventSJFEasy(b *testing.B)        { benchPolicyEvents(b, "easy.sjf") }
+
+// The *Ref variants run the same disciplines with the revalidation cache
+// disabled (the from-scratch reference): the pair quantifies the cache.
+func BenchmarkEventConservativeRef(b *testing.B) { benchPolicyEventsRef(b, "cons.nomax") }
+func BenchmarkEventConsDynamicRef(b *testing.B)  { benchPolicyEventsRef(b, "consdyn.nomax") }
+func BenchmarkEventDepth8(b *testing.B)          { benchPolicyEvents(b, "depth8") }
+func BenchmarkEventListFairshare(b *testing.B)   { benchPolicyEvents(b, "list.fairshare") }
+func BenchmarkEventSJFEasy(b *testing.B)         { benchPolicyEvents(b, "easy.sjf") }

@@ -16,6 +16,10 @@ import (
 type engine interface {
 	reset()
 	arrive(env sim.Env, j *job.Job)
+	// complete reacts to j's completion. Engines that cache state across
+	// events (the conservative revalidation cache) need the job identity to
+	// reconcile incrementally; the aggressive family just reschedules.
+	complete(env sim.Env, j *job.Job)
 	schedule(env sim.Env)
 	nextWake(now int64) (int64, bool)
 	queued() []*job.Job
@@ -56,7 +60,6 @@ func New(spec Spec) (*Composite, error) {
 		c.engine = &listEngine{order: ord}
 	case BackfillConservative, BackfillConservativeDynamic:
 		c.engine = &conservativeEngine{
-			comp:    c,
 			order:   ord,
 			dynamic: norm.Backfill == BackfillConservativeDynamic,
 		}
@@ -107,7 +110,7 @@ func (c *Composite) Reset(sim.Env) { c.engine.reset() }
 func (c *Composite) Arrive(env sim.Env, j *job.Job) { c.engine.arrive(env, j) }
 
 // Complete implements sim.Policy.
-func (c *Composite) Complete(env sim.Env, _ *job.Job) { c.engine.schedule(env) }
+func (c *Composite) Complete(env sim.Env, j *job.Job) { c.engine.complete(env, j) }
 
 // Wake implements sim.Policy.
 func (c *Composite) Wake(env sim.Env) { c.engine.schedule(env) }

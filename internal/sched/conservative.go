@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"fairsched/internal/job"
+	"fairsched/internal/profile"
 	"fairsched/internal/sim"
 )
 
@@ -26,12 +27,63 @@ import (
 // order. Reservations are no longer wait-time upper bounds, removing the
 // "FCFS feel", but "fair" jobs still cannot starve under usage-decaying
 // orders because low-usage users rise in the rebuild order.
+//
+// Both variants run on a revalidation cache: the occupied profile (running
+// jobs' promised release times plus every standing reservation) persists
+// across events instead of being rebuilt by re-occupying every queued job
+// per event. Each event classifies what actually changed — nothing, a new
+// arrival, an early-completion hole, or an estimate-overrun backoff — and
+// does only the matching work; the from-scratch rebuild survives as the
+// fallback for the overrun case (and as the noCache reference the
+// differential tests compare against). The cache is an optimization with a
+// proof obligation: reservations must be byte-identical to the from-scratch
+// schedule at every event (DESIGN.md §10).
 type conservativeEngine struct {
-	comp    *Composite
 	order   Order
 	dynamic bool
 
 	queue []*reservedJob
+
+	// Revalidation cache state.
+	//
+	// prof is the standing occupied profile; cacheOK marks it valid (false
+	// initially, after reset, and when noCache forces the reference path).
+	prof    profile.Profile
+	cacheOK bool
+	// holes records unconsumed capacity growth (early completions) — the
+	// static engine must run its improvement passes, the dynamic engine
+	// must rebuild. Also set when an improvement loop hit its pass bound
+	// without reaching the fixpoint, so the next event resumes it exactly
+	// where the from-scratch schedule would.
+	holes bool
+	// snaps tracks the running set the profile was built against, sorted by
+	// promised release time (ec). snaps[0].ec <= now detects estimate-
+	// overrun backoff: a running job's promised release changes exactly when
+	// the clock crosses it, which invalidates reservations and forces the
+	// from-scratch fallback.
+	snaps []runSnap
+	// lastOrder (dynamic only) is the queue in the priority order of the
+	// last placement; the longest unchanged reserved prefix keeps its
+	// reservations, everything after it is re-placed.
+	lastOrder []job.ID
+
+	// Reused scratch buffers.
+	impBuf []*reservedJob // improvement / placement order
+	dueBuf []*reservedJob // due-reservation starts
+	qBuf   []*job.Job     // queued() result
+
+	// noCache forces the from-scratch path on every event: the reference
+	// behaviour the differential tests compare the cache against.
+	noCache bool
+}
+
+// runSnap is one running job's contribution to the cached profile: nodes
+// held until the promised release time ec (estimate-based, overruns backed
+// off, exactly sim.RunningJob.EstimatedCompletion at snapshot time).
+type runSnap struct {
+	id    job.ID
+	nodes int
+	ec    int64
 }
 
 // reservedJob is a queued job with its current reservation.
@@ -44,14 +96,51 @@ type reservedJob struct {
 }
 
 // improvementPasses bounds the static-conservative compression loop; in
-// practice two or three passes reach the fixpoint.
+// practice two or three passes reach the fixpoint. (If a pass budget is
+// ever exhausted mid-compression the cache records it in holes, so the next
+// event resumes the loop like the from-scratch schedule would.)
 const improvementPasses = 8
 
-func (e *conservativeEngine) reset() { e.queue = nil }
+func (e *conservativeEngine) reset() {
+	e.queue = nil
+	e.cacheOK = false
+	e.holes = false
+	e.snaps = e.snaps[:0]
+	e.lastOrder = e.lastOrder[:0]
+}
 
 func (e *conservativeEngine) arrive(env sim.Env, j *job.Job) {
 	e.queue = append(e.queue, &reservedJob{job: j})
 	e.schedule(env)
+}
+
+// complete handles a job completion: release the completed job's promised
+// occupancy tail from the cached profile (the early-completion hole) before
+// the scheduling pass reads it. Same-instant completion batches are
+// reconciled in schedule (the simulator releases the whole batch before the
+// first policy callback).
+func (e *conservativeEngine) complete(env sim.Env, j *job.Job) {
+	e.dropSnap(env.Now(), j.ID)
+	e.schedule(env)
+}
+
+// dropSnap removes id's snapshot and releases its remaining promised
+// occupancy from the cached profile.
+func (e *conservativeEngine) dropSnap(now int64, id job.ID) {
+	for i, s := range e.snaps {
+		if s.id != id {
+			continue
+		}
+		if e.cacheOK && s.ec > now {
+			if err := e.prof.Release(now, s.ec, s.nodes); err != nil {
+				panic(fmt.Sprintf("sched: conservative cache release: %v", err))
+			}
+			e.holes = true
+		}
+		copy(e.snaps[i:], e.snaps[i+1:])
+		e.snaps = e.snaps[:len(e.snaps)-1]
+		return
+	}
 }
 
 // nextWake implements the engine hook. Reservations are start instants the
@@ -68,12 +157,14 @@ func (e *conservativeEngine) nextWake(now int64) (int64, bool) {
 	return t, have
 }
 
+// queued returns the queue in a reused buffer (sim.Policy.Queued callers
+// must not retain the slice).
 func (e *conservativeEngine) queued() []*job.Job {
-	out := make([]*job.Job, 0, len(e.queue))
+	e.qBuf = e.qBuf[:0]
 	for _, q := range e.queue {
-		out = append(out, q.job)
+		e.qBuf = append(e.qBuf, q.job)
 	}
-	return out
+	return e.qBuf
 }
 
 // reservations exposes the current reservation table (job id -> start).
@@ -89,7 +180,122 @@ func (e *conservativeEngine) reservations() map[job.ID]int64 {
 
 func (e *conservativeEngine) schedule(env sim.Env) {
 	now := env.Now()
-	prof := e.comp.scratchFrom(env)
+
+	// Classify the event against the cached profile.
+	dirty := !e.cacheOK || e.noCache
+	if !dirty {
+		if len(e.snaps) != len(env.Running()) {
+			// A same-instant completion batch: the simulator released every
+			// member before the first policy callback, so tails of the
+			// not-yet-delivered completions must come out of the profile
+			// now — the from-scratch schedule would already see them gone.
+			e.reconcileRemovals(env)
+		}
+		if len(e.snaps) > 0 && e.snaps[0].ec <= now {
+			// A running job crossed its promised release time without
+			// completing: its estimate backs off, shrinking future capacity
+			// under standing reservations. Re-placement of just the
+			// infeasible jobs would cascade (a moved reservation can
+			// displace feasible ones), so this is the full-rebuild case.
+			dirty = true
+		}
+	}
+
+	if dirty {
+		e.rebuild(env, true)
+	} else {
+		e.prof.TrimBefore(now)
+		e.revalidate(env)
+	}
+
+	// Start every job whose reservation has come due. Capacity is
+	// guaranteed by the profile; start in reservation order (queue-priority
+	// tie-break). The common case — nothing due — costs one scan.
+	due := e.dueBuf[:0]
+	kept := e.queue[:0]
+	for _, q := range e.queue {
+		if q.res <= now {
+			due = append(due, q)
+			continue
+		}
+		kept = append(kept, q)
+	}
+	if len(due) > 0 {
+		sort.SliceStable(due, func(i, k int) bool {
+			if due[i].res != due[k].res {
+				return due[i].res < due[k].res
+			}
+			return e.order.Less(env, due[i].job, due[k].job)
+		})
+		for _, q := range due {
+			if err := env.Start(q.job); err != nil {
+				panic(fmt.Sprintf("sched: start reserved job: %v", err))
+			}
+			// The reservation rectangle [res, res+est) stays in the cached
+			// profile: it is exactly the started job's promised running
+			// occupancy [now, now+estimate).
+			i := sort.Search(len(e.snaps), func(i int) bool { return e.snaps[i].ec >= now+q.job.Estimate })
+			e.snaps = append(e.snaps, runSnap{})
+			copy(e.snaps[i+1:], e.snaps[i:])
+			e.snaps[i] = runSnap{id: q.job.ID, nodes: q.job.Nodes, ec: now + q.job.Estimate}
+		}
+		if e.dynamic {
+			e.pruneLastOrder(due)
+		}
+	}
+	e.dueBuf = due
+	clear(e.queue[len(kept):]) // drop started jobs' pointers from the tail
+	e.queue = kept
+}
+
+// reconcileRemovals drops every snapshot whose job has left the running set
+// (releasing its promised tail). Only reached on same-instant completion
+// batches, so the quadratic membership scan stays off the hot path.
+func (e *conservativeEngine) reconcileRemovals(env sim.Env) {
+	running := env.Running()
+	now := env.Now()
+	for i := 0; i < len(e.snaps); {
+		alive := false
+		for _, r := range running {
+			if r.Job.ID == e.snaps[i].id {
+				alive = true
+				break
+			}
+		}
+		if alive {
+			i++
+			continue
+		}
+		e.dropSnap(now, e.snaps[i].id)
+	}
+}
+
+// pruneLastOrder removes started jobs from the dynamic engine's remembered
+// priority order, preserving the relative order of the rest.
+func (e *conservativeEngine) pruneLastOrder(started []*reservedJob) {
+	kept := e.lastOrder[:0]
+outer:
+	for _, id := range e.lastOrder {
+		for _, q := range started {
+			if q.job.ID == id {
+				continue outer
+			}
+		}
+		kept = append(kept, id)
+	}
+	e.lastOrder = kept
+}
+
+// rebuild is the from-scratch schedule — the pre-cache behaviour and the
+// fallback for estimate-overrun backoff: copy the environment's shared
+// availability profile, re-place every queued job (static: preserving
+// reservation order; dynamic: in queue priority order), then compress
+// (static only). With refreshSnaps it re-snapshots the running set the
+// profile now encodes; callers whose snapshot is already reconciled (the
+// dynamic holes path) skip that.
+func (e *conservativeEngine) rebuild(env sim.Env, refreshSnaps bool) {
+	now := env.Now()
+	e.prof.CopyFrom(env.Availability())
 
 	if e.dynamic {
 		// Discard everything; rebuild in queue priority order.
@@ -119,70 +325,178 @@ func (e *conservativeEngine) schedule(env sim.Env) {
 			// later when a running job's overrun makes the slot infeasible.
 			after = q.res
 		}
-		s, ok := prof.EarliestFit(after, q.job.Estimate, q.job.Nodes)
-		if !ok {
-			panic(fmt.Sprintf("sched: no fit for %v on %d nodes", q.job, env.SystemSize()))
-		}
-		if err := prof.Occupy(s, s+q.job.Estimate, q.job.Nodes); err != nil {
-			panic(fmt.Sprintf("sched: reserve: %v", err))
-		}
-		q.res, q.hasRes = s, true
+		e.place(env, q, after)
 	}
 
+	e.holes = false
 	if !e.dynamic {
-		// Improvement passes: in queue priority order, each job may move
-		// its reservation strictly earlier into holes left by others. One
-		// pass under-compresses — a wide job's window only opens after the
-		// jobs reserved behind it have themselves moved forward — so the
-		// pass repeats until no reservation improves (bounded; each pass
-		// strictly reduces total reserved start time).
-		improved := append([]*reservedJob(nil), e.queue...)
-		sort.SliceStable(improved, func(i, k int) bool {
-			return e.order.Less(env, improved[i].job, improved[k].job)
-		})
-		for pass := 0; pass < improvementPasses; pass++ {
-			changed := false
-			for _, q := range improved {
-				est := q.job.Estimate
-				if err := prof.Release(q.res, q.res+est, q.job.Nodes); err != nil {
-					panic(fmt.Sprintf("sched: release: %v", err))
-				}
-				s, ok := prof.EarliestFit(now, est, q.job.Nodes)
-				if !ok || s > q.res {
-					s = q.res // keep the existing reservation
-				}
-				if err := prof.Occupy(s, s+est, q.job.Nodes); err != nil {
-					panic(fmt.Sprintf("sched: re-reserve: %v", err))
-				}
-				if s < q.res {
-					changed = true
-				}
-				q.res = s
-			}
-			if !changed {
-				break
-			}
+		e.improve(env)
+	} else {
+		e.lastOrder = e.lastOrder[:0]
+		for _, q := range e.queue {
+			e.lastOrder = append(e.lastOrder, q.job.ID)
 		}
 	}
 
-	// Start every job whose reservation has come due. Capacity is
-	// guaranteed by the profile; start in reservation order.
-	sort.SliceStable(e.queue, func(i, k int) bool {
-		if e.queue[i].res != e.queue[k].res {
-			return e.queue[i].res < e.queue[k].res
+	if refreshSnaps {
+		// Snapshot the running set encoded in the rebuilt profile, sorted
+		// by promised release time (insertion into the reused buffer; the
+		// running set is small and mostly start-ordered).
+		e.snaps = e.snaps[:0]
+		for _, r := range env.Running() {
+			ec := r.EstimatedCompletion(now)
+			i := sort.Search(len(e.snaps), func(i int) bool { return e.snaps[i].ec >= ec })
+			e.snaps = append(e.snaps, runSnap{})
+			copy(e.snaps[i+1:], e.snaps[i:])
+			e.snaps[i] = runSnap{id: r.Job.ID, nodes: r.Job.Nodes, ec: ec}
 		}
+	}
+	e.cacheOK = true
+}
+
+// revalidate is the cached-profile event path: the running set is unchanged
+// (up to early-completion holes already released into the profile), so every
+// standing reservation re-fits exactly where it is and only the actual
+// changes are processed — fresh arrivals are placed into the standing
+// profile, and capacity growth triggers the static improvement passes or
+// the dynamic re-placement of the changed priority suffix.
+func (e *conservativeEngine) revalidate(env sim.Env) {
+	if e.dynamic {
+		e.revalidateDynamic(env)
+		return
+	}
+	// Place fresh arrivals (queue-priority order among themselves, matching
+	// the from-scratch revalidation sort, which puts unreserved jobs last).
+	fresh := e.impBuf[:0]
+	for _, q := range e.queue {
+		if !q.hasRes {
+			fresh = append(fresh, q)
+		}
+	}
+	if len(fresh) > 1 {
+		sort.SliceStable(fresh, func(i, k int) bool {
+			return e.order.Less(env, fresh[i].job, fresh[k].job)
+		})
+	}
+	for _, q := range fresh {
+		e.place(env, q, env.Now())
+	}
+	e.impBuf = fresh
+	if e.holes {
+		// Early completions grew capacity: reservations are all still
+		// feasible in place, but the priority pass may now compress them
+		// into the holes.
+		e.holes = false
+		e.improve(env)
+	}
+}
+
+// revalidateDynamic re-places the suffix of the priority order that changed
+// since the last placement: the longest prefix with unchanged membership
+// and order keeps its reservations (placing it again would replay the
+// identical profile operations), everything after it is released and
+// re-placed in the new order.
+func (e *conservativeEngine) revalidateDynamic(env sim.Env) {
+	now := env.Now()
+	if e.holes {
+		// Capacity grew: any reservation may move earlier, which is a full
+		// priority-order rebuild by definition. The running snapshot is
+		// already reconciled (complete dropped the finished jobs, the clock
+		// crossed no promised release), so it carries over.
+		e.rebuild(env, false)
+		return
+	}
+	// Fast path: starts only remove entries, so e.queue is still in the last
+	// placement's priority order. If every entry is placed and adjacent
+	// pairs are still ordered under the current (usage-dependent) order —
+	// Less is a strict total order, so pairwise order implies sortedness —
+	// the discipline's rebuild would replay identical placements: skip it.
+	intact := true
+	for i, q := range e.queue {
+		if !q.hasRes || (i > 0 && !e.order.Less(env, e.queue[i-1].job, q.job)) {
+			intact = false
+			break
+		}
+	}
+	if intact {
+		return
+	}
+	sort.SliceStable(e.queue, func(i, k int) bool {
 		return e.order.Less(env, e.queue[i].job, e.queue[k].job)
 	})
-	kept := e.queue[:0]
-	for _, q := range e.queue {
-		if q.res <= now {
-			if err := env.Start(q.job); err != nil {
-				panic(fmt.Sprintf("sched: start reserved job: %v", err))
-			}
+	k := 0
+	for k < len(e.queue) && k < len(e.lastOrder) &&
+		e.queue[k].hasRes && e.queue[k].job.ID == e.lastOrder[k] {
+		k++
+	}
+	for _, q := range e.queue[k:] {
+		if !q.hasRes {
 			continue
 		}
-		kept = append(kept, q)
+		if err := e.prof.Release(q.res, q.res+q.job.Estimate, q.job.Nodes); err != nil {
+			panic(fmt.Sprintf("sched: conservative cache release reservation: %v", err))
+		}
 	}
-	clear(e.queue[len(kept):]) // drop started jobs' pointers from the tail
-	e.queue = kept
+	for _, q := range e.queue[k:] {
+		e.place(env, q, now)
+	}
+	e.lastOrder = e.lastOrder[:0]
+	for _, q := range e.queue {
+		e.lastOrder = append(e.lastOrder, q.job.ID)
+	}
+}
+
+// place reserves q at the earliest fit of its rectangle no earlier than
+// `after` and occupies it in the cached profile.
+func (e *conservativeEngine) place(env sim.Env, q *reservedJob, after int64) {
+	s, ok := e.prof.EarliestFit(after, q.job.Estimate, q.job.Nodes)
+	if !ok {
+		panic(fmt.Sprintf("sched: no fit for %v on %d nodes", q.job, env.SystemSize()))
+	}
+	if err := e.prof.Occupy(s, s+q.job.Estimate, q.job.Nodes); err != nil {
+		panic(fmt.Sprintf("sched: reserve: %v", err))
+	}
+	q.res, q.hasRes = s, true
+}
+
+// improve runs the static engine's compression loop: in queue priority
+// order, each job may move its reservation strictly earlier into holes left
+// by others. One pass under-compresses — a wide job's window only opens
+// after the jobs reserved behind it have themselves moved forward — so the
+// pass repeats until no reservation improves (bounded; each pass strictly
+// reduces total reserved start time). An exhausted pass budget is recorded
+// in holes so the next event resumes the loop.
+func (e *conservativeEngine) improve(env sim.Env) {
+	now := env.Now()
+	improved := append(e.impBuf[:0], e.queue...)
+	sort.SliceStable(improved, func(i, k int) bool {
+		return e.order.Less(env, improved[i].job, improved[k].job)
+	})
+	e.impBuf = improved
+	for pass := 0; pass < improvementPasses; pass++ {
+		changed := false
+		for _, q := range improved {
+			est := q.job.Estimate
+			if err := e.prof.Release(q.res, q.res+est, q.job.Nodes); err != nil {
+				panic(fmt.Sprintf("sched: release: %v", err))
+			}
+			s, ok := e.prof.EarliestFit(now, est, q.job.Nodes)
+			if !ok || s > q.res {
+				s = q.res // keep the existing reservation
+			}
+			if err := e.prof.Occupy(s, s+est, q.job.Nodes); err != nil {
+				panic(fmt.Sprintf("sched: re-reserve: %v", err))
+			}
+			if s < q.res {
+				changed = true
+			}
+			q.res = s
+		}
+		if !changed {
+			return
+		}
+	}
+	// Pass budget exhausted before the fixpoint: the from-scratch schedule
+	// would restart the loop at the next event, so the cache must too.
+	e.holes = true
 }

@@ -16,6 +16,13 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("bf=depth+depth=100+max=1w")
 	f.Add("depth999")
 	f.Add(" order=sjf + bf=none ")
+	f.Add("starve=24h.q75")
+	f.Add("starve=24h.q07")
+	f.Add("order=sjf+bf=easy+starve=72h.abs280h")
+	f.Add("starve=24h.abs1008000")
+	f.Add("starve=24h.abs100001")
+	f.Add("starve=24h.q100")
+	f.Add("starve=24h.abs0")
 	f.Fuzz(func(t *testing.T, in string) {
 		s, err := ParseSpec(in)
 		if err != nil {

@@ -23,6 +23,8 @@ func (e *listEngine) arrive(env sim.Env, j *job.Job) {
 	e.schedule(env)
 }
 
+func (e *listEngine) complete(env sim.Env, _ *job.Job) { e.schedule(env) }
+
 func (e *listEngine) nextWake(int64) (int64, bool) { return 0, false }
 
 func (e *listEngine) queued() []*job.Job { return e.queue }

@@ -80,6 +80,14 @@ var builtins = []Builtin{
 	{Spec{Key: "consdyn.lxf", Order: "lxf", Backfill: BackfillConservativeDynamic},
 		"dynamic-reservation conservative over a largest-expansion-factor queue"},
 
+	// Heavy-classifier ablations: the *.fair admission rule with the
+	// alternative classifiers (quantile and absolute-budget) addressable
+	// from the grammar, not just via Composite.SetHeavyClassifier.
+	{Spec{Key: "cplant24.nomax.q75", Order: "fairshare", Backfill: BackfillNoGuarantee, Wait: hours24, Heavy: "q75"},
+		"baseline with users above the 75th usage quantile barred from the starvation queue"},
+	{Spec{Key: "cplant24.nomax.abs280h", Order: "fairshare", Backfill: BackfillNoGuarantee, Wait: hours24, Heavy: "abs280h"},
+		"baseline with users above 280h of decayed processor-seconds barred from the starvation queue"},
+
 	// Starvation guards over size-based orders: the anti-starvation safety
 	// valve the fairness literature asks for when favoring short jobs.
 	{Spec{Key: "cplant24.sjf", Order: "sjf", Backfill: BackfillNoGuarantee, Wait: hours24, Heavy: HeavyAll},

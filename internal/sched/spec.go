@@ -30,7 +30,13 @@ const (
 	BackfillConservativeDynamic = "consdyn"
 )
 
-// Heavy classifier tokens: the optional second component of `starve=`.
+// Heavy classifier tokens: the optional second component of `starve=`. In
+// addition to the named constants, two parameterized token families are
+// accepted: "q<1..99>" bars users whose decayed usage sits above that
+// quantile of the live users (fairshare.AboveQuantile), and
+// "abs<proc-seconds>" bars users above an absolute decayed processor-second
+// budget (fairshare.AboveAbsolute; the value takes the duration suffixes,
+// so abs280h == abs1008000).
 const (
 	// HeavyAll admits every user's jobs to the starvation queue
 	// (fairshare.Never — the paper's "*.all" policies).
@@ -39,6 +45,35 @@ const (
 	// live users (fairshare.AboveMean — the paper's "*.fair" policies).
 	HeavyNonheavy = "nonheavy"
 )
+
+// normalizeHeavy validates a heavy-classifier token and returns its
+// canonical spelling ("q07" -> "q7", "abs86400" -> "abs24h"), so canonical
+// chains are stable identifiers regardless of how the value was written.
+func normalizeHeavy(tok string) (string, error) {
+	switch tok {
+	case HeavyAll, HeavyNonheavy:
+		return tok, nil
+	}
+	if rest, ok := strings.CutPrefix(tok, "q"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 || n > 99 {
+			return "", fmt.Errorf("heavy quantile %q: want q1..q99", tok)
+		}
+		return fmt.Sprintf("q%d", n), nil
+	}
+	if rest, ok := strings.CutPrefix(tok, "abs"); ok {
+		sec, err := parseDur(rest)
+		if err != nil {
+			return "", fmt.Errorf("heavy absolute threshold %q: %v", tok, err)
+		}
+		if sec <= 0 {
+			return "", fmt.Errorf("heavy absolute threshold %q must be positive", tok)
+		}
+		return "abs" + fmtDur(sec), nil
+	}
+	return "", fmt.Errorf("unknown heavy classifier %q (want %s, %s, q<1..99> or abs<proc-seconds>)",
+		tok, HeavyAll, HeavyNonheavy)
+}
 
 // backfills lists the valid backfill tokens in listing order.
 var backfills = []string{
@@ -120,8 +155,8 @@ func (s Spec) Validate() error {
 		default:
 			return fmt.Errorf("starve is incompatible with bf=%s (reservations already bound waits; want bf=noguarantee or bf=easy)", s.Backfill)
 		}
-		if s.Heavy != HeavyAll && s.Heavy != HeavyNonheavy {
-			return fmt.Errorf("unknown heavy classifier %q (want %s or %s)", s.Heavy, HeavyAll, HeavyNonheavy)
+		if _, err := normalizeHeavy(s.Heavy); err != nil {
+			return err
 		}
 	} else {
 		if s.Heavy != "" {
@@ -186,7 +221,9 @@ func (s Spec) String() string {
 //	order=fairshare|fcfs|sjf|lxf|widest|narrowest   queue order (default fairshare)
 //	bf=none|noguarantee|easy|depth|conservative|consdyn
 //	                                                backfill discipline (default noguarantee)
-//	starve=24h[.all|.nonheavy]                      starvation-queue threshold + admission
+//	starve=24h[.all|.nonheavy|.q75|.abs280h]        starvation-queue threshold + admission
+//	                                                (q<N>: above the N-th usage quantile;
+//	                                                abs<S>: above S decayed proc-seconds)
 //	depth=2                                         reservation depth (with starve or bf=depth)
 //	max=72h                                         maximum-runtime limit (simulator-enforced)
 //
@@ -260,11 +297,11 @@ func parseComponent(part string, pos int, seen map[string]int, s *Spec) error {
 		if heavy == "" {
 			heavy = HeavyAll
 		}
-		if heavy != HeavyAll && heavy != HeavyNonheavy {
-			return fmt.Errorf("position %d: unknown heavy classifier %q (want %s or %s)",
-				valPos+len(dur)+1, heavy, HeavyAll, HeavyNonheavy)
+		norm, err := normalizeHeavy(heavy)
+		if err != nil {
+			return fmt.Errorf("position %d: %w", valPos+len(dur)+1, err)
 		}
-		s.Wait, s.Heavy = w, heavy
+		s.Wait, s.Heavy = w, norm
 	case "depth":
 		n, err := strconv.Atoi(val)
 		if err != nil || n < 1 {

@@ -3,6 +3,8 @@ package sched
 import (
 	"strings"
 	"testing"
+
+	"fairsched/internal/fairshare"
 )
 
 func TestParseSpecRegisteredNames(t *testing.T) {
@@ -109,6 +111,64 @@ func TestSpecValidationRejectsIncompatibleCombos(t *testing.T) {
 		if _, err := New(s); err == nil {
 			t.Errorf("case %d: New accepted %+v", i, s)
 		}
+	}
+}
+
+func TestParseSpecHeavyClassifierTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"starve=24h.q75",
+			Spec{Order: "fairshare", Backfill: BackfillNoGuarantee, Wait: 24 * 3600, Heavy: "q75", Depth: 1}},
+		{"starve=24h.q07", // leading zero normalizes, keeping canonical stable
+			Spec{Order: "fairshare", Backfill: BackfillNoGuarantee, Wait: 24 * 3600, Heavy: "q7", Depth: 1}},
+		{"order=sjf+bf=easy+starve=72h.abs280h",
+			Spec{Order: "sjf", Backfill: BackfillEASY, Wait: 72 * 3600, Heavy: "abs280h", Depth: 1}},
+		{"starve=24h.abs1008000", // 280h in raw seconds: same classifier, same canonical
+			Spec{Order: "fairshare", Backfill: BackfillNoGuarantee, Wait: 24 * 3600, Heavy: "abs280h", Depth: 1}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		want := tc.want.normalized()
+		want.Key = want.Canonical()
+		if got != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.in, got, want)
+		}
+		if MustNew(got) == nil {
+			t.Errorf("ParseSpec(%q): nil policy", tc.in)
+		}
+	}
+	for _, bad := range []string{
+		"starve=24h.q0", "starve=24h.q100", "starve=24h.qqq",
+		"starve=24h.abs0", "starve=24h.abs-3", "starve=24h.abs",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): accepted", bad)
+		}
+	}
+}
+
+// TestHeavyClassifierResolution pins the grammar token -> classifier
+// mapping the starvation component is assembled with.
+func TestHeavyClassifierResolution(t *testing.T) {
+	if _, ok := heavyClassifier("all").(fairshare.Never); !ok {
+		t.Error("all should resolve to Never")
+	}
+	if _, ok := heavyClassifier("nonheavy").(fairshare.AboveMean); !ok {
+		t.Error("nonheavy should resolve to AboveMean")
+	}
+	q, ok := heavyClassifier("q75").(fairshare.AboveQuantile)
+	if !ok || q.Q != 0.75 {
+		t.Errorf("q75 resolved to %#v", heavyClassifier("q75"))
+	}
+	a, ok := heavyClassifier("abs280h").(fairshare.AboveAbsolute)
+	if !ok || a.ProcSeconds != 280*3600 {
+		t.Errorf("abs280h resolved to %#v", heavyClassifier("abs280h"))
 	}
 }
 

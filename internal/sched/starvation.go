@@ -1,6 +1,10 @@
 package sched
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"fairsched/internal/fairshare"
 	"fairsched/internal/job"
 	"fairsched/internal/sim"
@@ -27,13 +31,32 @@ func newStarvation(s Spec) *starvation {
 	if st.depth < 1 {
 		st.depth = 1
 	}
-	switch s.Heavy {
-	case HeavyNonheavy:
-		st.heavy = fairshare.AboveMean{}
-	default:
-		st.heavy = fairshare.Never{}
-	}
+	st.heavy = heavyClassifier(s.Heavy)
 	return st
+}
+
+// heavyClassifier resolves a (validated) heavy token to its classifier:
+// all -> Never, nonheavy -> AboveMean, q<N> -> AboveQuantile(N/100),
+// abs<S> -> AboveAbsolute(S proc-seconds).
+func heavyClassifier(tok string) fairshare.HeavyClassifier {
+	switch {
+	case tok == HeavyNonheavy:
+		return fairshare.AboveMean{}
+	case strings.HasPrefix(tok, "q"):
+		n, err := strconv.Atoi(tok[1:])
+		if err != nil || n < 1 || n > 99 {
+			panic(fmt.Sprintf("sched: unvalidated heavy quantile %q", tok))
+		}
+		return fairshare.AboveQuantile{Q: float64(n) / 100}
+	case strings.HasPrefix(tok, "abs"):
+		sec, err := parseDur(tok[3:])
+		if err != nil || sec <= 0 {
+			panic(fmt.Sprintf("sched: unvalidated heavy threshold %q", tok))
+		}
+		return fairshare.AboveAbsolute{ProcSeconds: float64(sec)}
+	default:
+		return fairshare.Never{}
+	}
 }
 
 // nextPromotion returns the earliest starvation-promotion instant strictly

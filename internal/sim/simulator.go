@@ -63,14 +63,30 @@ type Simulator struct {
 	// segment chain is in flight.
 	splitOriginals map[job.ID]*job.Job
 	wakeVer        int64 // current wake event version; older wakes are stale
-	pendingReal    int   // pending arrival/completion/kill-check events
-	events         int64
-	inEvent        bool // guards Env.Start against use outside policy callbacks
+	// pendingWake/pendingWakeOK describe the currently valid wake event on
+	// the list, so rescheduleWake can skip re-pushing an identical wake
+	// (the dominant case: the next reservation or promotion instant rarely
+	// moves between consecutive events).
+	pendingWake   int64
+	pendingWakeOK bool
+	pendingReal   int // pending arrival/completion/kill-check events
+	events        int64
+	inEvent       bool // guards Env.Start against use outside policy callbacks
 
 	// Reused per-event scratch buffers (hot path: one advanceTo per distinct
 	// event time, one completion batch per completion instant).
-	usageBuf []fairshare.Usage
 	batchBuf []*job.Job
+
+	// userNodes aggregates the running jobs' node counts per user (each
+	// user at most once), maintained incrementally by Start/release so
+	// advanceTo hands fairshare accrual a ready aggregation instead of
+	// rebuilding one per event. userIdx locates a user's entry.
+	userNodes []fairshare.Usage
+	userIdx   map[int]int
+	// queuedNodes tracks the total nodes requested by queued jobs
+	// (arrivals minus starts), so advanceTo does not walk the policy's
+	// queue at every event.
+	queuedNodes int
 
 	// avail is the shared availability profile handed out by Availability():
 	// rebuilt lazily (into the same backing array) whenever the running set
@@ -143,7 +159,9 @@ func (s *Simulator) Start(j *job.Job) error {
 	rec.Started = true
 	rec.Start = s.now
 	s.used += j.Nodes
+	s.queuedNodes -= j.Nodes
 	s.running = append(s.running, RunningJob{Job: j, Start: s.now})
+	s.addUserNodes(j.User, j.Nodes)
 	s.availDirty = true
 	runtime := j.Runtime
 	if s.cfg.Kill == KillAlways && j.Estimate < runtime {
@@ -212,6 +230,7 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 	s.q.Grow(2 * len(workload))
 	s.records = make(map[job.ID]*Record, len(workload))
 	s.order = make([]*Record, 0, len(workload))
+	s.userIdx = make(map[int]int)
 	for _, j := range workload {
 		for _, sub := range s.submissionsFor(j) {
 			s.pushJob(sub.Submit, evArrival, sub)
@@ -245,6 +264,7 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 			if e.Payload.wake != s.wakeVer {
 				continue // stale wake; a newer one is scheduled
 			}
+			s.pendingWakeOK = false // consumed
 			s.dispatch(func() { s.policy.Wake(s) })
 		case evWCLCheck:
 			s.handleWCLCheck(e.Payload.job)
@@ -261,25 +281,39 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 }
 
 // advanceTo reports the elapsed interval to observers, settles fairshare
-// accrual, and moves the clock.
+// accrual, and moves the clock. Both the queued-node total and the per-user
+// running aggregation are maintained incrementally by the arrival/start/
+// release bookkeeping, so no per-event walk of the queue or running set is
+// needed here.
 func (s *Simulator) advanceTo(t int64) {
-	queuedNodes := 0
-	for _, qj := range s.policy.Queued() {
-		queuedNodes += qj.Nodes
-	}
 	for _, o := range s.observers {
-		o.Interval(s.now, t, s.used, queuedNodes)
+		o.Interval(s.now, t, s.used, s.queuedNodes)
 	}
-	s.usageBuf = s.usageBuf[:0]
-	for _, r := range s.running {
-		s.usageBuf = append(s.usageBuf, fairshare.Usage{User: r.Job.User, Nodes: r.Job.Nodes})
-	}
-	if err := s.fs.Accrue(t, s.usageBuf); err != nil {
+	if err := s.fs.AccrueAggregated(t, s.userNodes); err != nil {
 		// Accrue only fails on time reversal, which advanceTo precludes.
 		panic(err)
 	}
 	s.now = t
 	s.availDirty = true
+}
+
+// addUserNodes adjusts the per-user running-node aggregation by delta,
+// dropping users whose count returns to zero (so the aggregation always
+// mirrors an aggregation of the live running set).
+func (s *Simulator) addUserNodes(user, delta int) {
+	if i, ok := s.userIdx[user]; ok {
+		s.userNodes[i].Nodes += delta
+		if s.userNodes[i].Nodes == 0 {
+			last := len(s.userNodes) - 1
+			s.userNodes[i] = s.userNodes[last]
+			s.userIdx[s.userNodes[i].User] = i
+			s.userNodes = s.userNodes[:last]
+			delete(s.userIdx, user)
+		}
+		return
+	}
+	s.userIdx[user] = len(s.userNodes)
+	s.userNodes = append(s.userNodes, fairshare.Usage{User: user, Nodes: delta})
 }
 
 func (s *Simulator) handleArrival(j *job.Job) {
@@ -289,6 +323,7 @@ func (s *Simulator) handleArrival(j *job.Job) {
 	rec := &Record{Job: j, Submit: s.now}
 	s.records[j.ID] = rec
 	s.order = append(s.order, rec)
+	s.queuedNodes += j.Nodes
 	queued := s.policy.Queued()
 	for _, o := range s.observers {
 		o.JobArrived(s, j, queued)
@@ -386,6 +421,7 @@ func (s *Simulator) release(j *job.Job, killed bool) (start int64, ok bool) {
 	s.running[len(s.running)-1] = RunningJob{} // drop the job pointer for the GC
 	s.running = s.running[:len(s.running)-1]
 	s.used -= j.Nodes
+	s.addUserNodes(j.User, -j.Nodes)
 	s.availDirty = true
 	rec := s.records[j.ID]
 	rec.Complete = s.now
@@ -409,7 +445,7 @@ func (s *Simulator) handleWCLCheck(j *job.Job) {
 	if !running {
 		return
 	}
-	if len(s.policy.Queued()) == 0 {
+	if s.queuedNodes == 0 {
 		return // nodes not needed; the job may keep running
 	}
 	s.handleKill(j)
@@ -453,7 +489,7 @@ func (s *Simulator) rescheduleWake() {
 	// only while something can still change (jobs running or real events
 	// pending). Without the guard, a policy that never starts a queued job
 	// would keep the simulation alive on decay wake-ups forever.
-	if len(s.policy.Queued()) > 0 && (len(s.running) > 0 || s.pendingReal > 0) {
+	if s.queuedNodes > 0 && (len(s.running) > 0 || s.pendingReal > 0) {
 		b := s.fs.NextBoundaryAfter(s.now)
 		if !have || b < t {
 			t, have = b, true
@@ -462,7 +498,11 @@ func (s *Simulator) rescheduleWake() {
 	if !have {
 		return
 	}
+	if s.pendingWakeOK && s.pendingWake == t {
+		return // an identical wake is already on the list
+	}
 	s.wakeVer++
+	s.pendingWake, s.pendingWakeOK = t, true
 	s.q.Push(eventq.Event[evPayload]{Time: t, Prio: eventPrio(evWake), Kind: evWake, Payload: evPayload{wake: s.wakeVer}})
 }
 
@@ -520,6 +560,7 @@ func (s *Simulator) checkInvariants() error {
 	if used > s.cfg.SystemSize {
 		return fmt.Errorf("sim: %d nodes in use on a %d-node system", used, s.cfg.SystemSize)
 	}
+	queuedNodes := 0
 	for _, qj := range s.policy.Queued() {
 		rec := s.records[qj.ID]
 		if rec == nil {
@@ -527,6 +568,22 @@ func (s *Simulator) checkInvariants() error {
 		}
 		if rec.Started {
 			return fmt.Errorf("sim: queued job %d already started", qj.ID)
+		}
+		queuedNodes += qj.Nodes
+	}
+	if queuedNodes != s.queuedNodes {
+		return fmt.Errorf("sim: queued nodes drift: tracked %d, actual %d", s.queuedNodes, queuedNodes)
+	}
+	userNodes := make(map[int]int)
+	for _, r := range s.running {
+		userNodes[r.Job.User] += r.Job.Nodes
+	}
+	if len(userNodes) != len(s.userNodes) {
+		return fmt.Errorf("sim: user aggregation drift: tracked %d users, actual %d", len(s.userNodes), len(userNodes))
+	}
+	for _, u := range s.userNodes {
+		if userNodes[u.User] != u.Nodes {
+			return fmt.Errorf("sim: user %d aggregation drift: tracked %d nodes, actual %d", u.User, u.Nodes, userNodes[u.User])
 		}
 	}
 	return nil

@@ -35,6 +35,17 @@ type Campaign struct {
 	Study core.StudyConfig
 	// Parallel bounds the worker pool (<= 0: one worker per CPU).
 	Parallel int
+	// PolicyParallel promotes the policy axis into the parallel grid: Run
+	// fans out (trace × scenario × seed × policy) tasks instead of whole
+	// cells, so a wide-registry sweep over few cells still saturates the
+	// pool. A cell's workload is loaded once (by whichever of its policy
+	// tasks runs first) and shared read-only, then released when the cell's
+	// last policy finishes — peak memory grows to at most one workload
+	// share per in-flight cell, bounded by the worker count plus one. The
+	// summaries, and any report rendered from them, stay byte-identical to
+	// the cell-unit mode at every parallelism. RunEach keeps the cell as
+	// its unit regardless (its callback contract is a whole cell).
+	PolicyParallel bool
 }
 
 // Cell is one completed (trace × scenario × seed) of the matrix with full
@@ -120,9 +131,13 @@ func (c Campaign) RunEach(each func(Cell)) error {
 // Run executes the matrix and returns one CellSummary per cell in matrix
 // order (sources, then scenarios, then seeds) regardless of Parallel — the
 // summaries, and any report rendered from them, are byte-identical at every
-// parallelism. Failed cells leave nil slots alongside the aggregated
-// *Errors, like the other sweep entry points.
+// parallelism and in both task-granularity modes (see PolicyParallel).
+// Failed cells leave nil slots alongside the aggregated *Errors, like the
+// other sweep entry points.
 func (c Campaign) Run() ([]*CellSummary, error) {
+	if c.PolicyParallel {
+		return c.runPolicyParallel()
+	}
 	srcs, scens, seeds, specs, grid := c.cells()
 	return Map(c.Parallel, grid,
 		func(g [3]int) string {
@@ -150,19 +165,103 @@ func (c Campaign) Run() ([]*CellSummary, error) {
 		})
 }
 
-// runCell loads, transforms and simulates one cell. Policies run serially
-// within the cell (the cell is the unit of parallelism), sharing the
-// transformed workload read-only.
-func (c Campaign) runCell(src scenario.Source, scen scenario.Scenario, seed int64, specs []core.Spec) (*Cell, error) {
+// runPolicyParallel is Run with the policy axis in the parallel grid: one
+// task per (cell, policy). Each cell's workload is loaded exactly once (by
+// the cell's first task to run, under a sync.Once) and shared read-only by
+// its sibling tasks — the simulator never mutates submitted jobs — then
+// dropped when the cell's last policy run finishes.
+func (c Campaign) runPolicyParallel() ([]*CellSummary, error) {
+	srcs, scens, seeds, specs, grid := c.cells()
+	type cellState struct {
+		once      sync.Once
+		mu        sync.Mutex
+		jobs      []*job.Job
+		jobCount  int
+		study     core.StudyConfig
+		err       error
+		remaining int
+	}
+	states := make([]*cellState, len(grid))
+	for i := range states {
+		states[i] = &cellState{remaining: len(specs)}
+	}
+	type task struct{ cell, spec int }
+	tasks := make([]task, 0, len(grid)*len(specs))
+	for ci := range grid {
+		for pi := range specs {
+			tasks = append(tasks, task{cell: ci, spec: pi})
+		}
+	}
+	runs, err := Map(c.Parallel, tasks,
+		func(t task) string {
+			g := grid[t.cell]
+			return fmt.Sprintf("%s × %s × seed %d × %s",
+				srcs[g[0]].Name, scens[g[1]].Name, seeds[g[2]], specs[t.spec].Key)
+		},
+		func(_ int, t task) (*core.Run, error) {
+			g, st := grid[t.cell], states[t.cell]
+			st.once.Do(func() {
+				st.jobs, st.study, st.err = c.loadCell(srcs[g[0]], scens[g[1]], seeds[g[2]])
+				st.jobCount = len(st.jobs)
+			})
+			st.mu.Lock()
+			jobs, loadErr := st.jobs, st.err
+			st.mu.Unlock()
+			var r *core.Run
+			var runErr error
+			if loadErr != nil {
+				runErr = loadErr
+			} else {
+				r, runErr = core.Execute(st.study, specs[t.spec], jobs)
+			}
+			st.mu.Lock()
+			st.remaining--
+			if st.remaining == 0 {
+				st.jobs = nil // cell finished: release the workload share
+			}
+			st.mu.Unlock()
+			return r, runErr
+		})
+	out := make([]*CellSummary, len(grid))
+	for ci, g := range grid {
+		cellRuns := runs[ci*len(specs) : (ci+1)*len(specs)]
+		sum := &CellSummary{
+			Source:     srcs[g[0]].Name,
+			Scenario:   scens[g[1]].Name,
+			Seed:       seeds[g[2]],
+			SystemSize: states[ci].study.SystemSize,
+			Jobs:       states[ci].jobCount,
+			Policies:   make([]string, len(cellRuns)),
+			Summaries:  make([]*metrics.Summary, len(cellRuns)),
+		}
+		complete := true
+		for i, r := range cellRuns {
+			if r == nil {
+				complete = false
+				break
+			}
+			sum.Policies[i] = r.Spec.Key
+			sum.Summaries[i] = r.Summary
+		}
+		if complete {
+			out[ci] = sum // any failed policy fails its whole cell, as in cell mode
+		}
+	}
+	return out, err
+}
+
+// loadCell loads and transforms one cell's workload and resolves the
+// simulator settings every policy run of the cell shares.
+func (c Campaign) loadCell(src scenario.Source, scen scenario.Scenario, seed int64) ([]*job.Job, core.StudyConfig, error) {
+	study := c.Study
 	wl, err := src.Load(seed)
 	if err != nil {
-		return nil, err
+		return nil, study, err
 	}
 	jobs, err := scen.Apply(wl.Jobs, seed)
 	if err != nil {
-		return nil, err
+		return nil, study, err
 	}
-	study := c.Study
 	if study.SystemSize <= 0 {
 		study.SystemSize = wl.SystemSize
 	}
@@ -179,6 +278,17 @@ func (c Campaign) runCell(src scenario.Source, scen scenario.Scenario, seed int6
 		// align decay boundaries to the wall clock at the shifted origin.
 		study.FairshareEpoch = fairshare.EpochFor(
 			wl.UnixStartTime+scen.OriginShift(), study.Fairshare.DecayInterval)
+	}
+	return jobs, study, nil
+}
+
+// runCell loads, transforms and simulates one cell. Policies run serially
+// within the cell (the cell is the unit of parallelism), sharing the
+// transformed workload read-only.
+func (c Campaign) runCell(src scenario.Source, scen scenario.Scenario, seed int64, specs []core.Spec) (*Cell, error) {
+	jobs, study, err := c.loadCell(src, scen, seed)
+	if err != nil {
+		return nil, err
 	}
 	cell := &Cell{
 		Source:     src.Name,

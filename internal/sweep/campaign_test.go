@@ -74,6 +74,59 @@ func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// Policy-parallel mode must render the byte-identical report: same cells,
+// same summaries, at every worker count.
+func TestCampaignPolicyParallelDeterministic(t *testing.T) {
+	var want bytes.Buffer
+	cells, err := testCampaign(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.RenderCampaign(&want, cells)
+	for _, parallel := range []int{1, 8} {
+		c := testCampaign(parallel)
+		c.PolicyParallel = true
+		cells, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		experiments.RenderCampaign(&got, cells)
+		if got.String() != want.String() {
+			t.Errorf("policy-parallel report at -parallel %d differs from cell-unit report", parallel)
+		}
+	}
+}
+
+// A failing cell in policy-parallel mode leaves a nil summary slot (every
+// policy task of the cell reports the load failure) without disturbing the
+// surviving cells.
+func TestCampaignPolicyParallelFailureIsolation(t *testing.T) {
+	c := testCampaign(4)
+	c.PolicyParallel = true
+	c.Scenarios = append(c.Scenarios, scenario.Scenario{
+		Name:       "broken",
+		Transforms: []scenario.Transform{scenario.UserFilter{}},
+	})
+	cells, err := c.Run()
+	var errs *sweep.Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("want *sweep.Errors, got %v", err)
+	}
+	if len(cells) != 5*2 {
+		t.Fatalf("got %d cells, want 10", len(cells))
+	}
+	for i, cell := range cells {
+		broken := i >= 8 // broken scenario is last: 2 seeds at the tail
+		if broken && cell != nil {
+			t.Errorf("cell %d should have failed", i)
+		}
+		if !broken && cell == nil {
+			t.Errorf("cell %d should have survived", i)
+		}
+	}
+}
+
 func TestCampaignMatrixShapeAndOrder(t *testing.T) {
 	c := testCampaign(4)
 	cells, err := c.Run()
