@@ -23,6 +23,9 @@
 //	experiments -scenario 'load=1.5+perturb=3' -window 1w..5w -seeds 3
 //	experiments -policy cplant24.nomax.all -policy 'order=sjf+bf=easy+starve=24h.all'
 //	experiments -policy-parallel ...     # fan the policy axis across workers too
+//	experiments -list-slos               # show the per-user SLO grammar
+//	experiments -scenario slo-tiered     # built-in tiered wait-time SLOs
+//	experiments -slo 'p50:2h,p90:24h,default:96h'   # tag users in every scenario
 package main
 
 import (
@@ -63,6 +66,8 @@ func main() {
 		markdown = flag.Bool("markdown", false, "also emit the paper-vs-measured and claim tables as Markdown (for EXPERIMENTS.md)")
 
 		window    = flag.String("window", "", "campaign: slice every scenario to START..END (e.g. 1w..5w)")
+		sloSpec   = flag.String("slo", "", "campaign: tag users with SLO targets in every scenario (e.g. 'p50:2h,p90:24h,default:96h'; see -list-slos)")
+		listSLOs  = flag.Bool("list-slos", false, "list the SLO grammar and built-in SLO scenarios, then exit")
 		polPar    = flag.Bool("policy-parallel", false, "campaign: fan the policy axis out across the worker pool too (wide-registry sweeps over few cells; report stays byte-identical)")
 		listScens = flag.Bool("list-scenarios", false, "list the built-in scenarios and the spec grammar, then exit")
 		listPols  = flag.Bool("list-policies", false, "list the policy registry and the spec grammar, then exit (-markdown: README table)")
@@ -81,6 +86,39 @@ func main() {
 		experiments.ListPolicies(os.Stdout)
 		return
 	}
+	if *listSLOs {
+		fmt.Println("Per-user SLO targets (the slo= scenario transform, or the -slo flag):")
+		fmt.Println("  slo=CLASS:TARGET[,CLASS:TARGET]...")
+		fmt.Println()
+		fmt.Println("Classes:")
+		fmt.Println("  p<1..100>   usage-quantile band: users ranked by total processor-seconds")
+		fmt.Println("              ascending; p50 is the lightest half, a following p90 the next 40%")
+		fmt.Println("  default     every user above the largest quantile band")
+		fmt.Println("  user<id>    explicit per-user override (wins over bands)")
+		fmt.Println()
+		fmt.Println("Targets:")
+		fmt.Println("  a duration  maximum acceptable queuing delay (e.g. 2h, 30m, 90s)")
+		fmt.Println("  <f>x        maximum acceptable bounded slowdown (e.g. 8x, 2.5x)")
+		fmt.Println("  none        explicitly best-effort (tracked nowhere)")
+		fmt.Println("  a band may carry both kinds: slo=p50:2h,p50:6x")
+		fmt.Println()
+		fmt.Println("Built-in SLO scenarios:")
+		for _, s := range scenario.Builtins() {
+			for _, tr := range s.Transforms {
+				// The same interface dispatch the campaign engine uses.
+				if _, ok := tr.(scenario.SLOProvider); ok {
+					fmt.Printf("  %-20s %s\n", s.Name, s.Description)
+					break
+				}
+			}
+		}
+		fmt.Println()
+		fmt.Println("Examples:")
+		fmt.Println("  -scenario 'slo=p50:2h,p90:24h,default:96h'")
+		fmt.Println("  -scenario load-scaled -slo 'p50:2h,default:96h'   (tags every scenario)")
+		fmt.Println("  -scenario slo-tiered -policy-parallel")
+		return
+	}
 	if *listScens {
 		fmt.Println("Built-in scenarios:")
 		for _, s := range scenario.Builtins() {
@@ -89,6 +127,7 @@ func main() {
 		fmt.Println("\nAd-hoc chains join transforms with '+':")
 		fmt.Println("  load=1.5  window=1d..8d  users=top8  users=3.7.11  perturb=3")
 		fmt.Println("  burst=at:7d.jobs:200.nodes:8.runtime:1h[.spread:1h][.est:2h][.user:42]")
+		fmt.Println("  slo=p50:2h,p90:24h,default:96h (see -list-slos)")
 		fmt.Println("\nExample: -scenario 'load=1.5+perturb=3'")
 		return
 	}
@@ -99,7 +138,7 @@ func main() {
 	}
 	convOpts := swf.ConvertOptions{KeepCancelled: *keepCanc}
 
-	if len(traces) > 0 || len(scenarios) > 0 || len(policies) > 0 || *window != "" {
+	if len(traces) > 0 || len(scenarios) > 0 || len(policies) > 0 || *window != "" || *sloSpec != "" {
 		// -in is the legacy spelling of -trace; honor it in campaign mode
 		// too rather than silently sweeping the synthetic workload.
 		if *in != "" {
@@ -115,14 +154,14 @@ func main() {
 		case *markdown:
 			fatal(fmt.Errorf("-markdown is not supported in campaign mode (run the single-trace path)"))
 		}
-		runCampaign(traces, scenarios, policies, *window, study, convOpts, campaignParams{
+		runCampaign(traces, scenarios, policies, *window, *sloSpec, study, convOpts, campaignParams{
 			seed: *seed, seeds: *sweepN, scale: *scale, burstGamma: *burst,
 			systemSize: *nodes, parallel: *parallel, policyParallel: *polPar,
 		})
 		return
 	}
 	if *polPar {
-		fatal(fmt.Errorf("-policy-parallel only applies to campaign mode (add -trace/-scenario/-policy/-window)"))
+		fatal(fmt.Errorf("-policy-parallel only applies to campaign mode (add -trace/-scenario/-policy/-window/-slo)"))
 	}
 
 	t0 := time.Now()
@@ -207,7 +246,7 @@ type campaignParams struct {
 // runCampaign assembles and executes the (trace × scenario × seed × policy)
 // matrix, rendering one table per cell. Partial failures are reported to
 // stderr after the surviving cells.
-func runCampaign(traces, scenSpecs, polSpecs []string, window string, study core.StudyConfig, convOpts swf.ConvertOptions, p campaignParams) {
+func runCampaign(traces, scenSpecs, polSpecs []string, window, sloSpec string, study core.StudyConfig, convOpts swf.ConvertOptions, p campaignParams) {
 	var sources []scenario.Source
 	for _, path := range traces {
 		sources = append(sources, scenario.TraceFileWith(path, convOpts))
@@ -241,6 +280,17 @@ func runCampaign(traces, scenSpecs, polSpecs []string, window string, study core
 	}
 	if window != "" {
 		tr, err := scenario.ParseTransform("window=" + window)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range scens {
+			scens[i] = scens[i].With(tr)
+		}
+	}
+	if sloSpec != "" {
+		// Appended last, so its quantile bands rank the users of each
+		// scenario's final transformed workload.
+		tr, err := scenario.ParseTransform("slo=" + sloSpec)
 		if err != nil {
 			fatal(err)
 		}

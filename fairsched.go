@@ -33,6 +33,7 @@ import (
 	"fairsched/internal/scenario"
 	"fairsched/internal/sched"
 	"fairsched/internal/sim"
+	"fairsched/internal/slo"
 	"fairsched/internal/sweep"
 	"fairsched/internal/swf"
 	"fairsched/internal/workload"
@@ -313,6 +314,58 @@ func JobsSource(name string, jobs []*Job, systemSize int) ScenarioSource {
 // output is byte-identical at every parallelism.
 func RenderCampaign(w io.Writer, cells []*CampaignCellSummary) {
 	experiments.RenderCampaign(w, cells)
+}
+
+// Per-user SLO subsystem: scenario transforms tag users with wait-time and
+// slowdown targets, an online observer accrues attainment as the
+// simulation runs (consuming the hybrid-FST engine's fair start times to
+// split breaches into policy-caused and infeasible), and campaign reports
+// carry per-user-class attainment tables.
+type (
+	// SLOTarget is one user's objectives (max wait seconds, max bounded
+	// slowdown; zero fields mean no target of that kind).
+	SLOTarget = slo.Target
+	// SLOAssignment is an immutable user -> target mapping for one
+	// workload (built by scenario SLO transforms, or slo.Builder).
+	SLOAssignment = slo.Assignment
+	// SLOBuilder accumulates an SLOAssignment programmatically.
+	SLOBuilder = slo.Builder
+	// SLOSummary is the per-class attainment report of one run.
+	SLOSummary = slo.Summary
+	// SLOClassStats is one class row of an SLOSummary.
+	SLOClassStats = slo.ClassStats
+	// SLOUserStats is one user's accrued outcomes.
+	SLOUserStats = slo.UserStats
+	// SLOObserver accrues per-user attainment online; attach it to a
+	// simulator alongside a HybridFST.
+	SLOObserver = fairness.SLOObserver
+	// SLOTransform is the scenario transform tagging users with targets.
+	SLOTransform = scenario.SLOTag
+)
+
+// NewSLOBuilder returns an empty SLO assignment builder.
+func NewSLOBuilder() *SLOBuilder { return slo.NewBuilder() }
+
+// NewSLOObserver builds the online attainment observer over an assignment;
+// fst may be nil (attainment is still tracked, the unfair/infeasible
+// breach split stays zero).
+func NewSLOObserver(asg *SLOAssignment, fst *HybridFST) *SLOObserver {
+	return fairness.NewSLOObserver(asg, fst)
+}
+
+// ParseSLO parses an SLO tagging spec — the slo= scenario-grammar value,
+// e.g. "p50:2h,p90:24h,default:96h" or "p50:2h,p50:6x,user7:30m" — into a
+// scenario transform. Quantile bands rank users by total
+// processor-seconds; durations are wait targets, "<f>x" slowdown targets.
+func ParseSLO(spec string) (ScenarioTransform, error) {
+	return scenario.ParseTransform("slo=" + spec)
+}
+
+// SLOFromRecords is the post-run reference computation: replays finished
+// records through a fresh tracker (the online observer is differentially
+// tested equal to it). fst may be nil.
+func SLOFromRecords(asg *SLOAssignment, records []*Record, fst map[JobID]int64) *SLOSummary {
+	return slo.FromRecords(asg, records, fst).Summary()
 }
 
 // FairshareEpochFor converts a trace's Unix start time into the

@@ -19,6 +19,7 @@ import (
 	"fairsched/internal/metrics"
 	"fairsched/internal/sched"
 	"fairsched/internal/sim"
+	"fairsched/internal/slo"
 )
 
 // Spec is one named scheduling configuration: an alias of sched.Spec, so
@@ -98,6 +99,11 @@ type StudyConfig struct {
 	SkipFST bool
 	// Equality additionally runs the resource-equality observer.
 	Equality bool
+	// SLO, when non-nil, attaches the online per-user SLO observer over
+	// this assignment (campaigns derive it from the cell's scenario via
+	// Scenario.SLOAssignment). The assignment is read-only and may be
+	// shared across concurrent runs.
+	SLO *slo.Assignment
 }
 
 // Run is the outcome of one policy over one workload.
@@ -107,6 +113,9 @@ type Run struct {
 	Summary  *metrics.Summary
 	FST      map[job.ID]int64
 	Equality *fairness.Equality
+	// SLO is the per-user-class attainment report (nil unless
+	// StudyConfig.SLO supplied an assignment).
+	SLO *slo.Summary
 }
 
 // Execute runs one spec over the workload and assembles the summary.
@@ -139,6 +148,14 @@ func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 		eq = fairness.NewEquality(cfg.SystemSize)
 		observers = append(observers, eq)
 	}
+	var sloObs *fairness.SLOObserver
+	if cfg.SLO.NumUsers() > 0 {
+		// The observer reads the engine's fair start times (recorded at
+		// arrival) to split breaches into policy-caused and infeasible;
+		// with SkipFST it still tracks attainment, unclassified.
+		sloObs = fairness.NewSLOObserver(cfg.SLO, fst)
+		observers = append(observers, sloObs)
+	}
 	s := sim.New(simCfg, pol, observers...)
 	res, err := s.Run(workload)
 	if err != nil {
@@ -147,6 +164,9 @@ func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 	run := &Run{Spec: spec, Result: res, Equality: eq}
 	if fst != nil {
 		run.FST = fst.Table()
+	}
+	if sloObs != nil {
+		run.SLO = sloObs.Summary()
 	}
 	run.Summary = metrics.Summarize(res, run.FST, col)
 	run.Summary.Policy = spec.String()
@@ -175,6 +195,7 @@ func Starts(cfg StudyConfig, spec Spec) func(workload []*job.Job) (map[job.ID]in
 		runCfg := cfg
 		runCfg.SkipFST = true
 		runCfg.Equality = false
+		runCfg.SLO = nil
 		r, err := Execute(runCfg, spec, workload)
 		if err != nil {
 			return nil, err

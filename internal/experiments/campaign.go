@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"fairsched/internal/slo"
 	"fairsched/internal/sweep"
 )
 
@@ -52,6 +53,46 @@ func RenderCampaign(w io.Writer, cells []*sweep.CellSummary) {
 				polW, c.Policies[k], s.AvgWait/3600, s.AvgTurnaround/3600,
 				s.Utilization, s.PercentUnfair, s.AvgMissTime/3600)
 		}
+		renderCellSLO(w, c, polW)
 		fmt.Fprintln(w)
+	}
+}
+
+// renderCellSLO writes a cell's per-user-class SLO attainment table (one
+// row per policy × class plus a per-policy total), when the cell's
+// scenario tagged users. Like the rest of the report it is a pure function
+// of the summaries: byte-identical at every parallelism and in both task
+// granularities.
+func renderCellSLO(w io.Writer, c *sweep.CellSummary, polW int) {
+	if c.SLOs == nil {
+		return
+	}
+	classW := len("class")
+	for _, s := range c.SLOs {
+		if s == nil {
+			continue
+		}
+		for _, cl := range s.Classes {
+			if len(cl.Class) > classW {
+				classW = len(cl.Class)
+			}
+		}
+	}
+	fmt.Fprintf(w, "  SLO attainment — per user class (unfair: fair start met the target; infeas: it did not;\n")
+	fmt.Fprintf(w, "  p95brch/worst are wait-breach excess — slowbr counts slowdown-target misses separately)\n")
+	fmt.Fprintf(w, "  %-*s %-*s %6s %7s %8s %8s %7s %7s %7s %11s %9s\n",
+		polW, "policy", classW, "class", "users", "jobs", "attain%", "breached",
+		"unfair", "infeas", "slowbr", "p95brch(h)", "worst(h)")
+	for k, s := range c.SLOs {
+		if s == nil {
+			continue
+		}
+		rows := append(append([]slo.ClassStats(nil), s.Classes...), s.Total)
+		for _, cl := range rows {
+			fmt.Fprintf(w, "  %-*s %-*s %6d %7d %8.1f %8d %7d %7d %7d %11.2f %9.2f\n",
+				polW, c.Policies[k], classW, cl.Class, cl.Users, cl.Jobs,
+				cl.AttainPct(), cl.Breached(), cl.UnfairWait, cl.InfeasibleWait,
+				cl.SlowBreaches, float64(cl.BreachP95)/3600, float64(cl.WorstWaitBreach)/3600)
+		}
 	}
 }

@@ -1,0 +1,236 @@
+package fairness
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fairsched/internal/job"
+	"fairsched/internal/sched"
+	"fairsched/internal/sim"
+	"fairsched/internal/slo"
+	"fairsched/internal/workload"
+)
+
+// sloAssignmentFor tags a workload's users deterministically across every
+// target shape: wait-only, wait+slowdown, slowdown-only, with every fifth
+// user left untagged so the skip path is exercised too.
+func sloAssignmentFor(jobs []*job.Job) *slo.Assignment {
+	seen := make(map[int]bool)
+	var users []int
+	for _, j := range jobs {
+		if !seen[j.User] {
+			seen[j.User] = true
+			users = append(users, j.User)
+		}
+	}
+	b := slo.NewBuilder()
+	b.AddClass("tight", slo.Target{Wait: 3600})
+	b.AddClass("loose", slo.Target{Wait: 24 * 3600, Slowdown: 8})
+	b.AddClass("slow", slo.Target{Slowdown: 4})
+	classes := []string{"tight", "loose", "slow"}
+	for i, u := range users {
+		if i%5 == 4 {
+			continue // untagged
+		}
+		b.Tag(u, classes[i%3])
+	}
+	return b.Build()
+}
+
+// runWithSLO executes one policy with the hybrid engine and the online
+// observer attached, returning the run plus both accountings.
+func runWithSLO(t testing.TB, spec string, cfg sim.Config, jobs []*job.Job, asg *slo.Assignment) (obs *SLOObserver, ref *slo.Tracker) {
+	t.Helper()
+	engine := NewHybridFST()
+	obs = NewSLOObserver(asg, engine)
+	res, err := sim.New(cfg, sched.MustParse(spec), engine, obs).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs, slo.FromRecords(asg, res.Records, engine.Table())
+}
+
+func assertSLOEqual(t *testing.T, name string, obs *SLOObserver, ref *slo.Tracker) {
+	t.Helper()
+	gotUsers, wantUsers := obs.PerUser(), ref.PerUser()
+	if !reflect.DeepEqual(gotUsers, wantUsers) {
+		for i := range gotUsers {
+			if i < len(wantUsers) && gotUsers[i] != wantUsers[i] {
+				t.Fatalf("%s: user stats diverged at %d:\n  online:    %+v\n  reference: %+v",
+					name, i, gotUsers[i], wantUsers[i])
+			}
+		}
+		t.Fatalf("%s: per-user stats diverged (lengths %d vs %d)", name, len(gotUsers), len(wantUsers))
+	}
+	if !reflect.DeepEqual(obs.Summary(), ref.Summary()) {
+		t.Fatalf("%s: summaries diverged:\n  online:    %+v\n  reference: %+v",
+			name, obs.Summary(), ref.Summary())
+	}
+}
+
+// TestSLOObserverMatchesReference: the online observer is a pure
+// measurement — its accrual must equal the from-scratch post-run reference
+// computed from Result.Records on every workload shape the simulator can
+// produce: calm, contended, max-runtime splitting (upfront and chained
+// restarts) and both kill policies (truncated completions).
+func TestSLOObserverMatchesReference(t *testing.T) {
+	h := int64(3600)
+	cases := []struct {
+		name  string
+		cfg   sim.Config
+		scale float64
+	}{
+		{"calm", sim.Config{SystemSize: 500, Validate: true}, 0.02},
+		{"contended", sim.Config{SystemSize: 100, Validate: true}, 0.05},
+		{"split-upfront", sim.Config{SystemSize: 100, MaxRuntime: 24 * h, Split: sim.SplitUpfront, Validate: true}, 0.04},
+		{"split-chained", sim.Config{SystemSize: 100, MaxRuntime: 24 * h, Split: sim.SplitChained, Validate: true}, 0.04},
+		{"kill-always", sim.Config{SystemSize: 100, Kill: sim.KillAlways, Validate: true}, 0.04},
+		{"kill-when-needed", sim.Config{SystemSize: 100, Kill: sim.KillWhenNeeded, Validate: true}, 0.04},
+	}
+	for _, spec := range []string{"cplant24.nomax.all", "cons.nomax", "easy"} {
+		for _, c := range cases {
+			t.Run(spec+"/"+c.name, func(t *testing.T) {
+				jobs, err := workload.Generate(workload.Config{Seed: 11, Scale: c.scale, SystemSize: c.cfg.SystemSize})
+				if err != nil {
+					t.Fatal(err)
+				}
+				asg := sloAssignmentFor(jobs)
+				obs, ref := runWithSLO(t, spec, c.cfg, jobs, asg)
+				assertSLOEqual(t, spec+"/"+c.name, obs, ref)
+			})
+		}
+	}
+}
+
+// TestSLOObserverMatchesRandomized sweeps 30 random small workloads with
+// mixed estimate quality (underestimates exercise overrun handling) and a
+// randomized assignment through observer and reference.
+func TestSLOObserverMatchesRandomized(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 16
+		n := rng.Intn(40) + 5
+		jobs := make([]*job.Job, n)
+		for i := range jobs {
+			runtime := rng.Int63n(500) + 1
+			est := runtime
+			switch rng.Intn(3) {
+			case 0:
+				est = runtime * (rng.Int63n(8) + 1)
+			case 1:
+				est = runtime/2 + 1
+			}
+			jobs[i] = &job.Job{
+				ID:       job.ID(i + 1),
+				User:     rng.Intn(4) + 1,
+				Submit:   rng.Int63n(1000),
+				Runtime:  runtime,
+				Estimate: est,
+				Nodes:    rng.Intn(size) + 1,
+			}
+		}
+		b := slo.NewBuilder()
+		b.AddClass("a", slo.Target{Wait: rng.Int63n(400) + 1})
+		b.AddClass("b", slo.Target{Wait: rng.Int63n(2000) + 1, Slowdown: float64(rng.Intn(6) + 1)})
+		for u := 1; u <= 4; u++ {
+			if rng.Intn(4) > 0 {
+				b.Tag(u, []string{"a", "b"}[rng.Intn(2)])
+			}
+		}
+		asg := b.Build()
+		if asg == nil {
+			continue
+		}
+		for _, spec := range []string{"cplant24.nomax.all", "cons.nomax"} {
+			cfg := sim.Config{SystemSize: size, Validate: true}
+			obs, ref := runWithSLO(t, spec, cfg, jobs, asg)
+			assertSLOEqual(t, spec, obs, ref)
+		}
+	}
+}
+
+// TestSLOObserverWithoutFST: with the fairness engine absent the observer
+// still accrues attainment; only the unfair/infeasible split stays zero.
+func TestSLOObserverWithoutFST(t *testing.T) {
+	jobs, err := workload.Generate(workload.Config{Seed: 11, Scale: 0.04, SystemSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := sloAssignmentFor(jobs)
+	obs := NewSLOObserver(asg, nil)
+	res, err := sim.New(sim.Config{SystemSize: 100}, sched.MustParse("easy"), obs).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := slo.FromRecords(asg, res.Records, nil)
+	assertSLOEqual(t, "no-fst", obs, ref)
+	s := obs.Summary()
+	if s.Total.UnfairWait != 0 || s.Total.InfeasibleWait != 0 {
+		t.Fatalf("fair split accrued without an engine: %+v", s.Total)
+	}
+	if s.Total.Jobs == 0 {
+		t.Fatal("nothing measured")
+	}
+}
+
+// TestSLOObserverSteadyStateAllocFree: the judgment hot path — one
+// JobStarted plus one JobCompleted against a warmed tracker — must not
+// allocate.
+func TestSLOObserverSteadyStateAllocFree(t *testing.T) {
+	b := slo.NewBuilder()
+	b.AddClass("tight", slo.Target{Wait: 60})
+	b.AddClass("both", slo.Target{Wait: 600, Slowdown: 4})
+	for u := 0; u < 64; u++ {
+		b.Tag(u, []string{"tight", "both"}[u%2])
+	}
+	asg := b.Build()
+	engine := NewHybridFST()
+	obs := NewSLOObserver(asg, engine)
+	env := &probeEnv{now: 1 << 20}
+	jobs := make([]*job.Job, 128)
+	for i := range jobs {
+		jobs[i] = &job.Job{ID: job.ID(i + 1), User: i % 80, Submit: int64(i),
+			Runtime: 900, Estimate: 1800, Nodes: 4}
+		engine.fst[jobs[i].ID] = int64(i) + 500 // fair starts the observer reads
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		j := jobs[i%len(jobs)]
+		start := env.now + int64(i%4096)
+		obs.JobStarted(env, j)
+		obs.JobCompleted(env, j, start)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("observer steady state allocates %.1f allocs/event pair, want 0", allocs)
+	}
+}
+
+// BenchmarkSLOObserver measures the per-event judgment cost against a
+// warmed tracker (the contended-bench companion of BenchmarkHybridFST).
+func BenchmarkSLOObserver(b *testing.B) {
+	bld := slo.NewBuilder()
+	bld.AddClass("tight", slo.Target{Wait: 60})
+	bld.AddClass("both", slo.Target{Wait: 600, Slowdown: 4})
+	for u := 0; u < 512; u++ {
+		bld.Tag(u, []string{"tight", "both"}[u%2])
+	}
+	asg := bld.Build()
+	engine := NewHybridFST()
+	obs := NewSLOObserver(asg, engine)
+	env := &probeEnv{now: 1 << 20}
+	jobs := make([]*job.Job, 1024)
+	for i := range jobs {
+		jobs[i] = &job.Job{ID: job.ID(i + 1), User: i % 640, Submit: int64(i),
+			Runtime: 900, Estimate: 1800, Nodes: 4}
+		engine.fst[jobs[i].ID] = int64(i) + 500
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := jobs[i%len(jobs)]
+		obs.JobStarted(env, j)
+		obs.JobCompleted(env, j, env.now+int64(i%4096))
+	}
+}

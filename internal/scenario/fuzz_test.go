@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenario asserts the scenario grammar's parse/render round
+// trip: any transform chain the parser accepts must render transform names
+// that re-parse, and the re-parse must be stable (idempotent — a second
+// render is byte-identical to the first). Lossless round-tripping is
+// pinned separately per token family (TestSLOCanonicalRoundTrip for slo=;
+// burst= intentionally renders only its defining parameters). Run in CI as
+// a smoke step; `go test -fuzz FuzzParseScenario ./internal/scenario` digs
+// deeper.
+func FuzzParseScenario(f *testing.F) {
+	for _, name := range Names() {
+		f.Add(name)
+	}
+	f.Add("load=1.5+perturb=3")
+	f.Add("window=1d..8d")
+	f.Add("window=90..")
+	f.Add("users=top8")
+	f.Add("users=3.7.11")
+	f.Add("burst=at:7d.jobs:200.nodes:8.runtime:1h.spread:1h.est:2h.user:42")
+	f.Add("slo=p50:2h,p90:24h")
+	f.Add("slo=p50:2h,p90:1d,default:4d,user7:30m,user7:6x")
+	f.Add("slo=p50:8x")
+	f.Add("slo=p50:2.5x")
+	f.Add("slo=p50:1000000x")
+	f.Add("slo=p50:NaNx")
+	f.Add("slo=p50:Infx")
+	f.Add("slo=default:none")
+	f.Add("slo=user12:none")
+	f.Add("slo=p100:1w,p1:1s")
+	f.Add("load=1.5+slo=p50:2h+window=0..4w")
+	f.Add("users=top4+slo=p50:2h,default:96h")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return // rejected inputs only need to fail cleanly
+		}
+		for _, tr := range s.Transforms {
+			name := tr.Name()
+			re, err := ParseTransform(name)
+			if err != nil {
+				t.Fatalf("transform name %q (from %q) does not re-parse: %v", name, in, err)
+			}
+			if re.Name() != name {
+				t.Fatalf("transform render unstable: %q -> %q (from %q)", name, re.Name(), in)
+			}
+		}
+		// The rejoined chain must itself parse (chains compose).
+		if len(s.Transforms) > 0 {
+			parts := make([]string, len(s.Transforms))
+			for i, tr := range s.Transforms {
+				parts[i] = tr.Name()
+			}
+			if _, err := Parse(strings.Join(parts, "+")); err != nil {
+				t.Fatalf("rejoined chain of %q does not parse: %v", in, err)
+			}
+		}
+	})
+}

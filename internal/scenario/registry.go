@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"fairsched/internal/slo"
 )
 
 // Builtins are the named scenarios every campaign can reference directly;
@@ -44,6 +46,15 @@ func Builtins() []Scenario {
 				Runtime: 3600, Spread: 3600, User: -1,
 			}},
 		},
+		{
+			Name:        "slo-tiered",
+			Description: "per-user wait SLOs: lightest half 2h, next 40% 24h, heaviest 10% 96h",
+			Transforms: []Transform{SLOTag{Classes: []SLOClass{
+				{Quantile: 50, Target: slo.Target{Wait: 2 * 3600}},
+				{Quantile: 90, Target: slo.Target{Wait: 24 * 3600}},
+				{Default: true, Target: slo.Target{Wait: 96 * 3600}},
+			}}},
+		},
 	}
 }
 
@@ -75,6 +86,10 @@ func Names() []string {
 //	users=top8  |  users=3.7.11        user subset (top-K by proc-seconds, or ids joined with .)
 //	burst=at:7d.jobs:200.nodes:8.runtime:1h[.spread:1h][.est:2h][.user:42]
 //	perturb=3                          f-model estimate accuracy
+//	slo=p50:2h,p90:24h,default:96h     per-user SLO targets (quantile bands by
+//	                                   proc-seconds, default band, user<id>:
+//	                                   overrides; duration = wait target,
+//	                                   <f>x = slowdown target, none = best effort)
 //
 // Example: "load=1.5+perturb=3" compresses arrivals and degrades estimates.
 func Parse(spec string) (Scenario, error) {
@@ -156,8 +171,10 @@ func parseTransform(part string) (Transform, error) {
 			return nil, fmt.Errorf("perturb=%q: want an f-model factor >= 0", val)
 		}
 		return PerturbEstimates{F: f}, nil
+	case "slo":
+		return parseSLO(val)
 	}
-	return nil, fmt.Errorf("unknown transform %q (want load, window, users, burst or perturb)", key)
+	return nil, fmt.Errorf("unknown transform %q (want load, window, users, burst, perturb or slo)", key)
 }
 
 func parseBurst(val string) (Transform, error) {

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"fairsched/internal/job"
+	"fairsched/internal/slo"
 )
 
 // Transform is one deterministic workload rewrite. Implementations must not
@@ -88,6 +89,40 @@ func (s Scenario) OriginShift() int64 {
 		}
 	}
 	return total
+}
+
+// SLOProvider is implemented by transforms that contribute per-user SLO
+// targets (SLOTag). Providers see the pipeline's final transformed
+// workload — not their positional intermediate — so usage quantiles
+// reflect every rewrite in the pipeline; only the relative order of
+// multiple providers matters (later ones override earlier tags).
+type SLOProvider interface {
+	// ContributeSLO registers classes and tags users into b.
+	ContributeSLO(jobs []*job.Job, b *slo.Builder) error
+}
+
+// SLOAssignment derives the scenario's per-user SLO assignment from the
+// transformed workload (the output of Apply). It returns (nil, nil) when
+// the pipeline has no SLO-providing transform, and is pure — safe to call
+// concurrently from campaign workers sharing the scenario value.
+func (s Scenario) SLOAssignment(jobs []*job.Job) (*slo.Assignment, error) {
+	var b *slo.Builder
+	for _, tr := range s.Transforms {
+		p, ok := tr.(SLOProvider)
+		if !ok {
+			continue
+		}
+		if b == nil {
+			b = slo.NewBuilder()
+		}
+		if err := p.ContributeSLO(jobs, b); err != nil {
+			return nil, fmt.Errorf("scenario %s: %s: %w", s.Name, tr.Name(), err)
+		}
+	}
+	if b == nil {
+		return nil, nil
+	}
+	return b.Build(), nil
 }
 
 // With returns a copy of the scenario with extra transforms appended (used

@@ -1,0 +1,329 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fairsched/internal/job"
+	"fairsched/internal/slo"
+)
+
+// SLOClass is one band of an SLOTag: a usage quantile, the default band,
+// or a single explicitly-named user. Exactly one of Quantile (> 0),
+// Default and IsUser must be set; the zero value is invalid (rejected by
+// validation), so a forgotten discriminator errors instead of silently
+// tagging user 0.
+type SLOClass struct {
+	// Quantile, when in 1..100, makes this a quantile band: it covers the
+	// users whose total processor-second rank percentile is at or below it
+	// and above every smaller band (so "p50" is the lightest half, a
+	// following "p90" the next 40%).
+	Quantile int
+	// IsUser marks an explicit per-user override for User; it wins over
+	// any band the user would otherwise fall into.
+	IsUser bool
+	// User is the overridden user id (meaningful only with IsUser; ids
+	// start at 0 in some traces, hence the explicit flag).
+	User int
+	// Default, when set, catches every user no quantile band covers.
+	Default bool
+	// Target is the band's objective; a zero target makes the band
+	// explicitly best-effort (tracked nowhere).
+	Target slo.Target
+}
+
+// name renders the class name used in assignments and reports.
+func (c SLOClass) name() string {
+	switch {
+	case c.Quantile > 0:
+		return fmt.Sprintf("p%d", c.Quantile)
+	case c.Default:
+		return "default"
+	default:
+		return fmt.Sprintf("user%d", c.User)
+	}
+}
+
+// SLOTag deterministically tags the workload's users with SLO targets. It
+// is an identity transform on the jobs themselves — the SLO assignment is
+// a measurement contract, not a workload rewrite — and contributes the
+// assignment through the SLOProvider interface, derived from the final
+// transformed workload of its pipeline (usage quantiles therefore reflect
+// whatever load scaling, slicing or filtering the other transforms did).
+//
+// Quantile bands rank users by total processor-seconds ascending (ties
+// toward the lower user id); user k of n (1-based, as in DESIGN.md §11)
+// has percentile 100*k/n (integer division), and belongs to the smallest
+// band covering it. Users
+// above every band fall to the default band when present, else stay
+// untagged. Explicit user overrides apply last, in spec order.
+type SLOTag struct {
+	Classes []SLOClass
+}
+
+// Name implements Transform: the canonical slo= token (quantile bands
+// ascending, then default, then user overrides ascending; a band with both
+// a wait and a slowdown target renders as two entries, wait first).
+func (t SLOTag) Name() string { return "slo=" + t.canonicalValue() }
+
+func (t SLOTag) canonicalValue() string {
+	ordered := t.orderedClasses()
+	var parts []string
+	for _, c := range ordered {
+		if c.Target.Wait > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%s", c.name(), fmtDur(c.Target.Wait)))
+		}
+		if c.Target.Slowdown > 0 {
+			// 'f' (never 'g'): an exponent form like 1e+06 would re-split
+			// on the chain grammar's '+' separator.
+			parts = append(parts, fmt.Sprintf("%s:%sx", c.name(),
+				strconv.FormatFloat(c.Target.Slowdown, 'f', -1, 64)))
+		}
+		if c.Target.IsZero() {
+			parts = append(parts, c.name()+":none")
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// orderedClasses returns the classes in canonical order: quantile bands
+// ascending, then the default band, then user overrides ascending.
+func (t SLOTag) orderedClasses() []SLOClass {
+	out := append([]SLOClass(nil), t.Classes...)
+	rank := func(c SLOClass) (int, int) {
+		switch {
+		case c.Quantile > 0:
+			return 0, c.Quantile
+		case c.Default:
+			return 1, 0
+		default: // user override
+			return 2, c.User
+		}
+	}
+	sort.SliceStable(out, func(i, k int) bool {
+		gi, ki := rank(out[i])
+		gk, kk := rank(out[k])
+		if gi != gk {
+			return gi < gk
+		}
+		return ki < kk
+	})
+	return out
+}
+
+// validate reports the first structural problem with the tag.
+func (t SLOTag) validate() error {
+	if len(t.Classes) == 0 {
+		return fmt.Errorf("slo tag with no classes")
+	}
+	seenDefault := false
+	seenQ := make(map[int]bool)
+	seenUser := make(map[int]bool)
+	for _, c := range t.Classes {
+		switch {
+		case c.Quantile < 0 || c.Quantile > 100:
+			return fmt.Errorf("slo quantile p%d out of range (want 1..100)", c.Quantile)
+		case c.Quantile > 0:
+			if c.Default || c.IsUser {
+				return fmt.Errorf("slo band p%d also marked default or user", c.Quantile)
+			}
+			if seenQ[c.Quantile] {
+				return fmt.Errorf("slo band p%d declared twice", c.Quantile)
+			}
+			seenQ[c.Quantile] = true
+		case c.Default:
+			if c.IsUser {
+				return fmt.Errorf("slo default band also marked as a user override")
+			}
+			if seenDefault {
+				return fmt.Errorf("slo default band declared twice")
+			}
+			seenDefault = true
+		case c.IsUser:
+			if c.User < 0 {
+				return fmt.Errorf("slo user override with negative id %d", c.User)
+			}
+			if seenUser[c.User] {
+				return fmt.Errorf("slo user%d override declared twice", c.User)
+			}
+			seenUser[c.User] = true
+		default:
+			return fmt.Errorf("slo class is neither a quantile band, default nor a user override (set Quantile, Default or IsUser)")
+		}
+		if c.Target.Wait < 0 {
+			return fmt.Errorf("slo class %s: negative wait target", c.name())
+		}
+		if math.IsNaN(c.Target.Slowdown) || math.IsInf(c.Target.Slowdown, 0) {
+			return fmt.Errorf("slo class %s: slowdown target must be finite", c.name())
+		}
+		if c.Target.Slowdown < 0 || (c.Target.Slowdown > 0 && c.Target.Slowdown < 1) {
+			return fmt.Errorf("slo class %s: slowdown target %v below 1 (a slowdown is never < 1)",
+				c.name(), c.Target.Slowdown)
+		}
+	}
+	return nil
+}
+
+// Apply implements Transform: the workload passes through untouched (the
+// tag's effect is the SLO assignment, contributed via ContributeSLO).
+func (t SLOTag) Apply(jobs []*job.Job, _ *rand.Rand) ([]*job.Job, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// ContributeSLO implements SLOProvider: registers the tag's classes and
+// assigns every user of the (transformed) workload to its band.
+func (t SLOTag) ContributeSLO(jobs []*job.Job, b *slo.Builder) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	ordered := t.orderedClasses()
+	for _, c := range ordered {
+		b.AddClass(c.name(), c.Target)
+	}
+	// Rank users by total processor-seconds ascending (the same heaviness
+	// measure UserFilter's top-K uses; ties toward the lower id in both).
+	usage := userProcSeconds(jobs)
+	users := usersByUsage(usage, true)
+	var quantiles []SLOClass
+	var hasDefault bool
+	for _, c := range ordered {
+		if c.Quantile > 0 {
+			quantiles = append(quantiles, c) // already ascending
+		}
+		if c.Default {
+			hasDefault = true
+		}
+	}
+	n := len(users)
+	for rank, u := range users {
+		pct := 100 * (rank + 1) / n
+		tagged := false
+		for _, c := range quantiles {
+			if pct <= c.Quantile {
+				b.Tag(u, c.name())
+				tagged = true
+				break
+			}
+		}
+		if !tagged && hasDefault {
+			b.Tag(u, "default")
+		}
+	}
+	// Explicit overrides win; users absent from the workload are skipped
+	// (the assignment describes this workload's population).
+	for _, c := range ordered {
+		if c.IsUser {
+			if _, present := usage[c.User]; present {
+				b.Tag(c.User, c.name())
+			}
+		}
+	}
+	return nil
+}
+
+// parseSLO parses the slo= value: comma-separated class:target entries.
+//
+//	slo=p50:2h,p90:24h            lightest half 2h wait, next 40% 24h
+//	slo=p50:2h,default:96h        everyone above p50 gets 96h
+//	slo=p90:8x                    slowdown target (suffix x) for the
+//	                              lightest 90%
+//	slo=p50:2h,p50:6x             the same band may carry both kinds
+//	slo=user7:30m                 explicit per-user override (wins)
+//	slo=p50:2h,default:none       explicitly best-effort band
+func parseSLO(val string) (Transform, error) {
+	if strings.TrimSpace(val) == "" {
+		return nil, fmt.Errorf("slo=: empty spec (want e.g. p50:2h,p90:24h)")
+	}
+	type key struct {
+		q, user int
+		def     bool
+		isUser  bool
+	}
+	idx := make(map[key]int)
+	var t SLOTag
+	for _, part := range strings.Split(val, ",") {
+		part = strings.TrimSpace(part)
+		name, target, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("slo entry %q: want class:target", part)
+		}
+		var c SLOClass
+		switch {
+		case name == "default":
+			c.Default = true
+		case strings.HasPrefix(name, "user"):
+			id, err := strconv.Atoi(name[len("user"):])
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("slo entry %q: bad user id", part)
+			}
+			c.IsUser = true
+			c.User = id
+		case strings.HasPrefix(name, "p"):
+			q, err := strconv.Atoi(name[1:])
+			if err != nil || q < 1 || q > 100 {
+				return nil, fmt.Errorf("slo entry %q: want p1..p100", part)
+			}
+			c.Quantile = q
+		default:
+			return nil, fmt.Errorf("slo entry %q: class must be p<1..100>, default or user<id>", part)
+		}
+		k := key{q: c.Quantile, user: c.User, def: c.Default, isUser: c.IsUser}
+		switch {
+		case target == "none":
+			// Explicit best-effort: a zero target. Combining none with a
+			// real target — or repeating it — for the same band is
+			// contradictory, like any other duplicate declaration.
+			if i, seen := idx[k]; seen {
+				if t.Classes[i].Target.IsZero() {
+					return nil, fmt.Errorf("slo entry %q: band declared best-effort twice", part)
+				}
+				return nil, fmt.Errorf("slo entry %q: band already has a target", part)
+			}
+		case strings.HasSuffix(target, "x"):
+			f, err := strconv.ParseFloat(target[:len(target)-1], 64)
+			if err != nil || f < 1 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("slo entry %q: want a finite slowdown multiple >= 1 (e.g. 8x)", part)
+			}
+			c.Target.Slowdown = f
+		default:
+			d, err := parseDur(target)
+			if err != nil {
+				return nil, fmt.Errorf("slo entry %q: %w", part, err)
+			}
+			if d < 1 {
+				return nil, fmt.Errorf("slo entry %q: wait target must be positive", part)
+			}
+			c.Target.Wait = d
+		}
+		if i, seen := idx[k]; seen {
+			prev := &t.Classes[i]
+			if prev.Target.IsZero() && !c.Target.IsZero() {
+				return nil, fmt.Errorf("slo entry %q: band already declared best-effort", part)
+			}
+			if (c.Target.Wait > 0 && prev.Target.Wait > 0) ||
+				(c.Target.Slowdown > 0 && prev.Target.Slowdown > 0) {
+				return nil, fmt.Errorf("slo entry %q: duplicate target kind for this band", part)
+			}
+			if c.Target.Wait > 0 {
+				prev.Target.Wait = c.Target.Wait
+			}
+			if c.Target.Slowdown > 0 {
+				prev.Target.Slowdown = c.Target.Slowdown
+			}
+			continue
+		}
+		idx[k] = len(t.Classes)
+		t.Classes = append(t.Classes, c)
+	}
+	if err := t.validate(); err != nil {
+		return nil, fmt.Errorf("slo=%s: %w", val, err)
+	}
+	return t, nil
+}

@@ -109,20 +109,7 @@ func (t UserFilter) Apply(jobs []*job.Job, _ *rand.Rand) ([]*job.Job, error) {
 	keep := make(map[int]bool)
 	switch {
 	case t.Top > 0:
-		usage := make(map[int]int64)
-		for _, j := range jobs {
-			usage[j.User] += j.ProcSeconds()
-		}
-		users := make([]int, 0, len(usage))
-		for u := range usage {
-			users = append(users, u)
-		}
-		sort.Slice(users, func(i, k int) bool {
-			if usage[users[i]] != usage[users[k]] {
-				return usage[users[i]] > usage[users[k]]
-			}
-			return users[i] < users[k]
-		})
+		users := usersByUsage(userProcSeconds(jobs), false)
 		if len(users) > t.Top {
 			users = users[:t.Top]
 		}
@@ -143,6 +130,38 @@ func (t UserFilter) Apply(jobs []*job.Job, _ *rand.Rand) ([]*job.Job, error) {
 		}
 	}
 	return out, nil
+}
+
+// userProcSeconds aggregates each user's total processor-seconds — the
+// heaviness measure shared by UserFilter's top-K and SLOTag's quantile
+// bands.
+func userProcSeconds(jobs []*job.Job) map[int]int64 {
+	usage := make(map[int]int64)
+	for _, j := range jobs {
+		usage[j.User] += j.ProcSeconds()
+	}
+	return usage
+}
+
+// usersByUsage returns the user ids ordered by total processor-seconds,
+// ascending (lightest first) or descending, with ties always broken
+// toward the lower id.
+func usersByUsage(usage map[int]int64, ascending bool) []int {
+	users := make([]int, 0, len(usage))
+	for u := range usage {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, k int) bool {
+		ui, uk := usage[users[i]], usage[users[k]]
+		if ui != uk {
+			if ascending {
+				return ui < uk
+			}
+			return ui > uk
+		}
+		return users[i] < users[k]
+	})
+	return users
 }
 
 // BurstInject adds a synthetic arrival burst — Count jobs of Nodes × Runtime

@@ -56,9 +56,13 @@ type Simulator struct {
 	used    int
 	running []RunningJob // start order (then id)
 	fs      *fairshare.Tracker
-	records map[job.ID]*Record
-	order   []*Record // submit order as processed
-	nextID  job.ID    // id allocator for split segments
+	// records indexes every record by job id — a dense slice for the
+	// common dense id space, a map for sparse ones (see recordIndex).
+	// sparseRecords forces the map layout (differential tests).
+	records       recordIndex
+	sparseRecords bool
+	order         []*Record // submit order as processed
+	nextID        job.ID    // id allocator for split segments
 	// splitOriginals maps an original job id to the original job while its
 	// segment chain is in flight.
 	splitOriginals map[job.ID]*job.Job
@@ -146,7 +150,7 @@ func (s *Simulator) Start(j *job.Job) error {
 	if !s.inEvent {
 		return fmt.Errorf("sim: Start(%d) outside a scheduling event", j.ID)
 	}
-	rec := s.records[j.ID]
+	rec := s.records.get(j.ID)
 	if rec == nil {
 		return fmt.Errorf("sim: Start(%d): job never arrived", j.ID)
 	}
@@ -228,7 +232,7 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 	// arrival and a completion, and the records map holds one entry per
 	// submission (plus split segments, which stay rare).
 	s.q.Grow(2 * len(workload))
-	s.records = make(map[job.ID]*Record, len(workload))
+	s.records = newRecordIndex(len(workload), maxID, s.sparseRecords)
 	s.order = make([]*Record, 0, len(workload))
 	s.userIdx = make(map[int]int)
 	for _, j := range workload {
@@ -321,7 +325,7 @@ func (s *Simulator) handleArrival(j *job.Job) {
 		s.killOverruns()
 	}
 	rec := &Record{Job: j, Submit: s.now}
-	s.records[j.ID] = rec
+	s.records.put(j.ID, rec)
 	s.order = append(s.order, rec)
 	s.queuedNodes += j.Nodes
 	queued := s.policy.Queued()
@@ -423,7 +427,7 @@ func (s *Simulator) release(j *job.Job, killed bool) (start int64, ok bool) {
 	s.used -= j.Nodes
 	s.addUserNodes(j.User, -j.Nodes)
 	s.availDirty = true
-	rec := s.records[j.ID]
+	rec := s.records.get(j.ID)
 	rec.Complete = s.now
 	rec.Finished = true
 	if killed {
@@ -562,7 +566,7 @@ func (s *Simulator) checkInvariants() error {
 	}
 	queuedNodes := 0
 	for _, qj := range s.policy.Queued() {
-		rec := s.records[qj.ID]
+		rec := s.records.get(qj.ID)
 		if rec == nil {
 			return fmt.Errorf("sim: queued job %d unknown", qj.ID)
 		}

@@ -1,0 +1,496 @@
+// Package slo is the per-user service-level-objective subsystem: targets
+// (maximum acceptable queuing delay, maximum acceptable bounded slowdown)
+// assigned to users by scenario transforms, and the accounting that turns a
+// simulation run into per-user and per-class attainment.
+//
+// The paper's central argument is that aggregate metrics hide per-user
+// unfairness — its fairness figures are per-user wait and fair-start-time
+// deviations. An SLO assignment makes that slicing operational: every user
+// carries an explicit target, and a campaign reports which user classes a
+// policy serves and which it starves. Dell'Amico et al. ("On Fair
+// Size-Based Scheduling") motivate exactly this view — size-based policies
+// look excellent in aggregate while specific user classes starve — and Berg
+// et al. (heSRPT) frame per-job slowdown targets that map directly onto the
+// slowdown half of a Target.
+//
+// The accounting core (Tracker) is shared by the online observer
+// (fairness.SLOObserver, fed by simulator hooks as the run progresses) and
+// the post-run reference (FromRecords, a from-scratch walk over
+// sim.Result.Records): both feed the same judgment functions, and a
+// differential suite pins their outputs equal on every workload shape. All
+// per-event updates are commutative (sums, counts, maxima with
+// order-independent tie-breaks), so the online accrual order and the
+// record-sorted replay order reach identical state.
+package slo
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"fairsched/internal/job"
+	"fairsched/internal/sim"
+)
+
+// SlowdownBound is the runtime floor of the bounded-slowdown judgment,
+// mirroring metrics.SlowdownBound (the conventional 10 seconds). It is
+// redeclared here because metrics sits above the fairness packages that
+// consume slo.
+const SlowdownBound = 10
+
+// Target is one user's service-level objectives. Zero fields mean "no
+// target of that kind"; a Target with both fields zero is no SLO at all.
+type Target struct {
+	// Wait is the maximum acceptable queuing delay in seconds (0: none).
+	Wait int64
+	// Slowdown is the maximum acceptable bounded slowdown (0: none). The
+	// bounded slowdown of a job is (wait + run') / run' with run' =
+	// max(realized runtime, SlowdownBound).
+	Slowdown float64
+}
+
+// IsZero reports whether the target carries no objective.
+func (t Target) IsZero() bool { return t.Wait <= 0 && t.Slowdown <= 0 }
+
+// UserTarget ties one user to its class and targets.
+type UserTarget struct {
+	User   int
+	Class  string
+	Target Target
+}
+
+// Class is one named group of users sharing a target (a quantile band, the
+// default band, or a single explicitly-tagged user).
+type Class struct {
+	Name   string
+	Target Target
+	Users  int // users assigned to the class
+}
+
+// Assignment is an immutable user -> SLO mapping for one workload. Built
+// once per campaign cell (from the transformed workload) and shared
+// read-only by every policy run of the cell, including concurrent
+// policy-parallel tasks.
+type Assignment struct {
+	classes  []Class
+	classIdx map[string]int
+	users    []UserTarget // ascending user id
+	idx      map[int]int  // user -> index into users
+	classOf  []int        // users[i]'s index into classes
+}
+
+// NumUsers returns how many users carry a target.
+func (a *Assignment) NumUsers() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.users)
+}
+
+// Users returns the tagged users in ascending user-id order. The returned
+// slice is a copy; the assignment itself stays immutable.
+func (a *Assignment) Users() []UserTarget {
+	if a == nil {
+		return nil
+	}
+	return append([]UserTarget(nil), a.users...)
+}
+
+// Classes returns the classes in registration order (quantile bands
+// ascending, then the default band, then explicit users — the canonical
+// grammar order when the assignment came from a scenario spec).
+func (a *Assignment) Classes() []Class {
+	if a == nil {
+		return nil
+	}
+	return append([]Class(nil), a.classes...)
+}
+
+// Lookup returns the target assigned to a user.
+func (a *Assignment) Lookup(user int) (UserTarget, bool) {
+	if a == nil {
+		return UserTarget{}, false
+	}
+	i, ok := a.idx[user]
+	if !ok {
+		return UserTarget{}, false
+	}
+	return a.users[i], true
+}
+
+// Builder accumulates an Assignment: classes registered first (their
+// registration order is the report order), users tagged into them.
+// Re-registering a class replaces its target in place; re-tagging a user
+// moves it — later scenario transforms override earlier ones.
+type Builder struct {
+	classes  []Class
+	classIdx map[string]int
+	users    map[int]string // user -> class name
+}
+
+// NewBuilder returns an empty assignment builder.
+func NewBuilder() *Builder {
+	return &Builder{classIdx: make(map[string]int), users: make(map[int]string)}
+}
+
+// AddClass registers (or re-targets) a class.
+func (b *Builder) AddClass(name string, t Target) {
+	if i, ok := b.classIdx[name]; ok {
+		b.classes[i].Target = t
+		return
+	}
+	b.classIdx[name] = len(b.classes)
+	b.classes = append(b.classes, Class{Name: name, Target: t})
+}
+
+// Tag assigns a user to a registered class; it panics on an unknown class
+// (a programming error — the scenario parser registers every class it
+// names).
+func (b *Builder) Tag(user int, class string) {
+	if _, ok := b.classIdx[class]; !ok {
+		panic(fmt.Sprintf("slo: Tag(%d, %q): unregistered class", user, class))
+	}
+	b.users[user] = class
+}
+
+// Build freezes the assignment. Classes that tagged no users are kept (the
+// report shows them empty); nil is returned when no user carries a
+// non-zero target.
+func (b *Builder) Build() *Assignment {
+	a := &Assignment{
+		classes:  append([]Class(nil), b.classes...),
+		classIdx: make(map[string]int, len(b.classes)),
+		idx:      make(map[int]int, len(b.users)),
+	}
+	for i, c := range a.classes {
+		a.classIdx[c.Name] = i
+	}
+	ids := make([]int, 0, len(b.users))
+	for u := range b.users {
+		ids = append(ids, u)
+	}
+	sort.Ints(ids)
+	for _, u := range ids {
+		ci := a.classIdx[b.users[u]]
+		if a.classes[ci].Target.IsZero() {
+			continue // best-effort class: no objective, nothing to track
+		}
+		a.idx[u] = len(a.users)
+		a.users = append(a.users, UserTarget{User: u, Class: a.classes[ci].Name, Target: a.classes[ci].Target})
+		a.classOf = append(a.classOf, ci)
+		a.classes[ci].Users++
+	}
+	if len(a.users) == 0 {
+		return nil
+	}
+	return a
+}
+
+// UserStats accrues one user's SLO outcomes over a run. Every field is
+// accrued commutatively, so online (event-order) and post-run
+// (record-order) accounting agree exactly.
+type UserStats struct {
+	User  int
+	Class string
+	// Jobs counts the measured logical jobs: split-chain restarts
+	// (Segment > 1) are skipped, mirroring the fairness metric — the chain
+	// was judged once, at its first segment.
+	Jobs int
+	// Attained counts jobs that met every applicable target.
+	Attained int
+	// WaitBreaches counts jobs whose queuing delay exceeded Target.Wait,
+	// with the excess accrued into TotalWaitBreach and the breach
+	// distribution (per class).
+	WaitBreaches    int
+	TotalWaitBreach int64 // seconds of excess wait, summed over breaches
+	WorstWaitBreach int64 // largest single excess
+	// WorstWaitJob identifies the worst breach (ties: lower job id).
+	WorstWaitJob job.ID
+	// UnfairWait counts wait breaches the fair reference schedule would
+	// have avoided (fair start within target): the policy's ordering, not
+	// the offered load, caused the miss. InfeasibleWait counts breaches
+	// where even the fair start misses the target — the objective was
+	// unattainable under the contention at arrival. Both stay zero when no
+	// fair-start signal is attached.
+	UnfairWait     int
+	InfeasibleWait int
+	// SlowBreaches counts jobs whose bounded slowdown exceeded
+	// Target.Slowdown; WorstSlowdown is the largest observed.
+	SlowBreaches  int
+	WorstSlowdown float64
+}
+
+// Tracker is the accounting core: per-user counters in a dense slice plus
+// one breach histogram per class, all preallocated at construction so the
+// steady-state judgment path allocates nothing.
+type Tracker struct {
+	asg     *Assignment
+	users   []UserStats // aligned with asg.users
+	hists   [][]int64   // per class: breach-magnitude histogram
+	allHist []int64     // all classes combined (the report's total row)
+}
+
+// NewTracker builds a tracker over an assignment. The assignment is read
+// only; one tracker serves one run. A nil assignment (Builder.Build with
+// no trackable user) yields an empty tracker: nothing is measured.
+func NewTracker(asg *Assignment) *Tracker {
+	if asg == nil {
+		asg = &Assignment{}
+	}
+	t := &Tracker{
+		asg:     asg,
+		users:   make([]UserStats, len(asg.users)),
+		hists:   make([][]int64, len(asg.classes)),
+		allHist: make([]int64, numBreachBins),
+	}
+	for i, ut := range asg.users {
+		t.users[i] = UserStats{User: ut.User, Class: ut.Class}
+	}
+	for i := range t.hists {
+		t.hists[i] = make([]int64, numBreachBins)
+	}
+	return t
+}
+
+// JobStarted judges the wait-time half of a job's SLO the moment it
+// starts: queueing delay against Target.Wait, and — when a fair start time
+// is supplied — whether a breach was the policy's doing (the fair
+// reference schedule met the target) or infeasible under the contention at
+// arrival. Jobs with no slowdown target settle their overall attainment
+// here; the rest settle at JobCompleted. Split-chain restarts are skipped.
+func (t *Tracker) JobStarted(j *job.Job, start, fairStart int64, hasFST bool) {
+	if j.Segment > 1 {
+		return
+	}
+	si, ok := t.asg.idx[j.User]
+	if !ok {
+		return
+	}
+	u := &t.users[si]
+	tgt := t.asg.users[si].Target
+	u.Jobs++
+	wait := start - j.Submit
+	waitOK := tgt.Wait <= 0 || wait <= tgt.Wait
+	if !waitOK {
+		breach := wait - tgt.Wait
+		u.WaitBreaches++
+		u.TotalWaitBreach += breach
+		if breach > u.WorstWaitBreach || (breach == u.WorstWaitBreach && j.ID < u.WorstWaitJob) {
+			u.WorstWaitBreach = breach
+			u.WorstWaitJob = j.ID
+		}
+		if hasFST {
+			if fairStart-j.Submit <= tgt.Wait {
+				u.UnfairWait++
+			} else {
+				u.InfeasibleWait++
+			}
+		}
+		bin := breachBin(breach)
+		t.hists[t.asg.classOf[si]][bin]++
+		t.allHist[bin]++
+	}
+	if tgt.Slowdown <= 0 && waitOK {
+		u.Attained++
+	}
+}
+
+// JobCompleted judges the slowdown half at completion (the realized
+// runtime is only known then) and settles overall attainment for jobs
+// carrying a slowdown target. The wait outcome is recomputed from (start,
+// submit) — both are in hand — so no per-job state survives between the
+// two hooks. Split-chain restarts are skipped.
+func (t *Tracker) JobCompleted(j *job.Job, start, complete int64) {
+	if j.Segment > 1 {
+		return
+	}
+	si, ok := t.asg.idx[j.User]
+	if !ok {
+		return
+	}
+	tgt := t.asg.users[si].Target
+	if tgt.Slowdown <= 0 {
+		return // attainment settled at start
+	}
+	u := &t.users[si]
+	wait := start - j.Submit
+	run := float64(complete - start)
+	if run < SlowdownBound {
+		run = SlowdownBound
+	}
+	slow := (float64(wait) + run) / run
+	slowOK := slow <= tgt.Slowdown
+	if !slowOK {
+		u.SlowBreaches++
+		if slow > u.WorstSlowdown {
+			u.WorstSlowdown = slow
+		}
+	}
+	if slowOK && (tgt.Wait <= 0 || wait <= tgt.Wait) {
+		u.Attained++
+	}
+}
+
+// PerUser returns a copy of the per-user stats in ascending user-id order.
+func (t *Tracker) PerUser() []UserStats {
+	return append([]UserStats(nil), t.users...)
+}
+
+// ClassStats aggregates one class's outcomes for reporting.
+type ClassStats struct {
+	Class  string
+	Target Target
+	// Users counts the class's tagged users; ActiveUsers those with at
+	// least one measured job this run.
+	Users       int
+	ActiveUsers int
+	Jobs        int
+	Attained    int
+	// Wait-breach aggregation (counts, fair/infeasible split, magnitudes).
+	WaitBreaches    int
+	UnfairWait      int
+	InfeasibleWait  int
+	TotalWaitBreach int64
+	WorstWaitBreach int64
+	SlowBreaches    int
+	// BreachP95 is the 95th percentile of the wait-breach magnitudes,
+	// estimated from the class's breach histogram (upper edge of the
+	// covering bin, ≤ 12.5% relative error; see breachBin). 0 when the
+	// class had no wait breaches.
+	BreachP95 int64
+}
+
+// AttainPct returns the share of measured jobs that met every applicable
+// target, 0..100; 100 for a class with no jobs (nothing was violated).
+func (c ClassStats) AttainPct() float64 {
+	if c.Jobs == 0 {
+		return 100
+	}
+	return 100 * float64(c.Attained) / float64(c.Jobs)
+}
+
+// Breached returns the jobs that missed at least one target.
+func (c ClassStats) Breached() int { return c.Jobs - c.Attained }
+
+// Summary is the per-run SLO report: one row per class plus the combined
+// total. It is memory-light (no per-user rows) so campaign cell summaries
+// can carry one per policy.
+type Summary struct {
+	Classes []ClassStats
+	Total   ClassStats // Class "(all)", Target zero
+}
+
+// Summary aggregates the tracker into class rows. Assembly walks the
+// per-user states and histograms once — O(users + classes), never the
+// records.
+func (t *Tracker) Summary() *Summary {
+	s := &Summary{Classes: make([]ClassStats, len(t.asg.classes))}
+	for i, c := range t.asg.classes {
+		s.Classes[i] = ClassStats{Class: c.Name, Target: c.Target, Users: c.Users}
+	}
+	for i := range t.users {
+		u := &t.users[i]
+		c := &s.Classes[t.asg.classOf[i]]
+		if u.Jobs > 0 {
+			c.ActiveUsers++
+		}
+		c.Jobs += u.Jobs
+		c.Attained += u.Attained
+		c.WaitBreaches += u.WaitBreaches
+		c.UnfairWait += u.UnfairWait
+		c.InfeasibleWait += u.InfeasibleWait
+		c.TotalWaitBreach += u.TotalWaitBreach
+		if u.WorstWaitBreach > c.WorstWaitBreach {
+			c.WorstWaitBreach = u.WorstWaitBreach
+		}
+		c.SlowBreaches += u.SlowBreaches
+	}
+	s.Total = ClassStats{Class: "(all)"}
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		c.BreachP95 = histP95(t.hists[i])
+		s.Total.Users += c.Users
+		s.Total.ActiveUsers += c.ActiveUsers
+		s.Total.Jobs += c.Jobs
+		s.Total.Attained += c.Attained
+		s.Total.WaitBreaches += c.WaitBreaches
+		s.Total.UnfairWait += c.UnfairWait
+		s.Total.InfeasibleWait += c.InfeasibleWait
+		s.Total.TotalWaitBreach += c.TotalWaitBreach
+		if c.WorstWaitBreach > s.Total.WorstWaitBreach {
+			s.Total.WorstWaitBreach = c.WorstWaitBreach
+		}
+		s.Total.SlowBreaches += c.SlowBreaches
+	}
+	s.Total.BreachP95 = histP95(t.allHist)
+	return s
+}
+
+// FromRecords is the post-run reference: a from-scratch replay of the
+// finished records through a fresh tracker, judging each record with the
+// same functions the online observer uses. The differential suite pins the
+// observer byte-identical to this on every workload shape.
+func FromRecords(asg *Assignment, records []*sim.Record, fst map[job.ID]int64) *Tracker {
+	t := NewTracker(asg)
+	for _, r := range records {
+		f, ok := fst[r.Job.ID]
+		t.JobStarted(r.Job, r.Start, f, ok)
+		t.JobCompleted(r.Job, r.Start, r.Complete)
+	}
+	return t
+}
+
+// Breach histogram: sub-binned powers of two (an HDR-histogram-style
+// layout). Values below 2^subBits land in their own exact bin; above that,
+// each power-of-two range splits into 2^subBits equal sub-ranges, so a
+// quantile read off the bin edges carries at most 1/2^subBits relative
+// error. Integer-only, so the online and reference paths agree bit for bit
+// on every platform.
+const (
+	subBits       = 3 // 8 sub-bins per octave: ≤ 12.5% quantile error
+	numBreachBins = (63 - subBits + 1) << subBits
+)
+
+// breachBin maps a positive breach magnitude (seconds) to its bin.
+func breachBin(v int64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // e >= subBits
+	shift := e - subBits
+	return int(int64(shift+1)<<subBits) + int((v>>shift)&(1<<subBits-1))
+}
+
+// binUpperEdge returns the largest value mapping to bin b (the quantile
+// estimate read back from the histogram).
+func binUpperEdge(b int) int64 {
+	block := b >> subBits
+	if block == 0 {
+		return int64(b)
+	}
+	off := int64(b & (1<<subBits - 1))
+	e := block + subBits - 1
+	lo := int64(1)<<e + off<<(e-subBits)
+	return lo + int64(1)<<(e-subBits) - 1
+}
+
+// histP95 returns the 95th-percentile upper-edge estimate of a breach
+// histogram, 0 for an empty one.
+func histP95(hist []int64) int64 {
+	var n int64
+	for _, c := range hist {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	rank := (95*n + 99) / 100 // 1-based ceiling rank
+	var cum int64
+	for b, c := range hist {
+		cum += c
+		if cum >= rank {
+			return binUpperEdge(b)
+		}
+	}
+	return binUpperEdge(len(hist) - 1)
+}

@@ -9,6 +9,7 @@ import (
 	"fairsched/internal/job"
 	"fairsched/internal/metrics"
 	"fairsched/internal/scenario"
+	"fairsched/internal/slo"
 )
 
 // Campaign is the full evaluation matrix: (trace × scenario × seed ×
@@ -72,6 +73,10 @@ type CellSummary struct {
 	Jobs       int
 	Policies   []string           // spec order
 	Summaries  []*metrics.Summary // spec order
+	// SLOs are the per-policy SLO attainment reports, spec order; nil when
+	// the cell's scenario tags no users (the summaries are per-class, so a
+	// cell stays memory-light even over a large user population).
+	SLOs []*slo.Summary
 }
 
 // cells enumerates the matrix in deterministic input order: sources
@@ -160,6 +165,12 @@ func (c Campaign) Run() ([]*CellSummary, error) {
 			for i, r := range cell.Runs {
 				sum.Policies[i] = r.Spec.Key
 				sum.Summaries[i] = r.Summary
+				if r.SLO != nil {
+					if sum.SLOs == nil {
+						sum.SLOs = make([]*slo.Summary, len(cell.Runs))
+					}
+					sum.SLOs[i] = r.SLO
+				}
 			}
 			return sum, nil
 		})
@@ -242,6 +253,12 @@ func (c Campaign) runPolicyParallel() ([]*CellSummary, error) {
 			}
 			sum.Policies[i] = r.Spec.Key
 			sum.Summaries[i] = r.Summary
+			if r.SLO != nil {
+				if sum.SLOs == nil {
+					sum.SLOs = make([]*slo.Summary, len(cellRuns))
+				}
+				sum.SLOs[i] = r.SLO
+			}
 		}
 		if complete {
 			out[ci] = sum // any failed policy fails its whole cell, as in cell mode
@@ -262,6 +279,15 @@ func (c Campaign) loadCell(src scenario.Source, scen scenario.Scenario, seed int
 	if err != nil {
 		return nil, study, err
 	}
+	// The scenario may tag users with SLO targets; the assignment is
+	// derived from the transformed workload (so quantile bands reflect the
+	// cell's actual population) and shared read-only by every policy run
+	// of the cell.
+	asg, err := scen.SLOAssignment(jobs)
+	if err != nil {
+		return nil, study, err
+	}
+	study.SLO = asg
 	if study.SystemSize <= 0 {
 		study.SystemSize = wl.SystemSize
 	}

@@ -76,6 +76,66 @@ func TestPublicAPICampaignFlow(t *testing.T) {
 	}
 }
 
+// The facade's per-user SLO surface: parse a tagging spec, sweep it
+// through a campaign, read the attainment table, and cross-check the
+// online observer against the post-run reference.
+func TestPublicAPISLOFlow(t *testing.T) {
+	jobs, err := fairsched.GenerateWorkload(fairsched.WorkloadConfig{Seed: 5, Scale: 0.02, SystemSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagger, err := fairsched.ParseSLO("p50:30m,p90:4h,default:24h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := fairsched.BuiltinScenarios()[0].With(tagger)
+	cells, err := fairsched.Campaign{
+		Sources:   []fairsched.ScenarioSource{fairsched.JobsSource("mem", jobs, 100)},
+		Scenarios: []fairsched.Scenario{tagged},
+		Specs:     []fairsched.PolicySpec{mustPolicy(t, "fcfs")},
+		Study:     fairsched.StudyConfig{SystemSize: 100},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].SLOs == nil || cells[0].SLOs[0] == nil {
+		t.Fatal("campaign cell carries no SLO summary")
+	}
+	if got := cells[0].SLOs[0].Total.Jobs; got == 0 {
+		t.Fatal("SLO summary measured no jobs")
+	}
+	var report strings.Builder
+	fairsched.RenderCampaign(&report, cells)
+	for _, want := range []string{"SLO attainment", "p50", "default", "(all)"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("campaign report missing %q:\n%s", want, report.String())
+		}
+	}
+
+	// Library route: assignment built by hand, observer attached to a bare
+	// simulator, output equal to the post-run reference.
+	b := fairsched.NewSLOBuilder()
+	b.AddClass("gold", fairsched.SLOTarget{Wait: 1800, Slowdown: 8})
+	for _, j := range jobs {
+		b.Tag(j.User, "gold")
+	}
+	asg := b.Build()
+	engine := fairsched.NewHybridFST()
+	obs := fairsched.NewSLOObserver(asg, engine)
+	pol, err := fairsched.NewPolicy(mustPolicy(t, "easy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fairsched.NewSimulator(fairsched.SimConfig{SystemSize: 100}, pol, engine, obs).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := fairsched.SLOFromRecords(asg, res.Records, engine.Table())
+	if got, want := obs.Summary().Total, ref.Total; got != want {
+		t.Fatalf("online observer %+v != reference %+v", got, want)
+	}
+}
+
 func mustPolicy(t *testing.T, name string) fairsched.PolicySpec {
 	t.Helper()
 	spec, err := fairsched.PolicyByName(name)
