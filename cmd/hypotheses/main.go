@@ -1,0 +1,160 @@
+// Command hypotheses runs the declarative claim harness: every registered
+// claim (the paper's 16 Results-section statements, plus any ad-hoc -spec)
+// expands into one campaign over the union of the claims' scenarios, seeds
+// and policies, and the per-seed verdicts render as a deterministic
+// FINDINGS report — byte-identical at every -parallel setting and in both
+// task-granularity modes.
+//
+// Usage:
+//
+//	hypotheses                        # all claims, full FINDINGS report
+//	hypotheses -list-claims           # the claim registry, canonical grammar forms
+//	hypotheses -tier 1                # only the invariant-grade claims (CI gate)
+//	hypotheses -claim fig14-consdyn-fewest-unfair
+//	hypotheses -spec 'claim quick: consdyn.nomax < cplant24.nomax.all on unfair_pct'
+//	hypotheses -seeds 42..44 -scale 0.25      # quick pass, overriding seeds clauses
+//	hypotheses -markdown              # the EXPERIMENTS.md checklist table
+//	hypotheses -trace ross.swf        # claims over a real SWF trace
+//
+// Exit status: 1 when any tier ≤ 2 claim among those run is REFUTED (its
+// reference seed failed); tier 3 claims are recorded but never gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fairsched/internal/core"
+	_ "fairsched/internal/experiments" // registers the paper's claims
+	"fairsched/internal/fairshare"
+	"fairsched/internal/hypothesis"
+	"fairsched/internal/scenario"
+	"fairsched/internal/workload"
+)
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+// gateTier is the highest tier that fails the process: tiers 1 and 2 must
+// at least hold on their reference seed; tier 3 is recorded, never gating.
+const gateTier = 2
+
+func main() {
+	var claimIDs, specTexts stringList
+	var (
+		list     = flag.Bool("list-claims", false, "list the registered claims (canonical grammar form, tier, statement), then exit")
+		tier     = flag.Int("tier", 0, "run only claims with tier <= N (0: all)")
+		markdown = flag.Bool("markdown", false, "emit the claim-checklist Markdown table (for EXPERIMENTS.md) instead of the FINDINGS report")
+		seedsStr = flag.String("seeds", "", "override every claim's seeds clause (grammar: 42..51, 1+3+5..9)")
+		trace    = flag.String("trace", "", "run the claims over an SWF trace file (default: the calibrated synthetic trace)")
+		scale    = flag.Float64("scale", 1.0, "synthetic workload scale")
+		nodes    = flag.Int("nodes", 0, "system size (default 1000, or the trace's MaxNodes)")
+		burst    = flag.Float64("burst", 0, "synthetic workload burst gamma (default 0.3)")
+		decay    = flag.Float64("decay", 0.5, "fairshare decay factor")
+		parallel = flag.Int("parallel", 0, "worker pool size (0: one per CPU; 1: serial — output is byte-identical at every setting)")
+		polPar   = flag.Bool("policy-parallel", false, "fan the policy axis across the worker pool too (report stays byte-identical)")
+	)
+	flag.Var(&claimIDs, "claim", "run one registered claim by id (repeatable)")
+	flag.Var(&specTexts, "spec", "run an ad-hoc claim written in the grammar (repeatable)")
+	flag.Parse()
+
+	if *list {
+		for _, s := range hypothesis.Registered() {
+			fmt.Printf("%s (tier %d)\n", s.ID, s.EffectiveTier())
+			fmt.Printf("  %s\n", s.Canonical())
+			if s.Statement != "" {
+				fmt.Printf("  %s\n", s.Statement)
+			}
+		}
+		return
+	}
+
+	specs, err := selectSpecs(claimIDs, specTexts, *tier)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := hypothesis.CampaignOptions{
+		Study: core.StudyConfig{
+			SystemSize: *nodes,
+			Fairshare:  fairshare.Config{DecayFactor: *decay},
+		},
+		Parallel:       *parallel,
+		PolicyParallel: *polPar,
+	}
+	if *seedsStr != "" {
+		seeds, err := hypothesis.ParseSeeds(*seedsStr)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Seeds = seeds
+	}
+	if *trace != "" {
+		opt.Source = scenario.TraceFile(*trace)
+	} else {
+		opt.Source = scenario.Synthetic(workload.Config{
+			Scale: *scale, SystemSize: *nodes, BurstGamma: *burst,
+		})
+	}
+
+	eval, err := hypothesis.RunCampaign(specs, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if *markdown {
+		hypothesis.RenderMarkdown(os.Stdout, eval)
+	} else {
+		hypothesis.RenderFindings(os.Stdout, eval)
+	}
+	if failed := eval.GateFailed(gateTier); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "hypotheses: %d tier<=%d claim(s) refuted: %s\n",
+			len(failed), gateTier, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}
+
+// selectSpecs resolves which claims to run: explicit -claim ids and -spec
+// texts if any were given, the whole registry otherwise, with the -tier
+// filter applied last.
+func selectSpecs(claimIDs, specTexts stringList, tier int) ([]hypothesis.Spec, error) {
+	var specs []hypothesis.Spec
+	for _, id := range claimIDs {
+		s, ok := hypothesis.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown claim %q (see -list-claims)", id)
+		}
+		specs = append(specs, s)
+	}
+	for _, text := range specTexts {
+		s, err := hypothesis.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	if len(claimIDs) == 0 && len(specTexts) == 0 {
+		specs = hypothesis.Registered()
+	}
+	if tier > 0 {
+		kept := specs[:0]
+		for _, s := range specs {
+			if s.EffectiveTier() <= tier {
+				kept = append(kept, s)
+			}
+		}
+		specs = kept
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no claims selected")
+	}
+	return specs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hypotheses:", err)
+	os.Exit(1)
+}

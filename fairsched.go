@@ -28,6 +28,7 @@ import (
 	"fairsched/internal/experiments"
 	"fairsched/internal/fairness"
 	"fairsched/internal/fairshare"
+	"fairsched/internal/hypothesis"
 	"fairsched/internal/job"
 	"fairsched/internal/metrics"
 	"fairsched/internal/scenario"
@@ -367,6 +368,36 @@ func ParseSLO(spec string) (ScenarioTransform, error) {
 func SLOFromRecords(asg *SLOAssignment, records []*Record, fst map[JobID]int64) *SLOSummary {
 	return slo.FromRecords(asg, records, fst).Summary()
 }
+
+// Hypothesis harness: the paper's claims (and any ad-hoc claim) as
+// declarative, falsifiable specs evaluated over a campaign, with
+// deterministic FINDINGS reports. The paper's 16 registered claims live in
+// internal/experiments and are available via cmd/hypotheses.
+type (
+	// HypothesisSpec is one claim: terms over (policy × scenario × metric)
+	// configurations, seeds, a quorum and a confidence tier.
+	HypothesisSpec = hypothesis.Spec
+	// HypothesisOutcome is one claim's per-seed results and verdict.
+	HypothesisOutcome = hypothesis.Outcome
+	// HypothesisEvaluation is a claim batch evaluated as one campaign.
+	HypothesisEvaluation = hypothesis.Evaluation
+	// HypothesisOptions configures the campaign a claim batch expands into.
+	HypothesisOptions = hypothesis.CampaignOptions
+)
+
+// ParseHypothesis parses one claim in the grammar ("claim id: a < b on
+// metric, seeds 42..51"); errors carry byte positions.
+func ParseHypothesis(in string) (HypothesisSpec, error) { return hypothesis.Parse(in) }
+
+// RunHypotheses expands the claims into one campaign and evaluates them;
+// the result (and any report rendered from it) is byte-identical at every
+// parallelism setting.
+func RunHypotheses(specs []HypothesisSpec, opt HypothesisOptions) (*HypothesisEvaluation, error) {
+	return hypothesis.RunCampaign(specs, opt)
+}
+
+// RenderFindings writes the per-claim verdicts with per-seed evidence.
+func RenderFindings(w io.Writer, e *HypothesisEvaluation) { hypothesis.RenderFindings(w, e) }
 
 // FairshareEpochFor converts a trace's Unix start time into the
 // trace-relative fairshare epoch for StudyConfig.FairshareEpoch /

@@ -107,3 +107,26 @@ func TestPublicAPIExperimentsReport(t *testing.T) {
 		t.Fatal("report missing figures")
 	}
 }
+
+func TestPublicAPIHypotheses(t *testing.T) {
+	spec, err := fairsched.ParseHypothesis(
+		"claim facade: fcfs#avg_wait < fcfs#avg_tat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := fairsched.RunHypotheses([]fairsched.HypothesisSpec{spec},
+		fairsched.HypothesisOptions{
+			Source: fairsched.SyntheticSource(fairsched.WorkloadConfig{
+				Scale: 0.05, SystemSize: 100,
+			}),
+			Study: fairsched.StudyConfig{SystemSize: 100},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fairsched.RenderFindings(&buf, eval)
+	if !strings.Contains(buf.String(), "facade — CONFIRMED") {
+		t.Fatalf("unexpected findings:\n%s", buf.String())
+	}
+}

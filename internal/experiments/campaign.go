@@ -95,4 +95,38 @@ func renderCellSLO(w io.Writer, c *sweep.CellSummary, polW int) {
 				cl.SlowBreaches, float64(cl.BreachP95)/3600, float64(cl.WorstWaitBreach)/3600)
 		}
 	}
+	renderCellOffenders(w, c, polW, classW)
+}
+
+// renderCellOffenders writes each policy's worst-offender rows — the
+// top-MaxOffenders most-breached users of the run, worst first: the users
+// the class-aggregated attainment rows average away. Summaries carry the
+// bounded list precomputed (slo.Summary.Offenders), so the renderer is as
+// order-independent as the rest of the report.
+func renderCellOffenders(w io.Writer, c *sweep.CellSummary, polW, classW int) {
+	any := false
+	for _, s := range c.SLOs {
+		if s != nil && len(s.Offenders) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "  worst offenders — top %d most-breached users per policy (totbrch: summed excess wait)\n", slo.MaxOffenders)
+	fmt.Fprintf(w, "  %-*s %-*s %6s %7s %8s %11s %9s %9s\n",
+		polW, "policy", classW, "class", "user", "jobs", "breached",
+		"totbrch(h)", "worst(h)", "worstjob")
+	for k, s := range c.SLOs {
+		if s == nil {
+			continue
+		}
+		for _, u := range s.Offenders {
+			fmt.Fprintf(w, "  %-*s %-*s %6d %7d %8d %11.2f %9.2f %9d\n",
+				polW, c.Policies[k], classW, u.Class, u.User, u.Jobs, u.Breached(),
+				float64(u.TotalWaitBreach)/3600, float64(u.WorstWaitBreach)/3600,
+				u.WorstWaitJob)
+		}
+	}
 }

@@ -73,7 +73,9 @@ func TestRenderCampaignSLOGolden(t *testing.T) {
 	// (340+300)/300 = 2.13 > 1.5 (slowbr 1); job 2 is within both (wait
 	// 100s, slowdown (100+200)/200 = 1.5 exactly). Both wait breaches are
 	// infeasible: the fair reference schedule starts those jobs no
-	// earlier. Utilization = 2000 proc-sec / (650s makespan × 4 nodes).
+	// earlier. Utilization = 2000 proc-sec / (650s makespan × 4 nodes). The
+	// offender rows rank user 3 (230s excess) above user 4 (220s): equal
+	// breach counts fall through to total wait-breach excess.
 	const want = `CAMPAIGN — 1 cells
 
 golden × slo=p50:1m,default:2m,default:1.5x (seed 0) — 4 jobs on 4 nodes
@@ -85,6 +87,10 @@ golden × slo=p50:1m,default:2m,default:1.5x (seed 0) — 4 jobs on 4 nodes
   fcfs                   p50          2       2     50.0        1       0       1       0        0.07      0.06
   fcfs                   default      2       2     50.0        1       0       1       1        0.06      0.06
   fcfs                   (all)        4       4     50.0        2       0       2       1        0.07      0.06
+  worst offenders — top 3 most-breached users per policy (totbrch: summed excess wait)
+  policy                 class     user    jobs breached  totbrch(h)  worst(h)  worstjob
+  fcfs                   p50          3       1        1        0.06      0.06         3
+  fcfs                   default      4       1        1        0.06      0.06         4
 
 `
 	if got := buf.String(); got != want {

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"testing"
+
+	"fairsched/internal/hypothesis"
+	"fairsched/internal/workload"
+)
+
+// The legacy claim checker (the closure table that lived in paper.go until
+// the hypothesis migration), re-stated verbatim as the reference semantics.
+// The migration contract: for every claim and every seed, the hypothesis
+// spec's verdict equals the legacy closure's — so deleting the closures
+// changed no verdict, ever.
+func legacyChecks() map[string]func(r *Results) bool {
+	base := "cplant24.nomax.all"
+	lower := func(metric func(r *Results, key string) float64, key string) func(*Results) bool {
+		return func(r *Results) bool { return metric(r, key) < metric(r, base) }
+	}
+	unfair := func(r *Results, key string) float64 { return r.ByKey[key].PercentUnfair }
+	unfairLoad := func(r *Results, key string) float64 { return r.ByKey[key].PercentUnfairLoad }
+	miss := func(r *Results, key string) float64 { return r.ByKey[key].AvgMissTime }
+	tat := func(r *Results, key string) float64 { return r.ByKey[key].AvgTurnaround }
+	loc := func(r *Results, key string) float64 { return r.ByKey[key].LossOfCapacity }
+
+	return map[string]func(r *Results) bool{
+		"fig8-fair-reduces-unfair":      lower(unfair, "cplant24.nomax.fair"),
+		"fig8-72h-entry-reduces-unfair": lower(unfair, "cplant72.nomax.all"),
+		"fig8-all-three-lowest": func(r *Results) bool {
+			v := unfair(r, "cplant72.72max.fair")
+			for _, k := range r.MinorKeys {
+				if k != "cplant72.72max.fair" && unfair(r, k) <= v {
+					return false
+				}
+			}
+			return true
+		},
+		"fig8-72max-reduces-unfair-load": lower(unfairLoad, "cplant24.72max.all"),
+		"fig9-72max-reduces-miss":        lower(miss, "cplant24.72max.all"),
+		"fig10-wide-misses-dominate": func(r *Results) bool {
+			m := r.ByKey[base].AvgMissByWidth
+			return m[8] > m[4] && m[9] > m[4] && m[10] > m[4]
+		},
+		"fig11-72max-improves-tat": lower(tat, "cplant24.72max.all"),
+		"fig12-72max-helps-wide-tat": func(r *Results) bool {
+			b := r.ByKey[base].AvgTATByWidth
+			m := r.ByKey["cplant24.72max.all"].AvgTATByWidth
+			improved := 0
+			for _, w := range []int{8, 9, 10} {
+				if m[w] < b[w] {
+					improved++
+				}
+			}
+			return improved >= 2
+		},
+		"fig13-72max-improves-loc": lower(loc, "cplant24.72max.all"),
+		"fig14-consdyn-fewest-unfair": func(r *Results) bool {
+			v := unfair(r, "consdyn.nomax")
+			for _, k := range r.AllKeys {
+				if k != "consdyn.nomax" && unfair(r, k) < v {
+					return false
+				}
+			}
+			return true
+		},
+		"fig15-cons-nomax-high-miss": func(r *Results) bool {
+			return miss(r, "cons.nomax") > miss(r, base) && miss(r, "consdyn.nomax") > miss(r, base)
+		},
+		"fig15-consdyn-outlier": func(r *Results) bool {
+			v := miss(r, "consdyn.nomax")
+			return v > 1.5*miss(r, base)
+		},
+		"fig15-cons72max-improves-miss": lower(miss, "cons.72max"),
+		"fig16-cons-helps-wide": func(r *Results) bool {
+			b := r.ByKey[base].AvgMissByWidth
+			c := r.ByKey["cons.nomax"].AvgMissByWidth
+			improved := 0
+			for _, w := range []int{8, 9, 10} {
+				if c[w] < b[w] {
+					improved++
+				}
+			}
+			return improved >= 2
+		},
+		"fig17-cons72max-competitive-tat": func(r *Results) bool {
+			return tat(r, "cons.72max") < tat(r, "cons.nomax")
+		},
+		"fig19-72max-lowers-loc": func(r *Results) bool {
+			return loc(r, "cons.72max") < loc(r, "cons.nomax") &&
+				loc(r, "consdyn.72max") < loc(r, "consdyn.nomax")
+		},
+	}
+}
+
+// TestPaperHypothesesMatchLegacyClaims runs a reduced-scale nine-policy
+// study under each of the reproduction's ten seeds (42–51) and demands that
+// every hypothesis spec returns exactly the verdict the legacy closure
+// would have — the differential pin that allowed deleting the closure
+// table. The reduced scale exercises both verdict polarities: some claims
+// flip per seed at this size, which is exactly what makes the comparison
+// meaningful.
+func TestPaperHypothesesMatchLegacyClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten reduced-scale sweeps")
+	}
+	legacy := legacyChecks()
+	specs := PaperHypotheses()
+	if len(specs) != len(legacy) {
+		t.Fatalf("spec count %d != legacy count %d", len(specs), len(legacy))
+	}
+	for seed := int64(42); seed <= 51; seed++ {
+		res, err := Run(Config{
+			Workload: workload.Config{Seed: seed, Scale: 0.15, SystemSize: 150},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		resolve := resultsResolver(res)
+		for _, s := range specs {
+			check, ok := legacy[s.ID]
+			if !ok {
+				t.Fatalf("claim %s has no legacy counterpart", s.ID)
+			}
+			want := check(res)
+			got := hypothesis.EvaluateSeed(s, seed, resolve)
+			if got.Err != nil {
+				t.Fatalf("seed %d claim %s: %v", seed, s.ID, got.Err)
+			}
+			if got.Pass != want {
+				t.Errorf("seed %d claim %s: hypothesis %v, legacy %v\n  spec: %s",
+					seed, s.ID, got.Pass, want, s.Canonical())
+			}
+		}
+	}
+}

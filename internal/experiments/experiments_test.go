@@ -221,13 +221,13 @@ func TestCheckClaimsRuns(t *testing.T) {
 	res := smallResults(t)
 	var buf bytes.Buffer
 	pass := CheckClaims(&buf, res)
-	if pass < 0 || pass > len(Claims()) {
+	if pass < 0 || pass > len(PaperHypotheses()) {
 		t.Fatalf("pass count %d out of range", pass)
 	}
 	// On the small workload not every claim need hold; the checker itself
 	// must evaluate all of them.
-	if got := strings.Count(buf.String(), "\n"); got != len(Claims()) {
-		t.Fatalf("rendered %d claim lines, want %d", got, len(Claims()))
+	if got := strings.Count(buf.String(), "\n"); got != len(PaperHypotheses()) {
+		t.Fatalf("rendered %d claim lines, want %d", got, len(PaperHypotheses()))
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"fairsched/internal/hypothesis"
 )
 
 // PaperValue records a number reported (or read off a figure) in the paper
@@ -72,180 +74,12 @@ func MeasuredFor(r *Results, pv PaperValue) (float64, bool) {
 	return 0, false
 }
 
-// Claim is one qualitative statement from the paper's Results section that
-// the reproduction must check.
-type Claim struct {
-	ID        string
-	Artifact  string
-	Statement string
-	Check     func(r *Results) bool
-}
-
-// Claims returns the paper's Results-section statements as executable
-// checks over a full nine-policy sweep.
-func Claims() []Claim {
-	base := "cplant24.nomax.all"
-	lower := func(metric func(r *Results, key string) float64, key string) func(*Results) bool {
-		return func(r *Results) bool { return metric(r, key) < metric(r, base) }
-	}
-	unfair := func(r *Results, key string) float64 { return r.ByKey[key].PercentUnfair }
-	unfairLoad := func(r *Results, key string) float64 { return r.ByKey[key].PercentUnfairLoad }
-	miss := func(r *Results, key string) float64 { return r.ByKey[key].AvgMissTime }
-	tat := func(r *Results, key string) float64 { return r.ByKey[key].AvgTurnaround }
-	loc := func(r *Results, key string) float64 { return r.ByKey[key].LossOfCapacity }
-
-	return []Claim{
-		{
-			ID: "fig8-fair-reduces-unfair", Artifact: "fig8",
-			Statement: "Barring heavy users from the starvation queue reduces the percent of unfair jobs",
-			Check:     lower(unfair, "cplant24.nomax.fair"),
-		},
-		{
-			ID: "fig8-72h-entry-reduces-unfair", Artifact: "fig8",
-			Statement: "Raising the starvation-queue entry delay to 72h reduces the percent of unfair jobs",
-			Check:     lower(unfair, "cplant72.nomax.all"),
-		},
-		{
-			ID: "fig8-all-three-lowest", Artifact: "fig8",
-			Statement: "All three minor changes together give the fewest unfair jobs among the minor policies",
-			Check: func(r *Results) bool {
-				v := unfair(r, "cplant72.72max.fair")
-				for _, k := range r.MinorKeys {
-					if k != "cplant72.72max.fair" && unfair(r, k) <= v {
-						return false
-					}
-				}
-				return true
-			},
-		},
-		{
-			ID: "fig8-72max-reduces-unfair-load", Artifact: "fig8",
-			Statement: "72h maximum runtimes reduce unfairly treated work (load-weighted; see EXPERIMENTS.md for the job-count deviation)",
-			Check:     lower(unfairLoad, "cplant24.72max.all"),
-		},
-		{
-			ID: "fig9-72max-reduces-miss", Artifact: "fig9",
-			Statement: "Introducing 72h maximum runtimes reduces the average miss time",
-			Check:     lower(miss, "cplant24.72max.all"),
-		},
-		{
-			ID: "fig10-wide-misses-dominate", Artifact: "fig10",
-			Statement: "Baseline misses concentrate in the wide categories (129+ nodes)",
-			Check: func(r *Results) bool {
-				m := r.ByKey[base].AvgMissByWidth
-				return m[8] > m[4] && m[9] > m[4] && m[10] > m[4]
-			},
-		},
-		{
-			ID: "fig11-72max-improves-tat", Artifact: "fig11",
-			Statement: "Maximum runtimes improve the average turnaround time",
-			Check:     lower(tat, "cplant24.72max.all"),
-		},
-		{
-			ID: "fig12-72max-helps-wide-tat", Artifact: "fig12",
-			Statement: "Maximum runtimes allow better progress (turnaround) for wide jobs",
-			Check: func(r *Results) bool {
-				b := r.ByKey[base].AvgTATByWidth
-				m := r.ByKey["cplant24.72max.all"].AvgTATByWidth
-				improved := 0
-				for _, w := range []int{8, 9, 10} {
-					if m[w] < b[w] {
-						improved++
-					}
-				}
-				return improved >= 2
-			},
-		},
-		{
-			ID: "fig13-72max-improves-loc", Artifact: "fig13",
-			Statement: "Maximum runtimes improve (lower) the loss of capacity",
-			Check:     lower(loc, "cplant24.72max.all"),
-		},
-		{
-			ID: "fig14-consdyn-fewest-unfair", Artifact: "fig14",
-			Statement: "The conservative dynamic policy has the fewest unfair jobs of all nine policies",
-			Check: func(r *Results) bool {
-				v := unfair(r, "consdyn.nomax")
-				for _, k := range r.AllKeys {
-					if k != "consdyn.nomax" && unfair(r, k) < v {
-						return false
-					}
-				}
-				return true
-			},
-		},
-		{
-			ID: "fig15-cons-nomax-high-miss", Artifact: "fig15",
-			Statement: "Without 72h limits the conservative policies have a higher average miss time than the current policy",
-			Check: func(r *Results) bool {
-				return miss(r, "cons.nomax") > miss(r, base) && miss(r, "consdyn.nomax") > miss(r, base)
-			},
-		},
-		{
-			ID: "fig15-consdyn-outlier", Artifact: "fig15",
-			Statement: "The dynamic conservative policy's misses are the most severe (the 67,881 s outlier bar)",
-			Check: func(r *Results) bool {
-				v := miss(r, "consdyn.nomax")
-				return v > 1.5*miss(r, base)
-			},
-		},
-		{
-			ID: "fig15-cons72max-improves-miss", Artifact: "fig15",
-			Statement: "Conservative backfilling with 72h limits improves the average miss time over the baseline",
-			Check:     lower(miss, "cons.72max"),
-		},
-		{
-			ID: "fig16-cons-helps-wide", Artifact: "fig16",
-			Statement: "Conservative backfilling reduces the unfairness (miss time) of wide jobs",
-			Check: func(r *Results) bool {
-				b := r.ByKey[base].AvgMissByWidth
-				c := r.ByKey["cons.nomax"].AvgMissByWidth
-				improved := 0
-				for _, w := range []int{8, 9, 10} {
-					if c[w] < b[w] {
-						improved++
-					}
-				}
-				return improved >= 2
-			},
-		},
-		{
-			ID: "fig17-cons72max-competitive-tat", Artifact: "fig17",
-			Statement: "The conservative schedule with 72h limits has a superior turnaround time to the plain conservative schedule",
-			Check: func(r *Results) bool {
-				return tat(r, "cons.72max") < tat(r, "cons.nomax")
-			},
-		},
-		{
-			ID: "fig19-72max-lowers-loc", Artifact: "fig19",
-			Statement: "72h limits lower the loss of capacity of the conservative schedules",
-			Check: func(r *Results) bool {
-				return loc(r, "cons.72max") < loc(r, "cons.nomax") &&
-					loc(r, "consdyn.72max") < loc(r, "consdyn.nomax")
-			},
-		},
-	}
-}
-
-// CheckClaims evaluates every claim and writes a pass/fail report.
-// It returns the number of passing claims.
-func CheckClaims(w io.Writer, r *Results) int {
-	pass := 0
-	for _, c := range Claims() {
-		ok := c.Check(r)
-		status := "FAIL"
-		if ok {
-			status = "ok"
-			pass++
-		}
-		fmt.Fprintf(w, "  [%-4s] %-30s %s\n", status, c.ID, c.Statement)
-	}
-	return pass
-}
-
 // WriteMarkdownReport renders the paper-vs-measured table and the claim
 // checklist as GitHub Markdown — the exact tables EXPERIMENTS.md embeds, so
-// the doc can be refreshed with `go run ./cmd/experiments -markdown`.
+// the doc can be refreshed with `go run ./cmd/experiments -markdown`. The
+// checklist rows come from the hypothesis specs (PaperHypotheses) evaluated
+// against this sweep; the seed-tally view lives in `cmd/hypotheses
+// -markdown`.
 func WriteMarkdownReport(w io.Writer, r *Results) {
 	fmt.Fprintln(w, "### Paper vs measured")
 	fmt.Fprintln(w)
@@ -266,17 +100,18 @@ func WriteMarkdownReport(w io.Writer, r *Results) {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "### Claim checklist")
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "| Status | Claim | Artifact | Statement |")
+	fmt.Fprintln(w, "| Status | Tier | Claim | Statement |")
 	fmt.Fprintln(w, "|---|---|---|---|")
+	resolve := resultsResolver(r)
 	pass, total := 0, 0
-	for _, c := range Claims() {
+	for _, s := range PaperHypotheses() {
 		total++
 		status := "✗"
-		if c.Check(r) {
+		if hypothesis.EvaluateSeed(s, hypothesis.DefaultSeed, resolve).Pass {
 			status = "✓"
 			pass++
 		}
-		fmt.Fprintf(w, "| %s | `%s` | %s | %s |\n", status, c.ID, c.Artifact, c.Statement)
+		fmt.Fprintf(w, "| %s | %d | `%s` | %s |\n", status, s.EffectiveTier(), s.ID, s.Statement)
 	}
 	fmt.Fprintf(w, "\n%d/%d claims reproduced.\n", pass, total)
 }
@@ -310,7 +145,7 @@ func WriteReport(w io.Writer, r *Results, elapsed time.Duration) {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "PAPER CLAIMS")
 	pass := CheckClaims(w, r)
-	fmt.Fprintf(w, "  %d/%d claims reproduced", pass, len(Claims()))
+	fmt.Fprintf(w, "  %d/%d claims reproduced", pass, len(PaperHypotheses()))
 	if elapsed > 0 {
 		fmt.Fprintf(w, " (sweep took %v)", elapsed.Round(time.Millisecond))
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"fairsched/internal/hypothesis"
 	"fairsched/internal/sweep"
 )
 
@@ -35,7 +36,7 @@ type ClaimTally struct {
 // is returned alongside the surviving tally, so a long campaign keeps its
 // results even when one trace diverges.
 func SeedSweep(cfg Config, seeds []int64) ([]ClaimTally, error) {
-	claims := Claims()
+	claims := PaperHypotheses()
 	tally := make([]ClaimTally, len(claims))
 	for i, c := range claims {
 		tally[i] = ClaimTally{ID: c.ID, Statement: c.Statement}
@@ -46,10 +47,10 @@ func SeedSweep(cfg Config, seeds []int64) ([]ClaimTally, error) {
 		Seeds:    seeds,
 		Parallel: cfg.Parallel,
 	}.RunEach(func(sr sweep.SeedRuns) {
-		res := assemble(sr.Jobs, sr.Runs)
+		resolve := resultsResolver(assemble(sr.Jobs, sr.Runs))
 		for i, c := range claims {
 			tally[i].Total++
-			if c.Check(res) {
+			if hypothesis.EvaluateSeed(c, sr.Seed, resolve).Pass {
 				tally[i].Passed++
 			}
 		}

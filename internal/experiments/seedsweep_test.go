@@ -54,8 +54,8 @@ func TestSeedSweepTallies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tally) != len(Claims()) {
-		t.Fatalf("tally covers %d claims, want %d", len(tally), len(Claims()))
+	if len(tally) != len(PaperHypotheses()) {
+		t.Fatalf("tally covers %d claims, want %d", len(tally), len(PaperHypotheses()))
 	}
 	for _, c := range tally {
 		if c.Total != len(seeds) {

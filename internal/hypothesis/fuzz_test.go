@@ -1,0 +1,55 @@
+package hypothesis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseHypothesis checks the grammar's round-trip property, mirroring
+// FuzzParseSpec and FuzzParseScenario: any claim spec that parses must have
+// a Canonical() form that reparses to the identical normalized Spec, with
+// Canonical() a fixed point — so the canonical text is a stable identifier
+// for the claim.
+func FuzzParseHypothesis(f *testing.F) {
+	for _, seed := range []string{
+		// Every token form of the grammar.
+		"claim fig14: consdyn.nomax < cplant24.nomax.all on unfair_pct, seeds 42..51",
+		"claim d: fcfs < easy on avg_wait",
+		"claim ops: fcfs <= easy and fcfs >= easy and fcfs = easy on jobs",
+		"claim tol: fcfs ~5% easy on avg_wait",
+		"claim tol0: fcfs ~0% easy on makespan",
+		"claim const: fcfs > 0.5 on util tier 2",
+		"claim factor: consdyn.nomax > cplant24.nomax.all*1.5 on avg_miss",
+		"claim scen: fcfs@load=1.5 < fcfs@load-scaled on avg_wait seeds 1..3+9",
+		"claim chain: order=lxf+bf=easy < easy on avg_bsld",
+		"claim widths: cplant24.72max.all#avg_tat_w8 < cplant24.nomax.all#avg_tat_w8 on avg_tat",
+		"claim slo: fcfs@slo-tiered < easy@slo-tiered on slo.all.attain_pct",
+		"claim quorum: fcfs < easy and lxf < easy and sjf < easy on avg_wait require 2 tier 3",
+		"claim seedset: fcfs < easy on avg_wait seeds 1+3+5..9+42",
+		"claim defaults: fcfs < easy on avg_wait require 1 tier 1 seeds 42",
+		"claim sidemetric: fcfs#avg_wait < easy#avg_tat",
+		// Near-misses, to steer mutation at the error paths.
+		"claim x: fcfs << easy on avg_wait",
+		"claim x fcfs < easy",
+		"claim x: 1 < 2 on avg_wait",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return // invalid inputs only need to fail cleanly
+		}
+		c := s.Canonical()
+		s2, err := Parse(c)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %q -> %q: %v", in, c, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the spec:\n in: %q\ncanon: %q\n  was: %+v\n  now: %+v", in, c, s, s2)
+		}
+		if c2 := s2.Canonical(); c2 != c {
+			t.Fatalf("canonical is not a fixed point: %q -> %q", c, c2)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package hypothesis
+
+import (
+	"fmt"
+	"strings"
+
+	"fairsched/internal/metrics"
+	"fairsched/internal/slo"
+)
+
+// SLOPrefix routes a metric key to the per-user SLO plane: a key
+// "slo.<class>.<field>" reads slo.Summary.ValueByKey("<class>.<field>")
+// (class "all" is the cross-class total) instead of metrics.Summary.
+const SLOPrefix = "slo."
+
+// validMetricKey reports whether key resolves against a campaign cell:
+// either a metrics key (metrics.ValidKey) or an SLO key. SLO class names
+// are scenario-defined, so only the field part is checked statically.
+func validMetricKey(key string) error {
+	if rest, ok := strings.CutPrefix(key, SLOPrefix); ok {
+		class, field, found := strings.Cut(rest, ".")
+		if !found || class == "" || field == "" {
+			return fmt.Errorf("hypothesis: SLO metric key %q: want slo.<class>.<field> (class \"all\" for the total)", key)
+		}
+		for _, f := range slo.FieldKeys() {
+			if f == field {
+				return nil
+			}
+		}
+		return fmt.Errorf("hypothesis: SLO metric key %q: unknown field %q (known: %s)", key, field, strings.Join(slo.FieldKeys(), ", "))
+	}
+	if !metrics.ValidKey(key) {
+		return fmt.Errorf("hypothesis: unknown metric key %q (known: %s)", key, strings.Join(metrics.Keys(), ", "))
+	}
+	return nil
+}
+
+// resolveMetric reads a metric key out of one campaign cell's summaries.
+// The SLO summary is nil when the cell's scenario tags no users.
+func resolveMetric(sum *metrics.Summary, slos *slo.Summary, key string) (float64, error) {
+	if rest, ok := strings.CutPrefix(key, SLOPrefix); ok {
+		if slos == nil {
+			return 0, fmt.Errorf("hypothesis: metric %q needs SLO data but the scenario declares no SLO classes", key)
+		}
+		return slos.ValueByKey(rest)
+	}
+	if sum == nil {
+		return 0, fmt.Errorf("hypothesis: no summary for metric %q", key)
+	}
+	return sum.ValueByKey(key)
+}

@@ -1,0 +1,298 @@
+package hypothesis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The claim grammar, mirroring sched.ParseSpec's style (whitespace instead
+// of '+' as the separator, positional errors naming the offending token):
+//
+//	claim <id>: <term> [and <term>]... [on <metric>] [require <k>]
+//	                                   [tier <n>] [seeds <ranges>]
+//	term   := <side> <op> <side>
+//	side   := <number> | <policy>[@<scenario>][#<metric>][*<factor>]
+//	op     := < | <= | > | >= | = | ~<tol>%
+//	ranges := <group>[+<group>]...   group := <seed> | <a>..<b>
+//
+// Policies parse through sched.ParseSpec (registered names or
+// order=/bf=/... chains) and scenarios through scenario.Parse (builtins or
+// load=/slo=/... chains), so the claim grammar composes with both spec
+// grammars instead of duplicating them. A comma before a clause keyword is
+// tolerated ("... on unfair_pct, seeds 42..51" parses), since the prose
+// form reads naturally with one.
+
+// clause keywords that may follow the term list.
+var clauseKeywords = map[string]bool{
+	"and": true, "on": true, "require": true, "tier": true, "seeds": true,
+}
+
+type token struct {
+	s   string
+	pos int // byte position in the input
+}
+
+// tokenize splits the input on whitespace, keeping byte positions, and
+// strips one trailing comma from a token when the next token is a clause
+// keyword.
+func tokenize(in string) []token {
+	var toks []token
+	i := 0
+	for i < len(in) {
+		for i < len(in) && (in[i] == ' ' || in[i] == '\t' || in[i] == '\n' || in[i] == '\r') {
+			i++
+		}
+		j := i
+		for j < len(in) && in[j] != ' ' && in[j] != '\t' && in[j] != '\n' && in[j] != '\r' {
+			j++
+		}
+		if j > i {
+			toks = append(toks, token{s: in[i:j], pos: i})
+		}
+		i = j
+	}
+	for k := 0; k+1 < len(toks); k++ {
+		if strings.HasSuffix(toks[k].s, ",") && clauseKeywords[toks[k+1].s] {
+			toks[k].s = strings.TrimSuffix(toks[k].s, ",")
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	in   string
+	toks []token
+	i    int
+}
+
+func (p *parser) done() bool { return p.i >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.done() {
+		return ""
+	}
+	return p.toks[p.i].s
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	p.i++
+	return t
+}
+
+// errAt wraps an error with the claim spec and a byte position.
+func (p *parser) errAt(pos int, format string, args ...any) error {
+	return fmt.Errorf("hypothesis: claim spec %q: position %d: %s", p.in, pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) errEnd(format string, args ...any) error {
+	return p.errAt(len(p.in), format, args...)
+}
+
+// Parse parses one claim in the grammar above and returns it normalized.
+func Parse(in string) (Spec, error) {
+	p := &parser{in: in, toks: tokenize(in)}
+	if p.done() {
+		return Spec{}, fmt.Errorf("hypothesis: empty claim spec")
+	}
+	if kw := p.next(); kw.s != "claim" {
+		return Spec{}, p.errAt(kw.pos, "want the keyword \"claim\", got %q", kw.s)
+	}
+	if p.done() {
+		return Spec{}, p.errEnd("want a claim id after \"claim\"")
+	}
+	var s Spec
+	id := p.next()
+	s.ID = strings.TrimSuffix(id.s, ":")
+	if s.ID == "" {
+		return Spec{}, p.errAt(id.pos, "empty claim id")
+	}
+	if !strings.HasSuffix(id.s, ":") {
+		if p.peek() != ":" {
+			return Spec{}, p.errAt(id.pos+len(id.s), "want ':' after the claim id %q", s.ID)
+		}
+		p.next()
+	}
+
+	// Terms, separated by "and".
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return Spec{}, err
+		}
+		s.Terms = append(s.Terms, t)
+		if p.peek() != "and" {
+			break
+		}
+		p.next()
+	}
+
+	// Clauses, each at most once, in any order.
+	seen := map[string]int{}
+	for !p.done() {
+		kw := p.next()
+		if !clauseKeywords[kw.s] {
+			return Spec{}, p.errAt(kw.pos, "unexpected token %q (want on, require, tier or seeds)", kw.s)
+		}
+		if prev, dup := seen[kw.s]; dup {
+			return Spec{}, p.errAt(kw.pos, "duplicate %s clause (first at position %d)", kw.s, prev)
+		}
+		seen[kw.s] = kw.pos
+		if p.done() {
+			return Spec{}, p.errEnd("%s clause is missing its value", kw.s)
+		}
+		val := p.next()
+		switch kw.s {
+		case "on":
+			s.Metric = val.s
+		case "require":
+			n, err := strconv.Atoi(val.s)
+			if err != nil || n < 1 {
+				return Spec{}, p.errAt(val.pos, "require %q: want a positive term count", val.s)
+			}
+			s.Require = n
+		case "tier":
+			n, err := strconv.Atoi(val.s)
+			if err != nil || n < 1 {
+				return Spec{}, p.errAt(val.pos, "tier %q: want a positive integer", val.s)
+			}
+			s.Tier = n
+		case "seeds":
+			seeds, err := parseSeeds(val.s)
+			if err != nil {
+				return Spec{}, p.errAt(val.pos, "%v", err)
+			}
+			s.Seeds = seeds
+		}
+	}
+
+	norm, err := s.Normalize()
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w (in claim spec %q)", err, in)
+	}
+	return norm, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	var t Term
+	if p.done() {
+		return t, p.errEnd("want a term (<side> <op> <side>)")
+	}
+	lhs := p.next()
+	var err error
+	if t.Left, err = parseSide(lhs.s); err != nil {
+		return t, p.errAt(lhs.pos, "left side %q: %v", lhs.s, err)
+	}
+	if p.done() {
+		return t, p.errEnd("want an operator after %q", lhs.s)
+	}
+	op := p.next()
+	if t.Op, t.Tol, err = parseOp(op.s); err != nil {
+		return t, p.errAt(op.pos, "%v", err)
+	}
+	if p.done() {
+		return t, p.errEnd("want a right side after %q", op.s)
+	}
+	rhs := p.next()
+	if t.Right, err = parseSide(rhs.s); err != nil {
+		return t, p.errAt(rhs.pos, "right side %q: %v", rhs.s, err)
+	}
+	return t, nil
+}
+
+// parseOp parses a comparison operator token; "~<tol>%" carries the
+// equivalence tolerance in percent.
+func parseOp(tok string) (Op, float64, error) {
+	switch Op(tok) {
+	case OpLess, OpLessEq, OpGreater, OpGreaterEq, OpEq:
+		return Op(tok), 0, nil
+	}
+	if rest, ok := strings.CutPrefix(tok, string(OpApprox)); ok {
+		pct, ok := strings.CutSuffix(rest, "%")
+		if !ok {
+			return "", 0, fmt.Errorf("operator %q: tolerance must end in %% (e.g. ~5%%)", tok)
+		}
+		tol, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("operator %q: tolerance %q: %v", tok, pct, err)
+		}
+		return OpApprox, tol, nil
+	}
+	return "", 0, fmt.Errorf("unknown operator %q (want <, <=, >, >=, = or ~<tol>%%)", tok)
+}
+
+// parseSide parses one operand: a number, or
+// policy[@scenario][#metric][*factor]. Policy and scenario validation
+// happens in Normalize, which has the claim-level metric for context.
+func parseSide(tok string) (Side, error) {
+	if tok == "" {
+		return Side{}, fmt.Errorf("empty side")
+	}
+	if v, err := strconv.ParseFloat(tok, 64); err == nil {
+		return Side{Const: v, IsConst: true}, nil
+	}
+	var side Side
+	rest := tok
+	if i := strings.LastIndex(rest, "*"); i >= 0 {
+		f, err := strconv.ParseFloat(rest[i+1:], 64)
+		if err != nil {
+			return Side{}, fmt.Errorf("factor %q: %v", rest[i+1:], err)
+		}
+		side.Factor = f
+		rest = rest[:i]
+	}
+	if i := strings.LastIndex(rest, "#"); i >= 0 {
+		side.Metric = rest[i+1:]
+		if side.Metric == "" {
+			return Side{}, fmt.Errorf("empty metric after '#'")
+		}
+		rest = rest[:i]
+	}
+	if pol, scen, found := strings.Cut(rest, "@"); found {
+		if scen == "" {
+			return Side{}, fmt.Errorf("empty scenario after '@'")
+		}
+		side.Config = Config{Policy: pol, Scenario: scen}
+	} else {
+		side.Config = Config{Policy: rest}
+	}
+	if side.Config.Policy == "" {
+		return Side{}, fmt.Errorf("empty policy")
+	}
+	return side, nil
+}
+
+// ParseSeeds parses the seeds-clause grammar standalone — "+"-joined
+// groups, each a single seed or an inclusive "a..b" range — for CLI flags
+// that override a claim's seeds.
+func ParseSeeds(tok string) ([]int64, error) { return parseSeeds(tok) }
+
+// parseSeeds parses "+"-joined seed groups, each a single seed or an
+// inclusive "a..b" range.
+func parseSeeds(tok string) ([]int64, error) {
+	var seeds []int64
+	for _, group := range strings.Split(tok, "+") {
+		a, b, isRange := strings.Cut(group, "..")
+		lo, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("seeds %q: group %q: %v", tok, group, err)
+		}
+		hi := lo
+		if isRange {
+			if hi, err = strconv.ParseInt(b, 10, 64); err != nil {
+				return nil, fmt.Errorf("seeds %q: group %q: %v", tok, group, err)
+			}
+			if hi < lo {
+				return nil, fmt.Errorf("seeds %q: group %q: empty range (%d > %d)", tok, group, lo, hi)
+			}
+			if hi-lo >= 10_000 {
+				return nil, fmt.Errorf("seeds %q: group %q: range spans %d seeds (max 10000)", tok, group, hi-lo+1)
+			}
+		}
+		for v := lo; v <= hi; v++ {
+			seeds = append(seeds, v)
+		}
+	}
+	return seeds, nil
+}

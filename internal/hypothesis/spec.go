@@ -1,0 +1,356 @@
+// Package hypothesis turns the repo's correctness claims into executable,
+// falsifiable specs. A Spec names configurations — (policy × scenario)
+// points of the campaign matrix — a metric key, a direction (dominance,
+// equivalence within tolerance, or an exact invariant) and the seeds the
+// claim must hold under; the harness expands the specs into campaign cells,
+// applies each test per seed and renders a deterministic FINDINGS report.
+//
+// The design follows the hypotheses libraries grown around inference
+// simulators (dominance comparisons, liveness invariants, seeded
+// confirmation rounds, machine-checked FINDINGS documents): claims stop
+// being prose in EXPERIMENTS.md and become regression tests over the
+// scheduling design space. Specs live as data — a Go registry plus a small
+// text grammar mirroring sched.ParseSpec — so every new policy or scenario
+// axis gets a cheap way to state what it should change.
+package hypothesis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fairsched/internal/scenario"
+	"fairsched/internal/sched"
+)
+
+// DefaultSeed is the seed a spec without a seeds clause runs under — the
+// reference seed of the whole reproduction (EXPERIMENTS.md's tables).
+const DefaultSeed = 42
+
+// Op is a comparison direction between the two sides of a term.
+type Op string
+
+// The comparison directions of the grammar. OpApprox carries a tolerance
+// (Term.Tol, in percent): |l−r| ≤ Tol/100 · max(|l|,|r|). OpEq is exact
+// floating-point equality — the deterministic-invariant form (identical
+// metrics between two configurations, or a metric pinned to a constant).
+const (
+	OpLess      Op = "<"
+	OpLessEq    Op = "<="
+	OpGreater   Op = ">"
+	OpGreaterEq Op = ">="
+	OpEq        Op = "="
+	OpApprox    Op = "~"
+)
+
+// Config is one (policy × scenario) point of the campaign matrix.
+type Config struct {
+	// Policy is a registered policy name or component chain (sched.ParseSpec).
+	Policy string
+	// Scenario is a builtin scenario name or transform chain
+	// (scenario.Parse); "" and "baseline" both mean the untransformed trace.
+	Scenario string
+}
+
+// String renders the config in grammar form.
+func (c Config) String() string {
+	if c.Scenario == "" || c.Scenario == "baseline" {
+		return c.Policy
+	}
+	return c.Policy + "@" + c.Scenario
+}
+
+// Side is one operand of a term: either a constant, or a configuration's
+// metric, optionally scaled by a factor (the grammar's "*1.5" suffix — the
+// paper's ">1.5× baseline" outlier claim).
+type Side struct {
+	Config Config
+	// Metric overrides the spec-level metric for this side ("" inherits).
+	Metric string
+	// Factor scales the resolved value before comparison; 0 means none.
+	Factor float64
+	// Const is the literal value when IsConst (invariant right-hand sides).
+	Const   float64
+	IsConst bool
+}
+
+// Term is one comparison. A claim holds on a seed when at least Require of
+// its terms hold (all of them, by default).
+type Term struct {
+	Left  Side
+	Op    Op
+	Tol   float64 // percent, for OpApprox
+	Right Side
+}
+
+// Spec is one falsifiable claim, pure data. The zero values mean: scenario
+// baseline, tier 1, all terms required, seeds {DefaultSeed}.
+type Spec struct {
+	// ID is the claim's identifier (e.g. "fig14-consdyn-fewest-unfair").
+	ID string
+	// Statement is the prose form, carried by Go-registered claims and
+	// shown in reports; it is not part of the grammar.
+	Statement string
+	// Tier grades how strictly the claim gates: tier 1 claims must confirm
+	// in CI (the reproduction's invariant-grade results), tier 2 are
+	// reference-confirmed but seed-fragile, tier 3 are recorded as fragile
+	// or refuted and never gate. 0 means tier 1.
+	Tier int
+	// Metric is the default metric key for sides that don't name their own
+	// (metrics.ValueByKey keys, or "slo.<class>.<field>").
+	Metric string
+	// Terms are the comparisons; Require is the quorum (0: all).
+	Terms   []Term
+	Require int
+	// Seeds are the campaign seeds the claim is tested under, ascending;
+	// empty means {DefaultSeed}. The first seed is the reference seed the
+	// claim's confirmed/refuted verdict keys on.
+	Seeds []int64
+}
+
+// EffectiveSeeds returns the seeds the spec runs under.
+func (s Spec) EffectiveSeeds() []int64 {
+	if len(s.Seeds) == 0 {
+		return []int64{DefaultSeed}
+	}
+	return s.Seeds
+}
+
+// EffectiveTier returns the spec's tier with the default applied.
+func (s Spec) EffectiveTier() int {
+	if s.Tier == 0 {
+		return 1
+	}
+	return s.Tier
+}
+
+// EffectiveRequire returns the term quorum with the default applied.
+func (s Spec) EffectiveRequire() int {
+	if s.Require == 0 {
+		return len(s.Terms)
+	}
+	return s.Require
+}
+
+// Normalize validates the spec and returns its canonical form: policy keys
+// and scenario names resolved through their grammars, side metrics equal to
+// the spec metric cleared, factor 1 cleared, seeds sorted and deduplicated,
+// defaults (tier 1, quorum all, baseline scenario) folded to zero values.
+// Parse normalizes; Go-registered specs go through Register, which does too.
+func (s Spec) Normalize() (Spec, error) {
+	if s.ID == "" {
+		return s, fmt.Errorf("hypothesis: claim has no id")
+	}
+	if strings.ContainsAny(s.ID, " \t\n:") {
+		return s, fmt.Errorf("hypothesis: claim id %q may not contain whitespace or ':'", s.ID)
+	}
+	if len(s.Terms) == 0 {
+		return s, fmt.Errorf("hypothesis: claim %s has no terms", s.ID)
+	}
+	if s.Metric != "" {
+		if err := validMetricKey(s.Metric); err != nil {
+			return s, fmt.Errorf("hypothesis: claim %s: %w", s.ID, err)
+		}
+	}
+	terms := make([]Term, len(s.Terms))
+	for i, t := range s.Terms {
+		var err error
+		if terms[i], err = s.normalizeTerm(t); err != nil {
+			return s, fmt.Errorf("hypothesis: claim %s: term %d: %w", s.ID, i+1, err)
+		}
+	}
+	s.Terms = terms
+	if s.Require < 0 || s.Require > len(s.Terms) {
+		return s, fmt.Errorf("hypothesis: claim %s: require %d out of range (1..%d)", s.ID, s.Require, len(s.Terms))
+	}
+	if s.Require == len(s.Terms) {
+		s.Require = 0
+	}
+	if s.Tier == 1 {
+		s.Tier = 0
+	}
+	if s.Tier < 0 {
+		return s, fmt.Errorf("hypothesis: claim %s: tier %d out of range (>= 1)", s.ID, s.Tier)
+	}
+	seeds := append([]int64(nil), s.Seeds...)
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	seeds = slicesCompact(seeds)
+	if len(seeds) == 1 && seeds[0] == DefaultSeed {
+		seeds = nil
+	}
+	s.Seeds = seeds
+	return s, nil
+}
+
+func (s Spec) normalizeTerm(t Term) (Term, error) {
+	switch t.Op {
+	case OpLess, OpLessEq, OpGreater, OpGreaterEq, OpEq:
+		if t.Tol != 0 {
+			return t, fmt.Errorf("tolerance only applies to ~")
+		}
+	case OpApprox:
+		if t.Tol < 0 || math.IsNaN(t.Tol) || math.IsInf(t.Tol, 0) {
+			return t, fmt.Errorf("tolerance %v out of range (>= 0 percent)", t.Tol)
+		}
+	default:
+		return t, fmt.Errorf("unknown op %q (want <, <=, >, >=, = or ~)", t.Op)
+	}
+	if t.Left.IsConst && t.Right.IsConst {
+		return t, fmt.Errorf("both sides are constants")
+	}
+	var err error
+	if t.Left, err = s.normalizeSide(t.Left); err != nil {
+		return t, err
+	}
+	if t.Right, err = s.normalizeSide(t.Right); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+func (s Spec) normalizeSide(side Side) (Side, error) {
+	if side.IsConst {
+		if math.IsNaN(side.Const) || math.IsInf(side.Const, 0) {
+			return side, fmt.Errorf("constant %v is not finite", side.Const)
+		}
+		if side.Factor != 0 || side.Metric != "" || side.Config != (Config{}) {
+			return side, fmt.Errorf("a constant side carries no config, metric or factor")
+		}
+		return side, nil
+	}
+	pol, err := sched.ParseSpec(side.Config.Policy)
+	if err != nil {
+		return side, err
+	}
+	side.Config.Policy = pol.Key
+	scen := side.Config.Scenario
+	if scen == "" {
+		scen = "baseline"
+	}
+	sc, err := scenario.Parse(scen)
+	if err != nil {
+		return side, err
+	}
+	side.Config.Scenario = sc.Name
+	// The side must re-tokenize as one token with the same splits; both
+	// sub-grammars are whitespace-free and never use @/#/* but tolerate
+	// stray spaces in a few list positions, so guard explicitly.
+	for _, part := range []string{side.Config.Policy, side.Config.Scenario} {
+		if strings.ContainsAny(part, " \t\n\r@#*") {
+			return side, fmt.Errorf("%q contains a character reserved by the claim grammar (whitespace, @, # or *)", part)
+		}
+	}
+	if side.Metric == s.Metric {
+		side.Metric = ""
+	}
+	if side.Metric != "" {
+		if err := validMetricKey(side.Metric); err != nil {
+			return side, err
+		}
+	}
+	if side.Metric == "" && s.Metric == "" {
+		return side, fmt.Errorf("side %s names no metric and the claim has no default (add #<metric> or an 'on' clause)", side.Config)
+	}
+	if side.Factor == 1 {
+		side.Factor = 0
+	}
+	if side.Factor < 0 || math.IsNaN(side.Factor) || math.IsInf(side.Factor, 0) {
+		return side, fmt.Errorf("factor %v out of range (> 0)", side.Factor)
+	}
+	return side, nil
+}
+
+// slicesCompact removes adjacent duplicates from a sorted slice.
+func slicesCompact(xs []int64) []int64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Canonical renders the normalized spec in the grammar. Parsing the
+// canonical form yields an identical spec (minus Statement, which is not
+// part of the grammar) — the round-trip property FuzzParseHypothesis
+// checks — so the canonical text is a stable cross-tool claim identifier.
+func (s Spec) Canonical() string {
+	var b strings.Builder
+	b.WriteString("claim ")
+	b.WriteString(s.ID)
+	b.WriteString(":")
+	for i, t := range s.Terms {
+		if i > 0 {
+			b.WriteString(" and")
+		}
+		b.WriteString(" ")
+		b.WriteString(s.sideString(t.Left))
+		b.WriteString(" ")
+		b.WriteString(string(t.Op))
+		if t.Op == OpApprox {
+			b.WriteString(fmtFloat(t.Tol))
+			b.WriteString("%")
+		}
+		b.WriteString(" ")
+		b.WriteString(s.sideString(t.Right))
+	}
+	if s.Metric != "" {
+		b.WriteString(" on ")
+		b.WriteString(s.Metric)
+	}
+	if s.Require != 0 {
+		fmt.Fprintf(&b, " require %d", s.Require)
+	}
+	if s.Tier != 0 {
+		fmt.Fprintf(&b, " tier %d", s.Tier)
+	}
+	if len(s.Seeds) != 0 {
+		b.WriteString(" seeds ")
+		b.WriteString(fmtSeeds(s.Seeds))
+	}
+	return b.String()
+}
+
+func (s Spec) sideString(side Side) string {
+	if side.IsConst {
+		return fmtFloat(side.Const)
+	}
+	out := side.Config.String()
+	if side.Metric != "" {
+		out += "#" + side.Metric
+	}
+	if side.Factor != 0 {
+		out += "*" + fmtFloat(side.Factor)
+	}
+	return out
+}
+
+// fmtFloat renders a float in the shortest form that parses back exactly.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// fmtSeeds renders sorted seeds as maximal consecutive runs: "42..51",
+// "7", "1..3+9".
+func fmtSeeds(seeds []int64) string {
+	var b strings.Builder
+	for i := 0; i < len(seeds); {
+		j := i
+		for j+1 < len(seeds) && seeds[j+1] == seeds[j]+1 {
+			j++
+		}
+		if i > 0 {
+			b.WriteString("+")
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d..%d", seeds[i], seeds[j])
+		} else {
+			fmt.Fprintf(&b, "%d", seeds[i])
+		}
+		i = j + 1
+	}
+	return b.String()
+}

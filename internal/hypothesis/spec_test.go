@@ -1,0 +1,205 @@
+package hypothesis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseExemplar(t *testing.T) {
+	// The documented exemplar, including the tolerated comma before a
+	// clause keyword.
+	s, err := Parse("claim fig14: consdyn.nomax < cplant24.nomax.all on unfair_pct, seeds 42..51")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		ID:     "fig14",
+		Metric: "unfair_pct",
+		Terms: []Term{{
+			Left:  Side{Config: Config{Policy: "consdyn.nomax", Scenario: "baseline"}},
+			Op:    OpLess,
+			Right: Side{Config: Config{Policy: "cplant24.nomax.all", Scenario: "baseline"}},
+		}},
+		Seeds: []int64{42, 43, 44, 45, 46, 47, 48, 49, 50, 51},
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Errorf("Parse = %+v, want %+v", s, want)
+	}
+	if got, want := s.Canonical(), "claim fig14: consdyn.nomax < cplant24.nomax.all on unfair_pct seeds 42..51"; got != want {
+		t.Errorf("Canonical = %q, want %q", got, want)
+	}
+}
+
+func TestParseFullGrammar(t *testing.T) {
+	in := "claim kitchen-sink: fcfs@load=1.5#avg_wait ~5% easy@load-scaled*1.25 " +
+		"and consdyn.nomax > 0.5 on unfair_pct require 1 tier 3 seeds 1..3+9+7"
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Terms) != 2 {
+		t.Fatalf("terms = %d, want 2", len(s.Terms))
+	}
+	t0 := s.Terms[0]
+	if t0.Op != OpApprox || t0.Tol != 5 {
+		t.Errorf("term 0 op = %v tol %v, want ~ 5", t0.Op, t0.Tol)
+	}
+	if t0.Left.Config != (Config{Policy: "fcfs", Scenario: "load=1.5"}) || t0.Left.Metric != "avg_wait" {
+		t.Errorf("term 0 left = %+v", t0.Left)
+	}
+	if t0.Right.Config != (Config{Policy: "easy", Scenario: "load-scaled"}) || t0.Right.Factor != 1.25 {
+		t.Errorf("term 0 right = %+v", t0.Right)
+	}
+	t1 := s.Terms[1]
+	if !t1.Right.IsConst || t1.Right.Const != 0.5 || t1.Op != OpGreater {
+		t.Errorf("term 1 = %+v", t1)
+	}
+	if s.Require != 1 || s.Tier != 3 {
+		t.Errorf("require %d tier %d, want 1 3", s.Require, s.Tier)
+	}
+	if want := []int64{1, 2, 3, 7, 9}; !reflect.DeepEqual(s.Seeds, want) {
+		t.Errorf("seeds = %v, want %v", s.Seeds, want)
+	}
+	// Canonical is reparse-stable.
+	c := s.Canonical()
+	s2, err := Parse(c)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", c, err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Errorf("round trip: %+v != %+v (canonical %q)", s, s2, c)
+	}
+	if s2.Canonical() != c {
+		t.Errorf("canonical not a fixed point: %q -> %q", c, s2.Canonical())
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse("claim d: fcfs < easy on avg_wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tier != 0 || s.EffectiveTier() != 1 {
+		t.Errorf("tier = %d (effective %d), want default 1", s.Tier, s.EffectiveTier())
+	}
+	if s.Seeds != nil || !reflect.DeepEqual(s.EffectiveSeeds(), []int64{42}) {
+		t.Errorf("seeds = %v (effective %v), want default {42}", s.Seeds, s.EffectiveSeeds())
+	}
+	if s.Require != 0 || s.EffectiveRequire() != 1 {
+		t.Errorf("require = %d (effective %d)", s.Require, s.EffectiveRequire())
+	}
+	// tier 1, require == len(terms) and seeds {42} fold away explicitly too.
+	s2, err := Parse("claim d: fcfs < easy on avg_wait require 1 tier 1 seeds 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Errorf("explicit defaults normalize differently: %+v != %+v", s, s2)
+	}
+}
+
+func TestParseSLOMetric(t *testing.T) {
+	s, err := Parse("claim slo: fcfs@slo-tiered < easy@slo-tiered on slo.all.attain_pct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Metric != "slo.all.attain_pct" {
+		t.Errorf("metric = %q", s.Metric)
+	}
+	if _, err := Parse("claim slo: fcfs < easy on slo.all.bogus"); err == nil ||
+		!strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("bad SLO field error = %v", err)
+	}
+}
+
+func TestParseErrorsArePositional(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "empty claim spec"},
+		{"hypothesis x: a < b", `want the keyword "claim"`},
+		{"claim", "want a claim id"},
+		{"claim x fcfs < easy on avg_wait", "want ':' after the claim id"},
+		{"claim x: fcfs << easy", "position 14: unknown operator"},
+		{"claim x: fcfs < easy on bogus", "unknown metric key"},
+		{"claim x: bogus < easy on avg_wait", "unknown policy"},
+		{"claim x: fcfs@bogus < easy on avg_wait", "scenario"},
+		{"claim x: fcfs < easy on avg_wait seeds 9..2", "empty range"},
+		{"claim x: fcfs < easy on avg_wait tier 0", "positive integer"},
+		{"claim x: fcfs < easy on avg_wait require 2", "out of range"},
+		{"claim x: fcfs < easy on avg_wait on avg_tat", "duplicate on clause"},
+		{"claim x: fcfs < easy on avg_wait frobnicate", "unexpected token"},
+		{"claim x: 1 < 2 on avg_wait", "both sides are constants"},
+		{"claim x: fcfs < easy", "names no metric"},
+		{"claim x: fcfs ~ easy on avg_wait", "tolerance must end in %"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want substring %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestSeedsRender(t *testing.T) {
+	cases := []struct {
+		seeds []int64
+		want  string
+	}{
+		{[]int64{42}, "42"},
+		{[]int64{42, 43, 44}, "42..44"},
+		{[]int64{1, 2, 3, 7, 9, 10}, "1..3+7+9..10"},
+	}
+	for _, c := range cases {
+		if got := fmtSeeds(c.seeds); got != c.want {
+			t.Errorf("fmtSeeds(%v) = %q, want %q", c.seeds, got, c.want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	// Use ids no real package would register, and unregister on the way
+	// out so the test is idempotent under -count=N.
+	t.Cleanup(func() {
+		regMu.Lock()
+		defer regMu.Unlock()
+		delete(regByID, "test-registry-a")
+		for i, id := range regIDs {
+			if id == "test-registry-a" {
+				regIDs = append(regIDs[:i], regIDs[i+1:]...)
+				break
+			}
+		}
+	})
+	Register(Spec{ID: "test-registry-a", Metric: "avg_wait", Terms: []Term{{
+		Left: Side{Config: Config{Policy: "fcfs"}}, Op: OpLess,
+		Right: Side{Config: Config{Policy: "easy"}},
+	}}})
+	if _, ok := ByID("test-registry-a"); !ok {
+		t.Fatal("registered claim not found")
+	}
+	found := false
+	for _, s := range Registered() {
+		if s.ID == "test-registry-a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Registered() misses the claim")
+	}
+	didPanic := func(f func()) (p bool) {
+		defer func() { p = recover() != nil }()
+		f()
+		return
+	}
+	if !didPanic(func() {
+		Register(Spec{ID: "test-registry-a", Metric: "avg_wait", Terms: []Term{{
+			Left: Side{Config: Config{Policy: "fcfs"}}, Op: OpLess,
+			Right: Side{Config: Config{Policy: "easy"}},
+		}}})
+	}) {
+		t.Error("duplicate Register did not panic")
+	}
+	if !didPanic(func() { Register(Spec{ID: "test-registry-b"}) }) {
+		t.Error("invalid Register did not panic")
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fairsched/internal/job"
+)
+
+// Metric keys: every scalar a Summary carries, addressable by a stable
+// string key. The hypothesis harness states claims as comparisons between
+// (policy × scenario) configurations "on" a metric key; this file is the
+// single place those keys resolve, so a spec that names a metric the
+// summary does not carry fails at validation time with the full key list,
+// not at evaluation time with a zero.
+//
+// Width-category breakdowns (Figures 10/12/16/18) are addressed as
+// "<base>_w<category>" with the category index 0..job.NumWidthCategories-1
+// (category 4 is 17-32 nodes, 8-10 are the wide 129+ bands).
+
+// scalarKeys maps each plain metric key to its accessor, in listing order.
+var scalarKeys = []struct {
+	key string
+	get func(*Summary) float64
+}{
+	{"jobs", func(s *Summary) float64 { return float64(s.Jobs) }},
+	{"avg_wait", func(s *Summary) float64 { return s.AvgWait }},
+	{"avg_tat", func(s *Summary) float64 { return s.AvgTurnaround }},
+	{"avg_bsld", func(s *Summary) float64 { return s.AvgBoundedSlowdown }},
+	{"median_wait", func(s *Summary) float64 { return s.MedianWait }},
+	{"median_tat", func(s *Summary) float64 { return s.MedianTurnaround }},
+	{"makespan", func(s *Summary) float64 { return float64(s.Makespan) }},
+	{"util", func(s *Summary) float64 { return s.Utilization }},
+	{"loc", func(s *Summary) float64 { return s.LossOfCapacity }},
+	{"unfair_pct", func(s *Summary) float64 { return s.PercentUnfair }},
+	{"unfair_load_pct", func(s *Summary) float64 { return s.PercentUnfairLoad }},
+	{"avg_miss", func(s *Summary) float64 { return s.AvgMissTime }},
+	{"unfair_jobs", func(s *Summary) float64 { return float64(s.UnfairJobs) }},
+	{"fairness_jobs", func(s *Summary) float64 { return float64(s.FairnessJobs) }},
+	{"total_miss", func(s *Summary) float64 { return s.TotalMissTime }},
+}
+
+// widthKeys maps each per-width-category base key to its accessor.
+var widthKeys = []struct {
+	base string
+	get  func(*Summary, int) float64
+}{
+	{"jobs_w", func(s *Summary, w int) float64 { return float64(s.JobsByWidth[w]) }},
+	{"avg_miss_w", func(s *Summary, w int) float64 { return s.AvgMissByWidth[w] }},
+	{"avg_tat_w", func(s *Summary, w int) float64 { return s.AvgTATByWidth[w] }},
+	{"avg_wait_w", func(s *Summary, w int) float64 { return s.AvgWaitByWidth[w] }},
+}
+
+// ValueByKey resolves one of the Summary's scalars by its metric key.
+func (s *Summary) ValueByKey(key string) (float64, error) {
+	for _, k := range scalarKeys {
+		if k.key == key {
+			return k.get(s), nil
+		}
+	}
+	for _, wk := range widthKeys {
+		if rest, ok := strings.CutPrefix(key, wk.base); ok {
+			w, err := strconv.Atoi(rest)
+			if err == nil && w >= 0 && w < job.NumWidthCategories {
+				return wk.get(s, w), nil
+			}
+			return 0, fmt.Errorf("metrics: key %q: width category %q out of range (want %s0..%s%d)",
+				key, rest, wk.base, wk.base, job.NumWidthCategories-1)
+		}
+	}
+	return 0, fmt.Errorf("metrics: unknown metric key %q (known: %s)", key, strings.Join(Keys(), ", "))
+}
+
+// ValidKey reports whether key resolves against a Summary.
+func ValidKey(key string) bool {
+	var s Summary
+	_, err := s.ValueByKey(key)
+	return err == nil
+}
+
+// Keys lists every scalar metric key in listing order; width-category keys
+// are shown as their "<base><0..N>" pattern.
+func Keys() []string {
+	out := make([]string, 0, len(scalarKeys)+len(widthKeys))
+	for _, k := range scalarKeys {
+		out = append(out, k.key)
+	}
+	for _, wk := range widthKeys {
+		out = append(out, fmt.Sprintf("%s<0..%d>", wk.base, job.NumWidthCategories-1))
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"fairsched/internal/job"
+)
+
+func TestValueByKeyScalars(t *testing.T) {
+	s := &Summary{
+		Jobs: 7, AvgWait: 1.5, AvgTurnaround: 2.5, AvgBoundedSlowdown: 3.5,
+		MedianWait: 4.5, MedianTurnaround: 5.5, Makespan: 600, Utilization: 0.75,
+		LossOfCapacity: 0.25, PercentUnfair: 6.5, PercentUnfairLoad: 7.5,
+		AvgMissTime: 8.5, UnfairJobs: 2, FairnessJobs: 6, TotalMissTime: 9.5,
+	}
+	cases := map[string]float64{
+		"jobs": 7, "avg_wait": 1.5, "avg_tat": 2.5, "avg_bsld": 3.5,
+		"median_wait": 4.5, "median_tat": 5.5, "makespan": 600, "util": 0.75,
+		"loc": 0.25, "unfair_pct": 6.5, "unfair_load_pct": 7.5,
+		"avg_miss": 8.5, "unfair_jobs": 2, "fairness_jobs": 6, "total_miss": 9.5,
+	}
+	for key, want := range cases {
+		got, err := s.ValueByKey(key)
+		if err != nil {
+			t.Fatalf("ValueByKey(%q): %v", key, err)
+		}
+		if got != want {
+			t.Errorf("ValueByKey(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestValueByKeyWidthCategories(t *testing.T) {
+	s := &Summary{}
+	s.JobsByWidth[4] = 11
+	s.AvgMissByWidth[8] = 100
+	s.AvgTATByWidth[9] = 200
+	s.AvgWaitByWidth[10] = 300
+	cases := map[string]float64{
+		"jobs_w4": 11, "avg_miss_w8": 100, "avg_tat_w9": 200, "avg_wait_w10": 300,
+		"avg_miss_w0": 0,
+	}
+	for key, want := range cases {
+		got, err := s.ValueByKey(key)
+		if err != nil {
+			t.Fatalf("ValueByKey(%q): %v", key, err)
+		}
+		if got != want {
+			t.Errorf("ValueByKey(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestValueByKeyErrors(t *testing.T) {
+	s := &Summary{}
+	for _, key := range []string{"", "bogus", "avg_miss_w11", "avg_miss_w-1", "avg_miss_wx", "jobs_w99"} {
+		if _, err := s.ValueByKey(key); err == nil {
+			t.Errorf("ValueByKey(%q) did not fail", key)
+		}
+	}
+	if ValidKey("bogus") || !ValidKey("unfair_pct") || !ValidKey("avg_miss_w8") {
+		t.Error("ValidKey misclassifies")
+	}
+}
+
+// Every key Keys() lists must resolve (width patterns expanded over the
+// category range), so -list output and the parser's accepted set agree.
+func TestKeysAllResolve(t *testing.T) {
+	s := &Summary{}
+	for _, key := range Keys() {
+		if i := strings.Index(key, "<"); i >= 0 {
+			base := key[:i]
+			for w := 0; w < job.NumWidthCategories; w++ {
+				k := base + itoa(w)
+				if _, err := s.ValueByKey(k); err != nil {
+					t.Errorf("listed width key %q does not resolve: %v", k, err)
+				}
+			}
+			continue
+		}
+		if _, err := s.ValueByKey(key); err != nil {
+			t.Errorf("listed key %q does not resolve: %v", key, err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}

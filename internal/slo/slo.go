@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strings"
 
 	"fairsched/internal/job"
 	"fairsched/internal/sim"
@@ -372,12 +373,24 @@ func (c ClassStats) AttainPct() float64 {
 // Breached returns the jobs that missed at least one target.
 func (c ClassStats) Breached() int { return c.Jobs - c.Attained }
 
+// MaxOffenders bounds the worst-offender list a Summary carries: the
+// top-K most-breached users of the run. K is a small constant so a cell
+// summary stays memory-light no matter how many users the scenario tagged.
+const MaxOffenders = 3
+
 // Summary is the per-run SLO report: one row per class plus the combined
-// total. It is memory-light (no per-user rows) so campaign cell summaries
-// can carry one per policy.
+// total. It is memory-light (no unbounded per-user rows — Offenders is
+// capped at MaxOffenders) so campaign cell summaries can carry one per
+// policy.
 type Summary struct {
 	Classes []ClassStats
 	Total   ClassStats // Class "(all)", Target zero
+	// Offenders are the most-breached users, worst first: most breached
+	// jobs, ties broken by larger total wait-breach excess, then lower
+	// user id — an order-independent ranking, so online and reference
+	// accounting select identical offenders. Empty when every tagged user
+	// attained every target.
+	Offenders []UserStats
 }
 
 // Summary aggregates the tracker into class rows. Assembly walks the
@@ -423,7 +436,119 @@ func (t *Tracker) Summary() *Summary {
 		s.Total.SlowBreaches += c.SlowBreaches
 	}
 	s.Total.BreachP95 = histP95(t.allHist)
+	s.Offenders = t.offenders(MaxOffenders)
 	return s
+}
+
+// Breached returns the user's jobs that missed at least one target.
+func (u *UserStats) Breached() int { return u.Jobs - u.Attained }
+
+// worseOffender ranks two users: more breached jobs first, then larger
+// total wait-breach excess, then lower user id. Every key is accrued
+// commutatively, so the ranking is independent of accounting order.
+func worseOffender(a, b *UserStats) bool {
+	if a.Breached() != b.Breached() {
+		return a.Breached() > b.Breached()
+	}
+	if a.TotalWaitBreach != b.TotalWaitBreach {
+		return a.TotalWaitBreach > b.TotalWaitBreach
+	}
+	return a.User < b.User
+}
+
+// offenders selects the top-k most-breached users in one bounded pass over
+// the per-user states: a k-slot insertion list, never a sort of the full
+// user population, so the cost is O(users × k) time and O(k) space even
+// over the large tagged populations the quantile bands produce.
+func (t *Tracker) offenders(k int) []UserStats {
+	top := make([]UserStats, 0, k)
+	for i := range t.users {
+		u := &t.users[i]
+		if u.Breached() == 0 {
+			continue
+		}
+		if len(top) == k && !worseOffender(u, &top[k-1]) {
+			continue
+		}
+		pos := len(top)
+		for pos > 0 && worseOffender(u, &top[pos-1]) {
+			pos--
+		}
+		if len(top) < k {
+			top = append(top, UserStats{})
+		}
+		copy(top[pos+1:], top[pos:])
+		top[pos] = *u
+	}
+	return top
+}
+
+// sloFields maps each per-class metric key to its accessor, in listing
+// order. The hypothesis harness addresses them as "slo.<class>.<field>"
+// with class "all" resolving to the combined total row.
+var sloFields = []struct {
+	key string
+	get func(ClassStats) float64
+}{
+	{"attain_pct", func(c ClassStats) float64 { return c.AttainPct() }},
+	{"jobs", func(c ClassStats) float64 { return float64(c.Jobs) }},
+	{"attained", func(c ClassStats) float64 { return float64(c.Attained) }},
+	{"breached", func(c ClassStats) float64 { return float64(c.Breached()) }},
+	{"users", func(c ClassStats) float64 { return float64(c.Users) }},
+	{"active_users", func(c ClassStats) float64 { return float64(c.ActiveUsers) }},
+	{"wait_breaches", func(c ClassStats) float64 { return float64(c.WaitBreaches) }},
+	{"unfair_wait", func(c ClassStats) float64 { return float64(c.UnfairWait) }},
+	{"infeasible_wait", func(c ClassStats) float64 { return float64(c.InfeasibleWait) }},
+	{"total_wait_breach", func(c ClassStats) float64 { return float64(c.TotalWaitBreach) }},
+	{"worst_wait_breach", func(c ClassStats) float64 { return float64(c.WorstWaitBreach) }},
+	{"slow_breaches", func(c ClassStats) float64 { return float64(c.SlowBreaches) }},
+	{"breach_p95", func(c ClassStats) float64 { return float64(c.BreachP95) }},
+}
+
+// FieldKeys lists the per-class metric keys in listing order.
+func FieldKeys() []string {
+	out := make([]string, len(sloFields))
+	for i, f := range sloFields {
+		out[i] = f.key
+	}
+	return out
+}
+
+// ValueByKey resolves a "<class>.<field>" metric key against the summary;
+// class "all" addresses the combined total row. A class the assignment
+// never registered is an error, not a zero — a hypothesis naming a stale
+// class must refute loudly.
+func (s *Summary) ValueByKey(key string) (float64, error) {
+	class, field, ok := strings.Cut(key, ".")
+	if !ok {
+		return 0, fmt.Errorf("slo: metric key %q: want <class>.<field> (class \"all\" for the total row)", key)
+	}
+	var row *ClassStats
+	if class == "all" {
+		row = &s.Total
+	} else {
+		for i := range s.Classes {
+			if s.Classes[i].Class == class {
+				row = &s.Classes[i]
+				break
+			}
+		}
+	}
+	if row == nil {
+		names := make([]string, len(s.Classes))
+		for i, c := range s.Classes {
+			names[i] = c.Class
+		}
+		return 0, fmt.Errorf("slo: metric key %q: unknown class %q (have %s, and \"all\")",
+			key, class, strings.Join(names, ", "))
+	}
+	for _, f := range sloFields {
+		if f.key == field {
+			return f.get(*row), nil
+		}
+	}
+	return 0, fmt.Errorf("slo: metric key %q: unknown field %q (want %s)",
+		key, field, strings.Join(FieldKeys(), ", "))
 }
 
 // FromRecords is the post-run reference: a from-scratch replay of the

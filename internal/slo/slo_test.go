@@ -310,3 +310,122 @@ func TestAttainPctEmptyClass(t *testing.T) {
 		t.Fatal("empty class should attain 100%")
 	}
 }
+
+func TestOffendersRankingAndBound(t *testing.T) {
+	b := NewBuilder()
+	b.AddClass("p50", Target{Wait: 100})
+	for u := 1; u <= 6; u++ {
+		b.Tag(u, "p50")
+	}
+	tr := NewTracker(b.Build())
+	// user 1: 2 breaches (50+10 excess); user 2: 2 breaches (70 excess);
+	// user 3: 1 breach (500); user 4: attained; user 5: 1 breach (500) —
+	// ties user 3 on every key except id; user 6: 1 breach (5).
+	breach := func(user int, id job.ID, excess int64) {
+		tr.JobStarted(&job.Job{ID: id, User: user, Submit: 0}, 100+excess, 0, false)
+	}
+	breach(1, 1, 50)
+	breach(1, 2, 10)
+	breach(2, 3, 40)
+	breach(2, 8, 30)
+	breach(3, 4, 500)
+	tr.JobStarted(&job.Job{ID: 5, User: 4, Submit: 0}, 50, 0, false)
+	breach(5, 6, 500)
+	breach(6, 7, 5)
+	s := tr.Summary()
+	if len(s.Offenders) != MaxOffenders {
+		t.Fatalf("offenders = %d, want %d", len(s.Offenders), MaxOffenders)
+	}
+	// user 2 first (2 breaches, 70 > 60 total), then user 1 (2 breaches),
+	// then user 3 (1 breach, 500 excess, lower id than user 5).
+	want := []int{2, 1, 3}
+	for i, w := range want {
+		if s.Offenders[i].User != w {
+			t.Fatalf("offender[%d] = user %d, want %d (full: %+v)", i, s.Offenders[i].User, w, s.Offenders)
+		}
+	}
+	if s.Offenders[0].Breached() != 2 || s.Offenders[2].TotalWaitBreach != 500 {
+		t.Fatalf("offender stats wrong: %+v", s.Offenders)
+	}
+}
+
+func TestOffendersEmptyWhenAllAttained(t *testing.T) {
+	tr := NewTracker(testAssignment())
+	tr.JobStarted(&job.Job{ID: 1, User: 1, Submit: 0}, 50, 0, false)
+	if s := tr.Summary(); len(s.Offenders) != 0 {
+		t.Fatalf("offenders = %+v, want none", s.Offenders)
+	}
+}
+
+// Offender selection must be independent of accounting order: feed the same
+// breaches in shuffled orders and require identical offender lists.
+func TestOffendersOrderIndependence(t *testing.T) {
+	b := NewBuilder()
+	b.AddClass("c", Target{Wait: 10})
+	for u := 1; u <= 12; u++ {
+		b.Tag(u, "c")
+	}
+	asg := b.Build()
+	type ev struct {
+		id    job.ID
+		user  int
+		start int64
+	}
+	var evs []ev
+	for u := 1; u <= 12; u++ {
+		for k := 0; k <= u%4; k++ {
+			evs = append(evs, ev{job.ID(100*u + k), u, int64(10 + 7*u + 3*k)})
+		}
+	}
+	run := func(order []int) []UserStats {
+		tr := NewTracker(asg)
+		for _, i := range order {
+			e := evs[i]
+			tr.JobStarted(&job.Job{ID: e.id, User: e.user, Submit: 0}, e.start, 0, false)
+		}
+		return tr.Summary().Offenders
+	}
+	base := make([]int, len(evs))
+	for i := range base {
+		base[i] = i
+	}
+	ref := run(base)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		order := append([]int(nil), base...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		if got := run(order); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("offenders depend on accounting order:\n got %+v\nwant %+v", got, ref)
+		}
+	}
+}
+
+func TestSummaryValueByKey(t *testing.T) {
+	tr := NewTracker(testAssignment())
+	// user 1 (p50, wait 100): breach by 50; user 3 (p90): attained.
+	tr.JobStarted(&job.Job{ID: 1, User: 1, Submit: 0}, 150, 0, false)
+	tr.JobStarted(&job.Job{ID: 2, User: 3, Submit: 0}, 100, 0, false)
+	tr.JobCompleted(&job.Job{ID: 2, User: 3, Submit: 0}, 100, 200)
+	s := tr.Summary()
+	cases := map[string]float64{
+		"p50.jobs": 1, "p50.breached": 1, "p50.attain_pct": 0,
+		"p50.total_wait_breach": 50, "p90.attained": 1, "p90.attain_pct": 100,
+		"all.jobs": 2, "all.breached": 1, "all.attain_pct": 50,
+		"default.jobs": 0, "default.attain_pct": 100,
+		"p50.users": 2, "p50.active_users": 1,
+	}
+	for key, want := range cases {
+		got, err := s.ValueByKey(key)
+		if err != nil {
+			t.Fatalf("ValueByKey(%q): %v", key, err)
+		}
+		if got != want {
+			t.Errorf("ValueByKey(%q) = %v, want %v", key, got, want)
+		}
+	}
+	for _, key := range []string{"", "p50", "nope.jobs", "p50.bogus", "all.", ".jobs"} {
+		if _, err := s.ValueByKey(key); err == nil {
+			t.Errorf("ValueByKey(%q) did not fail", key)
+		}
+	}
+}
