@@ -26,12 +26,16 @@
 //	experiments -list-slos               # show the per-user SLO grammar
 //	experiments -scenario slo-tiered     # built-in tiered wait-time SLOs
 //	experiments -slo 'p50:2h,p90:24h,default:96h'   # tag users in every scenario
+//	experiments -topology 'part=a:600,part=b:400,queue=x:part=a,queue=y:part=b' \
+//	    -scenario 'queue=p50:x,default:y'           # partitioned machine, routed users
+//	experiments -topology ... -partition-parallel 4 # parallel per-partition event loops
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -41,6 +45,7 @@ import (
 	"fairsched/internal/scenario"
 	"fairsched/internal/sweep"
 	"fairsched/internal/swf"
+	"fairsched/internal/topology"
 	"fairsched/internal/workload"
 )
 
@@ -67,6 +72,8 @@ func main() {
 
 		window    = flag.String("window", "", "campaign: slice every scenario to START..END (e.g. 1w..5w)")
 		sloSpec   = flag.String("slo", "", "campaign: tag users with SLO targets in every scenario (e.g. 'p50:2h,p90:24h,default:96h'; see -list-slos)")
+		topoSpec  = flag.String("topology", "", "campaign: partition the machine and hang a queue tree (e.g. 'part=a:600,part=b:400,queue=x:part=a,queue=y:part=b:order=sjf'; route users with -scenario 'queue=...'/'partition=...')")
+		partPar   = flag.Int("partition-parallel", 0, "campaign: how many partition event loops run concurrently per cell (needs -topology; report byte-identical at every width)")
 		listSLOs  = flag.Bool("list-slos", false, "list the SLO grammar and built-in SLO scenarios, then exit")
 		polPar    = flag.Bool("policy-parallel", false, "campaign: fan the policy axis out across the worker pool too (wide-registry sweeps over few cells; report stays byte-identical)")
 		listScens = flag.Bool("list-scenarios", false, "list the built-in scenarios and the spec grammar, then exit")
@@ -103,7 +110,7 @@ func main() {
 		fmt.Println("  a band may carry both kinds: slo=p50:2h,p50:6x")
 		fmt.Println()
 		fmt.Println("Built-in SLO scenarios:")
-		for _, s := range scenario.Builtins() {
+		for _, s := range sortedScenarios() {
 			for _, tr := range s.Transforms {
 				// The same interface dispatch the campaign engine uses.
 				if _, ok := tr.(scenario.SLOProvider); ok {
@@ -121,13 +128,15 @@ func main() {
 	}
 	if *listScens {
 		fmt.Println("Built-in scenarios:")
-		for _, s := range scenario.Builtins() {
+		for _, s := range sortedScenarios() {
 			fmt.Printf("  %-20s %s\n", s.Name, s.Description)
 		}
 		fmt.Println("\nAd-hoc chains join transforms with '+':")
 		fmt.Println("  load=1.5  window=1d..8d  users=top8  users=3.7.11  perturb=3")
 		fmt.Println("  burst=at:7d.jobs:200.nodes:8.runtime:1h[.spread:1h][.est:2h][.user:42]")
 		fmt.Println("  slo=p50:2h,p90:24h,default:96h (see -list-slos)")
+		fmt.Println("  queue=p50:org/a,default:org/b  partition=p50:fast,default:slow")
+		fmt.Println("      route users to queue-tree leaves / partitions (with -topology)")
 		fmt.Println("\nExample: -scenario 'load=1.5+perturb=3'")
 		return
 	}
@@ -138,7 +147,19 @@ func main() {
 	}
 	convOpts := swf.ConvertOptions{KeepCancelled: *keepCanc}
 
-	if len(traces) > 0 || len(scenarios) > 0 || len(policies) > 0 || *window != "" || *sloSpec != "" {
+	if *partPar != 0 && *topoSpec == "" {
+		fatal(fmt.Errorf("-partition-parallel needs -topology (a flat machine has one event loop)"))
+	}
+	if *topoSpec != "" {
+		topo, err := topology.Parse(*topoSpec)
+		if err != nil {
+			fatal(err)
+		}
+		study.Topology = topo
+		study.PartitionParallel = *partPar
+	}
+
+	if len(traces) > 0 || len(scenarios) > 0 || len(policies) > 0 || *window != "" || *sloSpec != "" || *topoSpec != "" {
 		// -in is the legacy spelling of -trace; honor it in campaign mode
 		// too rather than silently sweeping the synthetic workload.
 		if *in != "" {
@@ -322,6 +343,15 @@ func runCampaign(traces, scenSpecs, polSpecs []string, window, sloSpec string, s
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// sortedScenarios returns the builtin scenarios sorted by name: listings
+// are lookup tables, so they render in a deterministic scan-friendly order
+// regardless of registration order.
+func sortedScenarios() []scenario.Scenario {
+	ss := scenario.Builtins()
+	sort.Slice(ss, func(i, k int) bool { return ss[i].Name < ss[k].Name })
+	return ss
 }
 
 func fatal(err error) {

@@ -37,6 +37,7 @@ import (
 	"fairsched/internal/slo"
 	"fairsched/internal/sweep"
 	"fairsched/internal/swf"
+	"fairsched/internal/topology"
 	"fairsched/internal/workload"
 )
 
@@ -398,6 +399,32 @@ func RunHypotheses(specs []HypothesisSpec, opt HypothesisOptions) (*HypothesisEv
 
 // RenderFindings writes the per-claim verdicts with per-seed evidence.
 func RenderFindings(w io.Writer, e *HypothesisEvaluation) { hypothesis.RenderFindings(w, e) }
+
+// Partitions and queue trees: a topology splits the machine into named
+// partitions (each with its own node capacity and event loop) and declares a
+// hierarchical queue tree (org → group → user) with per-leaf policy specs and
+// guaranteed/capped shares; scenario queue=/partition= transforms route users
+// into it. Set StudyConfig.Topology (and optionally PartitionParallel) to run
+// on one. A single-partition, single-root-queue topology reproduces the flat
+// run byte-identically.
+type (
+	// Topology is the machine layout: partitions plus the queue tree.
+	Topology = topology.Topology
+	// TopologyPartition is one named machine group with its own nodes.
+	TopologyPartition = topology.Partition
+	// TopologyQueue is one queue-tree node (leaf nodes carry a policy).
+	TopologyQueue = topology.QueueNode
+	// UserPlacement maps users to queue-tree leaves and partitions (built
+	// by scenario queue=/partition= transforms, or a PlacementBuilder).
+	UserPlacement = topology.Placement
+	// PlacementBuilder accumulates a UserPlacement programmatically.
+	PlacementBuilder = topology.PlacementBuilder
+)
+
+// ParseTopology parses a topology spec in the queue grammar, e.g.
+// "part=fast:64,part=slow:64,queue=org/a:part=fast:guar=2:order=fairshare+bf=easy,queue=org/b:part=slow:sjf";
+// errors carry byte positions and each error names the offending clause.
+func ParseTopology(spec string) (*Topology, error) { return topology.Parse(spec) }
 
 // FairshareEpochFor converts a trace's Unix start time into the
 // trace-relative fairshare epoch for StudyConfig.FairshareEpoch /

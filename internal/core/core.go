@@ -20,6 +20,7 @@ import (
 	"fairsched/internal/sched"
 	"fairsched/internal/sim"
 	"fairsched/internal/slo"
+	"fairsched/internal/topology"
 )
 
 // Spec is one named scheduling configuration: an alias of sched.Spec, so
@@ -104,6 +105,22 @@ type StudyConfig struct {
 	// Scenario.SLOAssignment). The assignment is read-only and may be
 	// shared across concurrent runs.
 	SLO *slo.Assignment
+	// Topology, when non-nil, partitions the machine into named groups —
+	// each with its own event loop — and hangs a hierarchical queue tree
+	// over them (see package topology). A nil Topology is the flat
+	// pre-partition machine; a single-partition single-root-queue topology
+	// reproduces it byte-identically (the flat-equivalence suite pins
+	// this). The topology is read-only and may be shared across runs.
+	Topology *topology.Topology
+	// Placement routes users to queues/partitions (campaigns derive it
+	// from the cell's scenario via Scenario.Placement). With a nil
+	// Topology, queue tags still group per-queue report rows; partition
+	// tags are ignored. Read-only, shareable.
+	Placement *topology.Placement
+	// PartitionParallel bounds how many partition event loops run
+	// concurrently within one Execute (default 1, serial). Results are
+	// byte-identical at every width.
+	PartitionParallel int
 }
 
 // Run is the outcome of one policy over one workload.
@@ -118,10 +135,15 @@ type Run struct {
 	SLO *slo.Summary
 }
 
-// Execute runs one spec over the workload and assembles the summary.
+// Execute runs one spec over the workload and assembles the summary. With
+// a Topology configured, the run shards into per-partition event loops and
+// merges (see executeTopology); otherwise the flat single-loop path runs.
 func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 	if cfg.SystemSize <= 0 {
 		cfg.SystemSize = 1000
+	}
+	if cfg.Topology != nil {
+		return executeTopology(cfg, spec, workload)
 	}
 	pol, err := sched.New(spec)
 	if err != nil {
@@ -154,6 +176,12 @@ func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 		// arrival) to split breaches into policy-caused and infeasible;
 		// with SkipFST it still tracks attainment, unclassified.
 		sloObs = fairness.NewSLOObserver(cfg.SLO, fst)
+		if cfg.Split == sim.SplitChained {
+			// Chained splits model one logical job as a checkpoint chain:
+			// judge its slowdown once, at the last segment's completion,
+			// against the original submit (DESIGN.md §11).
+			sloObs.SetChained(true)
+		}
 		observers = append(observers, sloObs)
 	}
 	s := sim.New(simCfg, pol, observers...)
@@ -170,6 +198,19 @@ func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 	}
 	run.Summary = metrics.Summarize(res, run.FST, col)
 	run.Summary.Policy = spec.String()
+	if paths := cfg.Placement.QueuePaths(); len(paths) > 0 {
+		// Queue tags without a topology still group report rows: the flat
+		// machine ran one scheduler, but attainment and delay can be read
+		// out per tagged queue (the per-queue metric keys resolve against
+		// these rows).
+		var perUser []slo.UserStats
+		if sloObs != nil {
+			perUser = sloObs.PerUser()
+		}
+		run.Summary.Queues = queueSummaries(paths, func(user int) (string, bool) {
+			return cfg.Placement.Queue(user)
+		}, res.Records, perUser)
+	}
 	return run, nil
 }
 

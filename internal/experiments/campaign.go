@@ -54,7 +54,68 @@ func RenderCampaign(w io.Writer, cells []*sweep.CellSummary) {
 				s.Utilization, s.PercentUnfair, s.AvgMissTime/3600)
 		}
 		renderCellSLO(w, c, polW)
+		renderCellQueues(w, c, polW)
+		renderCellPartitions(w, c, polW)
 		fmt.Fprintln(w)
+	}
+}
+
+// renderCellQueues writes a cell's per-queue table (one row per policy ×
+// queue-tree leaf) when any policy's summary carries queue rows — i.e. the
+// scenario tagged users into queues, on a flat machine or a topology.
+// Untagged cells render nothing, keeping legacy reports byte-identical.
+func renderCellQueues(w io.Writer, c *sweep.CellSummary, polW int) {
+	qW := len("queue")
+	any := false
+	for _, s := range c.Summaries {
+		for _, q := range s.Queues {
+			any = true
+			if len(q.Path) > qW {
+				qW = len(q.Path)
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "  per-queue — jobs routed to each queue-tree leaf (slo columns blank without an assignment)\n")
+	fmt.Fprintf(w, "  %-*s %-*s %7s %6s %12s %12s %8s %8s\n",
+		polW, "policy", qW, "queue", "jobs", "users", "avgwait(h)", "avgTAT(h)", "slojobs", "attain%")
+	for k, s := range c.Summaries {
+		for _, q := range s.Queues {
+			fmt.Fprintf(w, "  %-*s %-*s %7d %6d %12.2f %12.2f %8d %8.1f\n",
+				polW, c.Policies[k], qW, q.Path, q.Jobs, q.Users,
+				q.AvgWait/3600, q.AvgTurnaround/3600, q.SLOJobs, q.AttainPct())
+		}
+	}
+}
+
+// renderCellPartitions writes a cell's per-partition table (one row per
+// policy × machine partition) when the cell ran on a multi-partition
+// topology. Single-partition and flat cells render nothing.
+func renderCellPartitions(w io.Writer, c *sweep.CellSummary, polW int) {
+	pW := len("partition")
+	any := false
+	for _, s := range c.Summaries {
+		for _, p := range s.Partitions {
+			any = true
+			if len(p.Name) > pW {
+				pW = len(p.Name)
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "  per-partition — each partition runs its own event loop over its own nodes\n")
+	fmt.Fprintf(w, "  %-*s %-*s %7s %7s %12s %12s %8s\n",
+		polW, "policy", pW, "partition", "nodes", "jobs", "avgwait(h)", "avgTAT(h)", "util")
+	for k, s := range c.Summaries {
+		for _, p := range s.Partitions {
+			fmt.Fprintf(w, "  %-*s %-*s %7d %7d %12.2f %12.2f %8.3f\n",
+				polW, c.Policies[k], pW, p.Name, p.Nodes, p.Jobs,
+				p.AvgWait/3600, p.AvgTurnaround/3600, p.Utilization)
+		}
 	}
 }
 

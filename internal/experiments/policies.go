@@ -3,17 +3,28 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"fairsched/internal/sched"
 )
 
+// sortedBuiltins returns the policy registry sorted by name — listings are
+// lookup tables, so they render in a deterministic order a reader can scan,
+// independent of registration order.
+func sortedBuiltins() []sched.Builtin {
+	bs := append([]sched.Builtin(nil), sched.Builtins()...)
+	sort.Slice(bs, func(i, k int) bool { return bs[i].Key < bs[k].Key })
+	return bs
+}
+
 // ListPolicies writes the named-policy registry — every builtin spec with
-// its component expansion and description — followed by the spec grammar,
-// symmetric with the -list-scenarios listing.
+// its component expansion and description, sorted by name — followed by the
+// spec grammar, symmetric with the -list-scenarios listing.
 func ListPolicies(w io.Writer) {
 	fmt.Fprintln(w, "Built-in policies (name, expansion, description):")
 	keyW, expW := 0, 0
-	for _, b := range sched.Builtins() {
+	builtins := sortedBuiltins()
+	for _, b := range builtins {
 		if len(b.Key) > keyW {
 			keyW = len(b.Key)
 		}
@@ -21,7 +32,7 @@ func ListPolicies(w io.Writer) {
 			expW = len(c)
 		}
 	}
-	for _, b := range sched.Builtins() {
+	for _, b := range builtins {
 		fmt.Fprintf(w, "  %-*s  %-*s  %s\n", keyW, b.Key, expW, b.Spec.Canonical(), b.Description)
 	}
 	fmt.Fprintln(w, "\nAny \"depth<N>\" (N >= 1) is depth-N backfilling over the fairshare queue.")
@@ -42,7 +53,7 @@ func ListPolicies(w io.Writer) {
 func PolicyTableMarkdown(w io.Writer) {
 	fmt.Fprintln(w, "| Name | Components | Description |")
 	fmt.Fprintln(w, "|------|------------|-------------|")
-	for _, b := range sched.Builtins() {
+	for _, b := range sortedBuiltins() {
 		fmt.Fprintf(w, "| `%s` | `%s` | %s |\n", b.Key, b.Spec.Canonical(), b.Description)
 	}
 }

@@ -39,14 +39,19 @@ func sloAssignmentFor(jobs []*job.Job) *slo.Assignment {
 }
 
 // runWithSLO executes one policy with the hybrid engine and the online
-// observer attached, returning the run plus both accountings.
-func runWithSLO(t testing.TB, spec string, cfg sim.Config, jobs []*job.Job, asg *slo.Assignment) (obs *SLOObserver, ref *slo.Tracker) {
+// observer attached, returning the run plus both accountings. chained
+// selects chain-level slowdown judgment on both sides (SplitChained runs).
+func runWithSLO(t testing.TB, spec string, cfg sim.Config, jobs []*job.Job, asg *slo.Assignment, chained bool) (obs *SLOObserver, ref *slo.Tracker) {
 	t.Helper()
 	engine := NewHybridFST()
 	obs = NewSLOObserver(asg, engine)
+	obs.SetChained(chained)
 	res, err := sim.New(cfg, sched.MustParse(spec), engine, obs).Run(jobs)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if chained {
+		return obs, slo.FromRecordsChained(asg, res.Records, engine.Table())
 	}
 	return obs, slo.FromRecords(asg, res.Records, engine.Table())
 }
@@ -77,16 +82,18 @@ func assertSLOEqual(t *testing.T, name string, obs *SLOObserver, ref *slo.Tracke
 func TestSLOObserverMatchesReference(t *testing.T) {
 	h := int64(3600)
 	cases := []struct {
-		name  string
-		cfg   sim.Config
-		scale float64
+		name    string
+		cfg     sim.Config
+		scale   float64
+		chained bool
 	}{
-		{"calm", sim.Config{SystemSize: 500, Validate: true}, 0.02},
-		{"contended", sim.Config{SystemSize: 100, Validate: true}, 0.05},
-		{"split-upfront", sim.Config{SystemSize: 100, MaxRuntime: 24 * h, Split: sim.SplitUpfront, Validate: true}, 0.04},
-		{"split-chained", sim.Config{SystemSize: 100, MaxRuntime: 24 * h, Split: sim.SplitChained, Validate: true}, 0.04},
-		{"kill-always", sim.Config{SystemSize: 100, Kill: sim.KillAlways, Validate: true}, 0.04},
-		{"kill-when-needed", sim.Config{SystemSize: 100, Kill: sim.KillWhenNeeded, Validate: true}, 0.04},
+		{"calm", sim.Config{SystemSize: 500, Validate: true}, 0.02, false},
+		{"contended", sim.Config{SystemSize: 100, Validate: true}, 0.05, false},
+		{"split-upfront", sim.Config{SystemSize: 100, MaxRuntime: 24 * h, Split: sim.SplitUpfront, Validate: true}, 0.04, false},
+		{"split-chained", sim.Config{SystemSize: 100, MaxRuntime: 24 * h, Split: sim.SplitChained, Validate: true}, 0.04, false},
+		{"split-chained-judged", sim.Config{SystemSize: 100, MaxRuntime: 24 * h, Split: sim.SplitChained, Validate: true}, 0.04, true},
+		{"kill-always", sim.Config{SystemSize: 100, Kill: sim.KillAlways, Validate: true}, 0.04, false},
+		{"kill-when-needed", sim.Config{SystemSize: 100, Kill: sim.KillWhenNeeded, Validate: true}, 0.04, false},
 	}
 	for _, spec := range []string{"cplant24.nomax.all", "cons.nomax", "easy"} {
 		for _, c := range cases {
@@ -96,7 +103,7 @@ func TestSLOObserverMatchesReference(t *testing.T) {
 					t.Fatal(err)
 				}
 				asg := sloAssignmentFor(jobs)
-				obs, ref := runWithSLO(t, spec, c.cfg, jobs, asg)
+				obs, ref := runWithSLO(t, spec, c.cfg, jobs, asg, c.chained)
 				assertSLOEqual(t, spec+"/"+c.name, obs, ref)
 			})
 		}
@@ -144,7 +151,7 @@ func TestSLOObserverMatchesRandomized(t *testing.T) {
 		}
 		for _, spec := range []string{"cplant24.nomax.all", "cons.nomax"} {
 			cfg := sim.Config{SystemSize: size, Validate: true}
-			obs, ref := runWithSLO(t, spec, cfg, jobs, asg)
+			obs, ref := runWithSLO(t, spec, cfg, jobs, asg, false)
 			assertSLOEqual(t, spec, obs, ref)
 		}
 	}

@@ -52,6 +52,15 @@ func (o *SLOObserver) JobCompleted(env sim.Env, j *job.Job, start int64) {
 	o.t.JobCompleted(j, start, env.Now())
 }
 
+// SetChained selects chain-level slowdown judgment for SplitChained runs
+// (see slo.Tracker.SetChained): the chain is judged at its last segment's
+// completion against the original submit.
+func (o *SLOObserver) SetChained(on bool) { o.t.SetChained(on) }
+
+// Tracker exposes the accounting core, so partitioned runs can merge the
+// per-partition observers into one report (slo.Tracker.Merge).
+func (o *SLOObserver) Tracker() *slo.Tracker { return o.t }
+
 // Summary returns the per-class attainment report accrued so far.
 func (o *SLOObserver) Summary() *slo.Summary { return o.t.Summary() }
 

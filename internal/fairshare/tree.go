@@ -1,0 +1,68 @@
+package fairshare
+
+import "strings"
+
+// Tree tracks decayed processor-second usage per queue-tree node, rolled
+// up the tree: a leaf's running work accrues to the leaf and every
+// ancestor, so sibling subtrees can be compared by usage at any level.
+// It reuses the per-user Tracker (same lazy decay, same bit-identical
+// boundary replay) keyed by interned node ids.
+type Tree struct {
+	t      *Tracker
+	paths  []string       // node id -> path
+	idx    map[string]int // path -> node id
+	parent []int          // node id -> parent id, -1 at top level
+	buf    []Usage        // Accrue's ancestor-expansion scratch
+}
+
+// NewTree creates a tree whose decay boundaries align to epoch, exactly
+// as NewTracker does for users.
+func NewTree(cfg Config, epoch int64) *Tree {
+	return &Tree{t: NewTracker(cfg, epoch), idx: make(map[string]int)}
+}
+
+// NodeFor interns a queue path (and its ancestors) and returns its node
+// id. Ids are dense and stable for the life of the tree.
+func (tr *Tree) NodeFor(path string) int {
+	if id, ok := tr.idx[path]; ok {
+		return id
+	}
+	parent := -1
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		parent = tr.NodeFor(path[:i])
+	}
+	id := len(tr.paths)
+	tr.paths = append(tr.paths, path)
+	tr.parent = append(tr.parent, parent)
+	tr.idx[path] = id
+	return id
+}
+
+// Parent returns the node's parent id, -1 for top-level nodes.
+func (tr *Tree) Parent(node int) int { return tr.parent[node] }
+
+// Path returns the node's queue path.
+func (tr *Tree) Path(node int) string { return tr.paths[node] }
+
+// Accrue advances the tree's frontier to now, charging each leaf stream's
+// processor-seconds to the leaf node and every ancestor (the roll-up
+// invariant: a node's usage is the sum of its subtree's accruals, decayed
+// identically). Streams use Usage with User holding a node id.
+func (tr *Tree) Accrue(now int64, leaves []Usage) error {
+	tr.buf = tr.buf[:0]
+	for _, u := range leaves {
+		if u.Nodes == 0 {
+			continue
+		}
+		for n := u.User; n >= 0; n = tr.parent[n] {
+			tr.buf = append(tr.buf, Usage{User: n, Nodes: u.Nodes})
+		}
+	}
+	return tr.t.Accrue(now, tr.buf)
+}
+
+// Usage returns the node's decayed processor-seconds as of the frontier.
+func (tr *Tree) Usage(node int) float64 { return tr.t.Usage(node) }
+
+// Now returns the accrual frontier.
+func (tr *Tree) Now() int64 { return tr.t.Now() }

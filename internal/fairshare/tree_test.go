@@ -1,0 +1,69 @@
+package fairshare
+
+import "testing"
+
+func TestTreeRollUp(t *testing.T) {
+	tr := NewTree(Config{DecayFactor: 0.5, DecayInterval: 100}, 0)
+	a := tr.NodeFor("org/a")
+	b := tr.NodeFor("org/b")
+	org := tr.NodeFor("org")
+	if tr.Parent(a) != org || tr.Parent(b) != org || tr.Parent(org) != -1 {
+		t.Fatal("parent links wrong")
+	}
+	if tr.Path(a) != "org/a" || tr.Path(org) != "org" {
+		t.Fatal("paths wrong")
+	}
+	// 10 seconds at 4 nodes on a, 2 nodes on b: org accrues the sum.
+	if err := tr.Accrue(10, []Usage{{User: a, Nodes: 4}, {User: b, Nodes: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Usage(a); got != 40 {
+		t.Fatalf("a usage = %v, want 40", got)
+	}
+	if got := tr.Usage(b); got != 20 {
+		t.Fatalf("b usage = %v, want 20", got)
+	}
+	if got := tr.Usage(org); got != 60 {
+		t.Fatalf("org usage = %v, want 60", got)
+	}
+}
+
+// A node's usage decays identically to its leaves' (the lazy boundary
+// replay applies per node, so the roll-up invariant survives decay).
+func TestTreeDecayMatchesTracker(t *testing.T) {
+	cfg := Config{DecayFactor: 0.5, DecayInterval: 100}
+	tr := NewTree(cfg, 0)
+	ref := NewTracker(cfg, 0)
+	leaf := tr.NodeFor("org/a")
+	for _, step := range []int64{50, 150, 275, 400} {
+		if err := tr.Accrue(step, []Usage{{User: leaf, Nodes: 3}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Accrue(step, []Usage{{User: 1, Nodes: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := tr.Usage(leaf), ref.Usage(1); got != want {
+		t.Fatalf("leaf usage %v != tracker usage %v", got, want)
+	}
+	org := tr.NodeFor("org")
+	if got, want := tr.Usage(org), ref.Usage(1); got != want {
+		t.Fatalf("single-leaf inner node usage %v != leaf usage %v", got, want)
+	}
+}
+
+// Interning a deep path creates every ancestor exactly once.
+func TestTreeNodeForInternsAncestors(t *testing.T) {
+	tr := NewTree(DefaultConfig(), 0)
+	deep := tr.NodeFor("a/b/c")
+	if n := len(tr.paths); n != 3 {
+		t.Fatalf("interned %d nodes, want 3", n)
+	}
+	again := tr.NodeFor("a/b/c")
+	if deep != again || len(tr.paths) != 3 {
+		t.Fatal("re-interning changed ids")
+	}
+	if tr.Path(tr.Parent(deep)) != "a/b" {
+		t.Fatal("ancestor chain wrong")
+	}
+}

@@ -112,6 +112,31 @@ func (c *Collector) observe(t int64) {
 	}
 }
 
+// Merge folds another collector's integrals into c. Partitioned runs give
+// each partition its own collector (sized to the partition, so Equation 4's
+// min(queued, idle) sees only nodes the queued jobs could actually use) and
+// merge them into a fresh collector sized to the whole machine before
+// summarizing. Time spans and weekly bins combine exactly; the merge is
+// commutative up to float addition order, so callers must merge in a fixed
+// (declaration) order to keep reports byte-identical.
+func (c *Collector) Merge(o *Collector) {
+	c.lostProcSec += o.lostProcSec
+	c.busyProcSec += o.busyProcSec
+	if n := len(o.weeklySubmitted); n > 0 {
+		c.growWeeks(n - 1)
+	}
+	for w, v := range o.weeklySubmitted {
+		c.weeklySubmitted[w] += v
+	}
+	for w, v := range o.weeklyExecuted {
+		c.weeklyExecuted[w] += v
+	}
+	if o.sawTime {
+		c.observe(o.firstTime)
+		c.observe(o.lastTime)
+	}
+}
+
 // LostProcSeconds returns the Equation 4 numerator.
 func (c *Collector) LostProcSeconds() float64 { return c.lostProcSec }
 

@@ -52,8 +52,63 @@ var widthKeys = []struct {
 	{"avg_wait_w", func(s *Summary, w int) float64 { return s.AvgWaitByWidth[w] }},
 }
 
+// queueFields maps the per-queue field names addressable as
+// "queue.<path>.<field>" (the path is a queue-tree path like "org/a"; the
+// field is everything after the LAST dot, since paths use '/').
+var queueFields = []struct {
+	name string
+	get  func(QueueSummary) float64
+}{
+	{"jobs", func(q QueueSummary) float64 { return float64(q.Jobs) }},
+	{"users", func(q QueueSummary) float64 { return float64(q.Users) }},
+	{"avg_wait", func(q QueueSummary) float64 { return q.AvgWait }},
+	{"avg_tat", func(q QueueSummary) float64 { return q.AvgTurnaround }},
+	{"slo_jobs", func(q QueueSummary) float64 { return float64(q.SLOJobs) }},
+	{"slo_attained", func(q QueueSummary) float64 { return float64(q.SLOAttained) }},
+	{"attain_pct", func(q QueueSummary) float64 { return q.AttainPct() }},
+}
+
+// splitQueueKey decomposes "queue.<path>.<field>" into (path, field
+// accessor). The field is resolved statically — it must be one of
+// queueFields — while the path is checked against the concrete Summary at
+// resolution time only, because validation runs before any summary exists.
+func splitQueueKey(key string) (path string, get func(QueueSummary) float64, err error) {
+	rest, ok := strings.CutPrefix(key, "queue.")
+	if !ok {
+		return "", nil, nil
+	}
+	dot := strings.LastIndexByte(rest, '.')
+	if dot <= 0 {
+		return "", nil, fmt.Errorf("metrics: key %q: want queue.<path>.<field>", key)
+	}
+	path, field := rest[:dot], rest[dot+1:]
+	for _, f := range queueFields {
+		if f.name == field {
+			return path, f.get, nil
+		}
+	}
+	names := make([]string, len(queueFields))
+	for i, f := range queueFields {
+		names[i] = f.name
+	}
+	return "", nil, fmt.Errorf("metrics: key %q: unknown queue field %q (known: %s)",
+		key, field, strings.Join(names, ", "))
+}
+
 // ValueByKey resolves one of the Summary's scalars by its metric key.
 func (s *Summary) ValueByKey(key string) (float64, error) {
+	if strings.HasPrefix(key, "queue.") {
+		path, get, err := splitQueueKey(key)
+		if err != nil {
+			return 0, err
+		}
+		for _, q := range s.Queues {
+			if q.Path == path {
+				return get(q), nil
+			}
+		}
+		return 0, fmt.Errorf("metrics: key %q: summary has no queue %q (the scenario must tag users into that queue)", key, path)
+	}
 	for _, k := range scalarKeys {
 		if k.key == key {
 			return k.get(s), nil
@@ -72,8 +127,15 @@ func (s *Summary) ValueByKey(key string) (float64, error) {
 	return 0, fmt.Errorf("metrics: unknown metric key %q (known: %s)", key, strings.Join(Keys(), ", "))
 }
 
-// ValidKey reports whether key resolves against a Summary.
+// ValidKey reports whether key resolves against a Summary. Queue keys are
+// validated statically — a well-formed path with a known field is accepted
+// here; whether the path exists in a concrete run is only knowable at
+// evaluation time.
 func ValidKey(key string) bool {
+	if strings.HasPrefix(key, "queue.") {
+		_, get, err := splitQueueKey(key)
+		return err == nil && get != nil
+	}
 	var s Summary
 	_, err := s.ValueByKey(key)
 	return err == nil
@@ -89,5 +151,6 @@ func Keys() []string {
 	for _, wk := range widthKeys {
 		out = append(out, fmt.Sprintf("%s<0..%d>", wk.base, job.NumWidthCategories-1))
 	}
+	out = append(out, "queue.<path>.<field>")
 	return out
 }

@@ -67,8 +67,17 @@ func TestValueByKeyErrors(t *testing.T) {
 // Every key Keys() lists must resolve (width patterns expanded over the
 // category range), so -list output and the parser's accepted set agree.
 func TestKeysAllResolve(t *testing.T) {
-	s := &Summary{}
+	s := &Summary{Queues: []QueueSummary{{Path: "org/a"}}}
 	for _, key := range Keys() {
+		if key == "queue.<path>.<field>" {
+			for _, f := range queueFields {
+				k := "queue.org/a." + f.name
+				if _, err := s.ValueByKey(k); err != nil {
+					t.Errorf("listed queue key %q does not resolve: %v", k, err)
+				}
+			}
+			continue
+		}
 		if i := strings.Index(key, "<"); i >= 0 {
 			base := key[:i]
 			for w := 0; w < job.NumWidthCategories; w++ {

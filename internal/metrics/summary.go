@@ -51,6 +51,49 @@ type Summary struct {
 	WeeklySubmitted   []float64 // work submitted each week
 	WeeklyUtilization []float64 // work executed each week
 	WeeklyOfferedLoad []float64 // backlog-inclusive queued workload
+
+	// Queues holds one row per declared queue-tree leaf, in queue-path
+	// order; empty for flat runs with no queue tagging. Partitions holds
+	// one row per partition when the run spans more than one. Both are
+	// population extras: they never feed back into the machine-wide scalars
+	// above, so a single-partition single-queue topology summarizes
+	// byte-identically to the flat path.
+	Queues     []QueueSummary
+	Partitions []PartitionSummary
+}
+
+// QueueSummary is one queue-tree leaf's share of the run: the jobs whose
+// users route to the queue, with their wait/turnaround averages and (when
+// the cell carries an SLO assignment) the queue's attainment count.
+type QueueSummary struct {
+	Path          string
+	Jobs          int
+	Users         int
+	AvgWait       float64
+	AvgTurnaround float64
+	SLOJobs       int // SLO-judged jobs of the queue's users (0 = no assignment)
+	SLOAttained   int
+}
+
+// AttainPct returns the queue's SLO attainment percentage (0 when no jobs
+// were judged).
+func (q QueueSummary) AttainPct() float64 {
+	if q.SLOJobs == 0 {
+		return 0
+	}
+	return 100 * float64(q.SLOAttained) / float64(q.SLOJobs)
+}
+
+// PartitionSummary is one partition's share of a multi-partition run.
+// Utilization is the partition-local Equation 2 over the merged run's
+// makespan, so the rows of one report share a time denominator.
+type PartitionSummary struct {
+	Name          string
+	Nodes         int
+	Jobs          int
+	AvgWait       float64
+	AvgTurnaround float64
+	Utilization   float64
 }
 
 // Summarize joins the run result, the FST table and the collector

@@ -90,6 +90,9 @@ func Names() []string {
 //	                                   proc-seconds, default band, user<id>:
 //	                                   overrides; duration = wait target,
 //	                                   <f>x = slowdown target, none = best effort)
+//	queue=p50:org/a,default:org/b      route users to queue-tree leaves (same
+//	                                   band grammar; destinations are queue paths)
+//	partition=p50:fast,default:slow    route users to partitions directly
 //
 // Example: "load=1.5+perturb=3" compresses arrivals and degrades estimates.
 func Parse(spec string) (Scenario, error) {
@@ -173,8 +176,10 @@ func parseTransform(part string) (Transform, error) {
 		return PerturbEstimates{F: f}, nil
 	case "slo":
 		return parseSLO(val)
+	case "queue", "partition":
+		return parsePlacement(key, val)
 	}
-	return nil, fmt.Errorf("unknown transform %q (want load, window, users, burst, perturb or slo)", key)
+	return nil, fmt.Errorf("unknown transform %q (want load, window, users, burst, perturb, slo, queue or partition)", key)
 }
 
 func parseBurst(val string) (Transform, error) {

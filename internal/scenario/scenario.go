@@ -21,6 +21,7 @@ import (
 
 	"fairsched/internal/job"
 	"fairsched/internal/slo"
+	"fairsched/internal/topology"
 )
 
 // Transform is one deterministic workload rewrite. Implementations must not
@@ -116,6 +117,39 @@ func (s Scenario) SLOAssignment(jobs []*job.Job) (*slo.Assignment, error) {
 			b = slo.NewBuilder()
 		}
 		if err := p.ContributeSLO(jobs, b); err != nil {
+			return nil, fmt.Errorf("scenario %s: %s: %w", s.Name, tr.Name(), err)
+		}
+	}
+	if b == nil {
+		return nil, nil
+	}
+	return b.Build(), nil
+}
+
+// PlacementProvider is implemented by transforms that route users to queue
+// tree leaves or partitions (QueueTag, PartitionTag). Like SLOProvider,
+// providers see the pipeline's final transformed workload, and later
+// providers override earlier tags for the same user.
+type PlacementProvider interface {
+	// ContributePlacement tags users into b.
+	ContributePlacement(jobs []*job.Job, b *topology.PlacementBuilder) error
+}
+
+// Placement derives the scenario's user placement from the transformed
+// workload (the output of Apply). It returns (nil, nil) when the pipeline
+// has no placement-providing transform, and is pure — safe to call
+// concurrently from campaign workers sharing the scenario value.
+func (s Scenario) Placement(jobs []*job.Job) (*topology.Placement, error) {
+	var b *topology.PlacementBuilder
+	for _, tr := range s.Transforms {
+		p, ok := tr.(PlacementProvider)
+		if !ok {
+			continue
+		}
+		if b == nil {
+			b = &topology.PlacementBuilder{}
+		}
+		if err := p.ContributePlacement(jobs, b); err != nil {
 			return nil, fmt.Errorf("scenario %s: %s: %w", s.Name, tr.Name(), err)
 		}
 	}

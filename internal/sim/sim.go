@@ -71,6 +71,11 @@ type Config struct {
 	// Validate enables per-event invariant checking (used in tests; cheap
 	// enough to leave on for small runs).
 	Validate bool
+	// FirstSegmentID, when positive, raises the floor for the ids allocated
+	// to split segments (normally workload max + 1). Multi-partition runs
+	// hand each partition's loop a disjoint range (see SegmentIDBudget) so
+	// merged records keep globally unique ids.
+	FirstSegmentID job.ID
 }
 
 func (c Config) withDefaults() Config {

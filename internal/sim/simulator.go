@@ -206,6 +206,9 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 		}
 	}
 	s.nextID = maxID + 1
+	if s.cfg.FirstSegmentID > s.nextID {
+		s.nextID = s.cfg.FirstSegmentID
+	}
 	// Boundaries depend only on the epoch's phase (they fire at epoch +
 	// k·interval); fold a positive epoch to its congruent value in
 	// (-interval, 0] so the tracker's accrual frontier never starts ahead

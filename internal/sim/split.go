@@ -146,3 +146,22 @@ func (s *Simulator) allocID() job.ID {
 	s.nextID++
 	return id
 }
+
+// SegmentIDBudget returns how many fresh ids a run over workload can
+// allocate to split segments under the given maximum-runtime limit: every
+// job longer than the limit becomes ceil(runtime/max) segments, each with
+// its own id, in every split mode (chained chains always run to their
+// last segment — kills still submit the follow-on). Multi-partition runs
+// use it to carve disjoint Config.FirstSegmentID ranges.
+func SegmentIDBudget(workload []*job.Job, maxRuntime int64) int64 {
+	if maxRuntime <= 0 {
+		return 0
+	}
+	var n int64
+	for _, j := range workload {
+		if j.Runtime > maxRuntime {
+			n += (j.Runtime + maxRuntime - 1) / maxRuntime
+		}
+	}
+	return n
+}

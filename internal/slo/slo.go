@@ -229,7 +229,31 @@ type Tracker struct {
 	users   []UserStats // aligned with asg.users
 	hists   [][]int64   // per class: breach-magnitude histogram
 	allHist []int64     // all classes combined (the report's total row)
+	// chained enables chain-level slowdown judgment for SplitChained runs
+	// (see SetChained); chains holds the in-flight chain states, keyed by
+	// the original job's id.
+	chained bool
+	chains  map[job.ID]*chainState
 }
+
+// chainState carries a split chain's accounting between its first
+// segment's start and its last segment's completion (chained mode only).
+type chainState struct {
+	si     int   // index into Tracker.users
+	submit int64 // the original submission time (segment 1's Submit)
+	waitOK bool  // segment 1 met the wait target
+	runSum int64 // realized runtime summed over completed segments
+}
+
+// SetChained selects chain-level slowdown judgment for runs splitting
+// jobs with sim.SplitChained: a chain's slowdown is judged once, at its
+// LAST segment's completion, as (last completion - original submit) over
+// the chain's total realized runtime — so requeue delays between segments
+// are priced into the objective (DESIGN.md §11). The wait target is still
+// judged at the first segment's start (the chain's queuing delay). In the
+// default (non-chained) mode, restarts are skipped and the chain is
+// judged once at its first segment.
+func (t *Tracker) SetChained(on bool) { t.chained = on }
 
 // NewTracker builds a tracker over an assignment. The assignment is read
 // only; one tracker serves one run. A nil assignment (Builder.Build with
@@ -291,8 +315,19 @@ func (t *Tracker) JobStarted(j *job.Job, start, fairStart int64, hasFST bool) {
 		t.hists[t.asg.classOf[si]][bin]++
 		t.allHist[bin]++
 	}
-	if tgt.Slowdown <= 0 && waitOK {
-		u.Attained++
+	if tgt.Slowdown <= 0 {
+		if waitOK {
+			u.Attained++
+		}
+		return
+	}
+	if t.chained && j.Parent != 0 && j.Segments > 1 {
+		// Chain-level slowdown: remember the first segment's outcome until
+		// the last segment completes.
+		if t.chains == nil {
+			t.chains = make(map[job.ID]*chainState)
+		}
+		t.chains[j.Parent] = &chainState{si: si, submit: j.Submit, waitOK: waitOK}
 	}
 }
 
@@ -302,6 +337,10 @@ func (t *Tracker) JobStarted(j *job.Job, start, fairStart int64, hasFST bool) {
 // submit) — both are in hand — so no per-job state survives between the
 // two hooks. Split-chain restarts are skipped.
 func (t *Tracker) JobCompleted(j *job.Job, start, complete int64) {
+	if t.chained && j.Parent != 0 && j.Segments > 1 {
+		t.chainCompleted(j, start, complete)
+		return
+	}
 	if j.Segment > 1 {
 		return
 	}
@@ -329,6 +368,81 @@ func (t *Tracker) JobCompleted(j *job.Job, start, complete int64) {
 	}
 	if slowOK && (tgt.Wait <= 0 || wait <= tgt.Wait) {
 		u.Attained++
+	}
+}
+
+// chainCompleted accrues one chain segment's realized runtime and, at the
+// last segment, judges the chain's slowdown against the original submit:
+// slow = (total wait + run') / run' with run' = max(total realized
+// runtime, SlowdownBound) and total wait = last completion - original
+// submit - total runtime. Chains whose user carries no slowdown target
+// (or no target at all) have no state and are skipped — their attainment
+// settled at the first segment's start.
+func (t *Tracker) chainCompleted(j *job.Job, start, complete int64) {
+	st, ok := t.chains[j.Parent]
+	if !ok {
+		return
+	}
+	st.runSum += complete - start
+	if j.Segment < j.Segments {
+		return
+	}
+	delete(t.chains, j.Parent)
+	u := &t.users[st.si]
+	tgt := t.asg.users[st.si].Target
+	run := float64(st.runSum)
+	if run < SlowdownBound {
+		run = SlowdownBound
+	}
+	waits := float64(complete - st.submit - st.runSum)
+	slow := (waits + run) / run
+	slowOK := slow <= tgt.Slowdown
+	if !slowOK {
+		u.SlowBreaches++
+		if slow > u.WorstSlowdown {
+			u.WorstSlowdown = slow
+		}
+	}
+	if slowOK && st.waitOK {
+		u.Attained++
+	}
+}
+
+// Merge folds another tracker over the same assignment into t: counters
+// sum, maxima combine with their order-independent tie-breaks, histograms
+// add bin-wise. Partitioned runs track each partition with its own
+// tracker and merge afterwards; since every accrual is commutative, the
+// merged state equals a single tracker fed all partitions' events.
+// Both trackers must be fully settled (no in-flight chains).
+func (t *Tracker) Merge(o *Tracker) {
+	if len(t.chains) > 0 || len(o.chains) > 0 {
+		panic("slo: Merge with in-flight chain state")
+	}
+	for i := range t.users {
+		u, ou := &t.users[i], &o.users[i]
+		u.Jobs += ou.Jobs
+		u.Attained += ou.Attained
+		u.WaitBreaches += ou.WaitBreaches
+		u.TotalWaitBreach += ou.TotalWaitBreach
+		if ou.WorstWaitBreach > u.WorstWaitBreach ||
+			(ou.WorstWaitBreach == u.WorstWaitBreach && ou.WorstWaitBreach > 0 && ou.WorstWaitJob < u.WorstWaitJob) {
+			u.WorstWaitBreach = ou.WorstWaitBreach
+			u.WorstWaitJob = ou.WorstWaitJob
+		}
+		u.UnfairWait += ou.UnfairWait
+		u.InfeasibleWait += ou.InfeasibleWait
+		u.SlowBreaches += ou.SlowBreaches
+		if ou.WorstSlowdown > u.WorstSlowdown {
+			u.WorstSlowdown = ou.WorstSlowdown
+		}
+	}
+	for ci := range t.hists {
+		for b := range t.hists[ci] {
+			t.hists[ci][b] += o.hists[ci][b]
+		}
+	}
+	for b := range t.allHist {
+		t.allHist[b] += o.allHist[b]
 	}
 }
 
@@ -556,7 +670,20 @@ func (s *Summary) ValueByKey(key string) (float64, error) {
 // same functions the online observer uses. The differential suite pins the
 // observer byte-identical to this on every workload shape.
 func FromRecords(asg *Assignment, records []*sim.Record, fst map[job.ID]int64) *Tracker {
+	return fromRecords(asg, records, fst, false)
+}
+
+// FromRecordsChained is FromRecords with chain-level slowdown judgment
+// (SetChained), the reference for SplitChained runs. Records are sorted
+// by (submit, id) and a chain's segment submits strictly increase, so the
+// replay meets segments in chain order just as the online observer does.
+func FromRecordsChained(asg *Assignment, records []*sim.Record, fst map[job.ID]int64) *Tracker {
+	return fromRecords(asg, records, fst, true)
+}
+
+func fromRecords(asg *Assignment, records []*sim.Record, fst map[job.ID]int64, chained bool) *Tracker {
 	t := NewTracker(asg)
+	t.SetChained(chained)
 	for _, r := range records {
 		f, ok := fst[r.Job.ID]
 		t.JobStarted(r.Job, r.Start, f, ok)

@@ -429,3 +429,131 @@ func TestSummaryValueByKey(t *testing.T) {
 		}
 	}
 }
+
+// chainRecords builds one 3-segment chained split (parent id 10, segments
+// 11..13) for user u: segment k+1's submit is segment k's completion, as
+// sim.SplitChained produces. Each segment runs 100s; the chain's first
+// segment waits 50s and the requeue gaps add another 150s of waiting.
+func chainRecords(u int) []*sim.Record {
+	seg := func(id job.ID, k int, submit, start, complete int64) *sim.Record {
+		return &sim.Record{
+			Job: &job.Job{ID: id, User: u, Submit: submit, Runtime: 100,
+				Estimate: 100, Nodes: 1, Parent: 10, Segment: k, Segments: 3},
+			Start: start, Complete: complete,
+		}
+	}
+	return []*sim.Record{
+		seg(11, 1, 0, 50, 150),
+		seg(12, 2, 150, 200, 300),
+		seg(13, 3, 300, 400, 500),
+	}
+}
+
+// TestChainedSlowdownJudgment: in chained mode a split chain is judged
+// once, at its last segment's completion, against the ORIGINAL submit —
+// slow = (total wait + run')/run' with run' = max(Σ realized runtimes,
+// SlowdownBound) — so the requeue delays between segments are priced in.
+// The default per-segment judgment sees only segment 1 and misses them.
+func TestChainedSlowdownJudgment(t *testing.T) {
+	b := NewBuilder()
+	// Chain slowdown = (200 + 300)/300 ≈ 1.67 > 1.6: a breach. Segment 1
+	// alone = (50 + 100)/100 = 1.5 <= 1.6: attained. The target separates
+	// the two judgments.
+	b.AddClass("c", Target{Wait: 100, Slowdown: 1.6})
+	b.Tag(1, "c")
+	a := b.Build()
+	recs := chainRecords(1)
+
+	chained := NewTracker(a)
+	chained.SetChained(true)
+	for _, r := range recs {
+		chained.JobStarted(r.Job, r.Start, 0, false)
+		chained.JobCompleted(r.Job, r.Start, r.Complete)
+	}
+	u := chained.PerUser()[0]
+	if u.Jobs != 1 {
+		t.Fatalf("chain counted %d jobs, want 1 (judged once)", u.Jobs)
+	}
+	if u.Attained != 0 || u.SlowBreaches != 1 {
+		t.Fatalf("chained judgment: attained=%d slowbreaches=%d, want 0/1", u.Attained, u.SlowBreaches)
+	}
+	wantSlow := (200.0 + 300.0) / 300.0
+	if math.Abs(u.WorstSlowdown-wantSlow) > 1e-12 {
+		t.Fatalf("chain slowdown = %v, want %v", u.WorstSlowdown, wantSlow)
+	}
+
+	perSeg := NewTracker(a)
+	for _, r := range recs {
+		perSeg.JobStarted(r.Job, r.Start, 0, false)
+		perSeg.JobCompleted(r.Job, r.Start, r.Complete)
+	}
+	if u := perSeg.PerUser()[0]; u.Jobs != 1 || u.Attained != 1 || u.SlowBreaches != 0 {
+		t.Fatalf("per-segment judgment: %+v, want 1 job attained", u)
+	}
+}
+
+// TestChainedWaitJudgedAtFirstSegment: the wait target is still judged at
+// the chain's FIRST start (its queuing delay); a chain whose user has no
+// slowdown target settles there and carries no chain state.
+func TestChainedWaitJudgedAtFirstSegment(t *testing.T) {
+	b := NewBuilder()
+	b.AddClass("w", Target{Wait: 40}) // first wait 50 > 40: breach
+	b.Tag(1, "w")
+	tr := NewTracker(b.Build())
+	tr.SetChained(true)
+	for _, r := range chainRecords(1) {
+		tr.JobStarted(r.Job, r.Start, 0, false)
+		tr.JobCompleted(r.Job, r.Start, r.Complete)
+	}
+	if len(tr.chains) != 0 {
+		t.Fatalf("wait-only chain left state: %d in flight", len(tr.chains))
+	}
+	u := tr.PerUser()[0]
+	if u.Jobs != 1 || u.WaitBreaches != 1 || u.TotalWaitBreach != 10 || u.Attained != 0 {
+		t.Fatalf("wait judgment over chain: %+v", u)
+	}
+}
+
+// TestFromRecordsChainedMatchesManualFeed: the chained reference equals a
+// manual chained feed, and differs from the non-chained reference on a
+// workload where the chain-level judgment flips the verdict.
+func TestFromRecordsChainedMatchesManualFeed(t *testing.T) {
+	b := NewBuilder()
+	b.AddClass("c", Target{Wait: 100, Slowdown: 1.6})
+	b.Tag(1, "c")
+	a := b.Build()
+	recs := chainRecords(1)
+	ref := FromRecordsChained(a, recs, nil)
+	tr := NewTracker(a)
+	tr.SetChained(true)
+	for _, r := range recs {
+		tr.JobStarted(r.Job, r.Start, 0, false)
+		tr.JobCompleted(r.Job, r.Start, r.Complete)
+	}
+	if !reflect.DeepEqual(ref.PerUser(), tr.PerUser()) {
+		t.Fatal("FromRecordsChained diverges from manual chained feed")
+	}
+	if reflect.DeepEqual(FromRecords(a, recs, nil).PerUser(), ref.PerUser()) {
+		t.Fatal("chained and per-segment judgments agree on a chain built to separate them")
+	}
+}
+
+// TestMergeRejectsInFlightChains: Merge demands fully settled trackers —
+// an in-flight chain (started, not yet completed) must panic loudly
+// rather than silently losing the chain's judgment.
+func TestMergeRejectsInFlightChains(t *testing.T) {
+	b := NewBuilder()
+	b.AddClass("c", Target{Slowdown: 2})
+	b.Tag(1, "c")
+	a := b.Build()
+	tr := NewTracker(a)
+	tr.SetChained(true)
+	first := chainRecords(1)[0]
+	tr.JobStarted(first.Job, first.Start, 0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge with in-flight chain state did not panic")
+		}
+	}()
+	tr.Merge(NewTracker(a))
+}

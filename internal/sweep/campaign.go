@@ -288,6 +288,13 @@ func (c Campaign) loadCell(src scenario.Source, scen scenario.Scenario, seed int
 		return nil, study, err
 	}
 	study.SLO = asg
+	// Likewise for user placement: queue/partition tags route users on the
+	// study's topology (or group per-queue report rows on a flat machine).
+	placement, err := scen.Placement(jobs)
+	if err != nil {
+		return nil, study, err
+	}
+	study.Placement = placement
 	if study.SystemSize <= 0 {
 		study.SystemSize = wl.SystemSize
 	}

@@ -1,0 +1,45 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseQueueSpec checks the grammar's round-trip properties on
+// arbitrary input: every accepted spec has a canonical form that (a)
+// reparses without error, (b) yields a DeepEqual topology and (c) is a
+// fixed point of Canonical ∘ Parse.
+func FuzzParseQueueSpec(f *testing.F) {
+	seeds := []string{
+		"part=main",
+		"part=main:512",
+		"part=fast:512,part=slow:1500",
+		"queue=org/a:order=fairshare+bf=easy,queue=org/b:sjf",
+		"part=fast:512,queue=a:part=fast:guar=2:cap=0.5:fcfs,queue=b",
+		"queue=org,queue=org/a:guar=3,queue=org/b:cap=0.25",
+		"queue=a:order=sjf+bf=easy+starve=24h.nonheavy+depth=2",
+		"part=a,part=b,queue=x:part=b,queue=y",
+		"queue=a:guar=1e-05",
+		"queue=root:cplant24.nomax.all",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		topo, err := Parse(spec)
+		if err != nil {
+			return // rejected inputs only need a clean error
+		}
+		canon := topo.Canonical()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, spec, err)
+		}
+		if !reflect.DeepEqual(topo, again) {
+			t.Fatalf("round trip of %q diverged:\n got %+v\nwant %+v", spec, again, topo)
+		}
+		if again.Canonical() != canon {
+			t.Fatalf("Canonical not a fixed point for %q: %q != %q", spec, again.Canonical(), canon)
+		}
+	})
+}
