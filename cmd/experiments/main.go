@@ -29,6 +29,13 @@
 //	experiments -topology 'part=a:600,part=b:400,queue=x:part=a,queue=y:part=b' \
 //	    -scenario 'queue=p50:x,default:y'           # partitioned machine, routed users
 //	experiments -topology ... -partition-parallel 4 # parallel per-partition event loops
+//
+// Archive-scale campaigns name their traces in a manifest instead of
+// repeating -trace paths; -cache-dir adds the binary trace cache:
+//
+//	experiments -manifest traces.toml -list-traces   # show the trace set
+//	experiments -manifest traces.toml -cache-dir .fairsched-cache
+//	experiments -manifest traces.toml -trace KTH-SP2 -trace CTC-SP2
 package main
 
 import (
@@ -46,6 +53,7 @@ import (
 	"fairsched/internal/sweep"
 	"fairsched/internal/swf"
 	"fairsched/internal/topology"
+	"fairsched/internal/tracecache"
 	"fairsched/internal/workload"
 )
 
@@ -79,8 +87,12 @@ func main() {
 		listScens = flag.Bool("list-scenarios", false, "list the built-in scenarios and the spec grammar, then exit")
 		listPols  = flag.Bool("list-policies", false, "list the policy registry and the spec grammar, then exit (-markdown: README table)")
 		keepCanc  = flag.Bool("keep-cancelled", false, "keep cancelled (status 5) trace records, the pre-filtering behaviour")
+
+		manifest   = flag.String("manifest", "", "campaign: trace-set manifest (traces.toml); -trace then selects entries by name")
+		cacheDir   = flag.String("cache-dir", "", "binary trace-cache directory for manifest traces (empty: stream SWF every load)")
+		listTraces = flag.Bool("list-traces", false, "list the manifest's traces (name, path, overrides), then exit (needs -manifest)")
 	)
-	flag.Var(&traces, "trace", "campaign: an SWF trace file (repeatable; default: the synthetic trace)")
+	flag.Var(&traces, "trace", "campaign: an SWF trace file, or with -manifest a trace name (repeatable; default: the synthetic trace / every manifest entry)")
 	flag.Var(&scenarios, "scenario", "campaign: a scenario name or transform chain (repeatable; see -list-scenarios)")
 	flag.Var(&policies, "policy", "campaign: a policy name or component chain (repeatable; see -list-policies; default: the paper's nine)")
 	flag.Parse()
@@ -141,6 +153,42 @@ func main() {
 		return
 	}
 
+	if *listTraces {
+		if *manifest == "" {
+			fatal(fmt.Errorf("-list-traces needs -manifest"))
+		}
+		m, err := tracecache.LoadManifest(*manifest)
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range m.Entries {
+			fmt.Printf("%-20s %s\n", e.Name, m.ResolvePath(e))
+			if e.SHA256 != [32]byte{} {
+				fmt.Printf("%-20s   sha256:%x\n", "", e.SHA256)
+			}
+			var over []string
+			if e.MaxNodes > 0 {
+				over = append(over, fmt.Sprintf("max-nodes=%d", e.MaxNodes))
+			}
+			if e.UnixStartTime > 0 {
+				over = append(over, fmt.Sprintf("unix-start-time=%d", e.UnixStartTime))
+			}
+			if e.Epoch > 0 {
+				over = append(over, fmt.Sprintf("epoch=%d", e.Epoch))
+			}
+			if e.KeepCancelled {
+				over = append(over, "keep-cancelled")
+			}
+			if len(over) > 0 {
+				fmt.Printf("%-20s   %s\n", "", strings.Join(over, " "))
+			}
+		}
+		return
+	}
+	if *cacheDir != "" && *manifest == "" {
+		fatal(fmt.Errorf("-cache-dir needs -manifest (plain -trace paths always stream)"))
+	}
+
 	study := core.StudyConfig{
 		SystemSize: *nodes,
 		Fairshare:  fairshare.Config{DecayFactor: *decay},
@@ -159,7 +207,26 @@ func main() {
 		study.PartitionParallel = *partPar
 	}
 
-	if len(traces) > 0 || len(scenarios) > 0 || len(policies) > 0 || *window != "" || *sloSpec != "" || *topoSpec != "" {
+	if len(traces) > 0 || len(scenarios) > 0 || len(policies) > 0 || *window != "" || *sloSpec != "" || *topoSpec != "" || *manifest != "" {
+		// A manifest resolves the trace axis up front: its entries become the
+		// named sources, with -trace selecting a subset by name. The sources
+		// carry their own per-entry convert options and checksum pins, so the
+		// -keep-cancelled flag does not apply to them.
+		var sources []scenario.Source
+		if *manifest != "" {
+			if *in != "" {
+				fatal(fmt.Errorf("-in does not combine with -manifest (name the trace in the manifest)"))
+			}
+			m, err := tracecache.LoadManifest(*manifest)
+			if err != nil {
+				fatal(err)
+			}
+			entries, err := m.Select(traces)
+			if err != nil {
+				fatal(err)
+			}
+			sources = scenario.ManifestSources(m, entries, *cacheDir)
+		}
 		// -in is the legacy spelling of -trace; honor it in campaign mode
 		// too rather than silently sweeping the synthetic workload.
 		if *in != "" {
@@ -175,10 +242,15 @@ func main() {
 		case *markdown:
 			fatal(fmt.Errorf("-markdown is not supported in campaign mode (run the single-trace path)"))
 		}
-		runCampaign(traces, scenarios, policies, *window, *sloSpec, study, convOpts, campaignParams{
+		runCampaign(sources, traces, scenarios, policies, *window, *sloSpec, study, convOpts, campaignParams{
 			seed: *seed, seeds: *sweepN, scale: *scale, burstGamma: *burst,
 			systemSize: *nodes, parallel: *parallel, policyParallel: *polPar,
 		})
+		if *manifest != "" {
+			// CI's cache-determinism step greps this line to assert the
+			// second run reused every cache file.
+			fmt.Fprintln(os.Stderr, tracecache.DefaultStats.String())
+		}
 		return
 	}
 	if *polPar {
@@ -267,10 +339,11 @@ type campaignParams struct {
 // runCampaign assembles and executes the (trace × scenario × seed × policy)
 // matrix, rendering one table per cell. Partial failures are reported to
 // stderr after the surviving cells.
-func runCampaign(traces, scenSpecs, polSpecs []string, window, sloSpec string, study core.StudyConfig, convOpts swf.ConvertOptions, p campaignParams) {
-	var sources []scenario.Source
-	for _, path := range traces {
-		sources = append(sources, scenario.TraceFileWith(path, convOpts))
+func runCampaign(sources []scenario.Source, traces, scenSpecs, polSpecs []string, window, sloSpec string, study core.StudyConfig, convOpts swf.ConvertOptions, p campaignParams) {
+	if sources == nil {
+		for _, path := range traces {
+			sources = append(sources, scenario.TraceFileWith(path, convOpts))
+		}
 	}
 	if len(sources) == 0 {
 		sources = append(sources, scenario.Synthetic(workload.Config{

@@ -15,6 +15,7 @@
 //	hypotheses -seeds 42..44 -scale 0.25      # quick pass, overriding seeds clauses
 //	hypotheses -markdown              # the EXPERIMENTS.md checklist table
 //	hypotheses -trace ross.swf        # claims over a real SWF trace
+//	hypotheses -manifest traces.toml -cache-dir .cache  # trace-scoped claims
 //
 // Exit status: 1 when any tier ≤ 2 claim among those run is REFUTED (its
 // reference seed failed); tier 3 claims are recorded but never gate.
@@ -31,6 +32,7 @@ import (
 	"fairsched/internal/fairshare"
 	"fairsched/internal/hypothesis"
 	"fairsched/internal/scenario"
+	"fairsched/internal/tracecache"
 	"fairsched/internal/workload"
 )
 
@@ -51,6 +53,8 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit the claim-checklist Markdown table (for EXPERIMENTS.md) instead of the FINDINGS report")
 		seedsStr = flag.String("seeds", "", "override every claim's seeds clause (grammar: 42..51, 1+3+5..9)")
 		trace    = flag.String("trace", "", "run the claims over an SWF trace file (default: the calibrated synthetic trace)")
+		manifest = flag.String("manifest", "", "trace-set manifest (traces.toml); its entries become the named sources trace clauses select")
+		cacheDir = flag.String("cache-dir", "", "binary trace-cache directory for manifest sources (empty: stream SWF every load)")
 		scale    = flag.Float64("scale", 1.0, "synthetic workload scale")
 		nodes    = flag.Int("nodes", 0, "system size (default 1000, or the trace's MaxNodes)")
 		burst    = flag.Float64("burst", 0, "synthetic workload burst gamma (default 0.3)")
@@ -99,6 +103,13 @@ func main() {
 		opt.Source = scenario.Synthetic(workload.Config{
 			Scale: *scale, SystemSize: *nodes, BurstGamma: *burst,
 		})
+	}
+	if *manifest != "" {
+		m, err := tracecache.LoadManifest(*manifest)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Sources = scenario.ManifestSources(m, m.Entries, *cacheDir)
 	}
 
 	eval, err := hypothesis.RunCampaign(specs, opt)

@@ -8,7 +8,10 @@
 //     study over the calibrated synthetic trace;
 //   - measurement-plane cost: the hybrid fair-start-time engine's
 //     ns/arrival and allocs/arrival on deep contended queues (the §4.1
-//     metric every fairness figure reads).
+//     metric every fairness figure reads);
+//   - trace-cache load throughput (jobs/sec) and manifest-campaign
+//     throughput (runs/sec), cache-cold vs cache-warm, over a synthetic
+//     three-trace manifest.
 //
 // Usage:
 //
@@ -24,15 +27,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"fairsched/internal/core"
 	"fairsched/internal/fairness"
 	"fairsched/internal/job"
+	"fairsched/internal/scenario"
 	"fairsched/internal/sched"
 	"fairsched/internal/sim"
 	"fairsched/internal/sweep"
+	"fairsched/internal/swf"
+	"fairsched/internal/tracecache"
 	"fairsched/internal/workload"
 )
 
@@ -64,6 +71,20 @@ type fairnessBench struct {
 	AllocsPerArrival float64 `json:"allocs_per_arrival"`
 }
 
+// cacheBench is the trace-cache cold/warm measurement over a synthetic
+// three-trace manifest. The jobs/sec pair times the load path alone (cold:
+// stream SWF + encode + write the cache; warm: decode the cache); the
+// runs/sec pair times a whole manifest campaign (cold: first run, caches
+// building; warm: second run, every cache reused).
+type cacheBench struct {
+	Traces         int     `json:"traces"`
+	Jobs           int     `json:"jobs"` // total converted jobs across the traces
+	ColdJobsPerSec float64 `json:"cold_jobs_per_sec"`
+	WarmJobsPerSec float64 `json:"warm_jobs_per_sec"`
+	ColdRunsPerSec float64 `json:"cold_runs_per_sec"`
+	WarmRunsPerSec float64 `json:"warm_runs_per_sec"`
+}
+
 // eventSchema versions the meaning of the event-count denominators
 // (Events, ns_per_event, events_per_sec). Version 2: the simulator dedups
 // identical wake reschedules, so Result.Events counts real scheduling
@@ -81,6 +102,7 @@ type report struct {
 	Scale    float64         `json:"scale"`
 	Events   []policyBench   `json:"per_event"`
 	Sweep    sweepBench      `json:"sweep"`
+	Cache    *cacheBench     `json:"cache,omitempty"`
 	Fairness []fairnessBench `json:"fairness,omitempty"`
 	Failures []string        `json:"failures,omitempty"`
 }
@@ -150,6 +172,16 @@ func main() {
 		}
 	}
 	rep.Sweep = best
+
+	// Trace-cache throughput, cold vs warm, over a synthetic three-trace
+	// manifest.
+	if time.Now().After(deadline) {
+		rep.Failures = append(rep.Failures, "budget exhausted before cache bench")
+	} else if cb, err := benchCache(*seed, *repeat, *parN); err != nil {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("cache: %v", err))
+	} else {
+		rep.Cache = &cb
+	}
 
 	// Measurement-plane cost: the hybrid-FST engine's per-arrival hot path
 	// at increasing queue depths (fairness.MeasureArrivalCost drives the
@@ -242,6 +274,12 @@ func compareAgainst(path string, cur report) {
 			prev.Schema, cur.Schema)
 	}
 	row("sweep runs/sec", prev.Sweep.RunsPerSec, cur.Sweep.RunsPerSec)
+	if prev.Cache != nil && cur.Cache != nil {
+		row("cache cold jobs/sec", prev.Cache.ColdJobsPerSec, cur.Cache.ColdJobsPerSec)
+		row("cache warm jobs/sec", prev.Cache.WarmJobsPerSec, cur.Cache.WarmJobsPerSec)
+		row("manifest cold runs/sec", prev.Cache.ColdRunsPerSec, cur.Cache.ColdRunsPerSec)
+		row("manifest warm runs/sec", prev.Cache.WarmRunsPerSec, cur.Cache.WarmRunsPerSec)
+	}
 	prevFair := make(map[int]fairnessBench, len(prev.Fairness))
 	for _, p := range prev.Fairness {
 		prevFair[p.Queue] = p
@@ -300,6 +338,113 @@ func benchSweep(jobs []*job.Job, parallel int) (sweepBench, error) {
 		EventsPerSec: float64(events) / el,
 		Parallel:     parallel,
 	}, nil
+}
+
+// benchCache writes three synthetic traces as SWF files, then measures the
+// trace-cache's two levels: the load path alone (cold: stream + encode +
+// write; warm: decode — best of repeat, summed over the traces) and a whole
+// manifest campaign (cold: fresh cache dir, so every source builds its
+// cache; warm: second pass over the same dir, so every source loads warm —
+// memoization is defeated by rebuilding the sources between passes).
+func benchCache(seed int64, repeat, parallel int) (cacheBench, error) {
+	dir, err := os.MkdirTemp("", "schedbench-cache")
+	if err != nil {
+		return cacheBench{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	const nTraces = 3
+	m := &tracecache.Manifest{Path: filepath.Join(dir, "traces.toml")}
+	cb := cacheBench{Traces: nTraces}
+	for i := 0; i < nTraces; i++ {
+		jobs, err := workload.Generate(workload.Config{Seed: seed + int64(i), Scale: 0.05})
+		if err != nil {
+			return cacheBench{}, err
+		}
+		cb.Jobs += len(jobs)
+		path := filepath.Join(dir, fmt.Sprintf("t%d.swf", i))
+		f, err := os.Create(path)
+		if err != nil {
+			return cacheBench{}, err
+		}
+		werr := swf.Write(f, swf.FromJobs(jobs, swf.Header{Version: 2, MaxNodes: 1000, UnixStartTime: 878606400}))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return cacheBench{}, werr
+		}
+		m.Entries = append(m.Entries, tracecache.ManifestEntry{
+			Name: fmt.Sprintf("t%d", i), Path: path,
+		})
+	}
+
+	// Load path alone, best-of-repeat per level. The cold pass rebuilds the
+	// cache file every iteration; the warm pass decodes the one it left.
+	cacheDir := filepath.Join(dir, "cache")
+	var coldBest, warmBest time.Duration
+	for r := 0; r < repeat; r++ {
+		var cold, warm time.Duration
+		for _, e := range m.Entries {
+			cp := tracecache.CachePath(cacheDir, e.Path)
+			t0 := time.Now()
+			jobs, meta, err := tracecache.BuildFromSWF(e.Path, swf.ConvertOptions{})
+			if err == nil {
+				err = tracecache.WriteFile(cp, jobs, meta)
+			}
+			if err != nil {
+				return cacheBench{}, err
+			}
+			cold += time.Since(t0)
+			t0 = time.Now()
+			if _, _, err := tracecache.ReadFile(cp); err != nil {
+				return cacheBench{}, err
+			}
+			warm += time.Since(t0)
+		}
+		if coldBest == 0 || cold < coldBest {
+			coldBest = cold
+		}
+		if warmBest == 0 || warm < warmBest {
+			warmBest = warm
+		}
+	}
+	cb.ColdJobsPerSec = float64(cb.Jobs) / coldBest.Seconds()
+	cb.WarmJobsPerSec = float64(cb.Jobs) / warmBest.Seconds()
+
+	// Whole-campaign throughput: two policies over the manifest's traces.
+	// A fresh cache dir makes the first pass cold end to end.
+	campDir := filepath.Join(dir, "campaign-cache")
+	var specs []core.Spec
+	for _, key := range []string{"cons.nomax", "consdyn.nomax"} {
+		s, err := core.SpecByKey(key)
+		if err != nil {
+			return cacheBench{}, err
+		}
+		specs = append(specs, s)
+	}
+	runCampaign := func() (float64, error) {
+		camp := sweep.Campaign{
+			Sources:   scenario.ManifestSources(m, m.Entries, campDir),
+			Scenarios: []scenario.Scenario{scenario.Baseline()},
+			Seeds:     []int64{seed},
+			Specs:     specs,
+			Parallel:  parallel,
+		}
+		t0 := time.Now()
+		cells, err := camp.Run()
+		if err != nil {
+			return 0, err
+		}
+		return float64(len(cells)*len(specs)) / time.Since(t0).Seconds(), nil
+	}
+	if cb.ColdRunsPerSec, err = runCampaign(); err != nil {
+		return cacheBench{}, err
+	}
+	if cb.WarmRunsPerSec, err = runCampaign(); err != nil {
+		return cacheBench{}, err
+	}
+	return cb, nil
 }
 
 func fatal(err error) {

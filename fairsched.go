@@ -38,6 +38,7 @@ import (
 	"fairsched/internal/sweep"
 	"fairsched/internal/swf"
 	"fairsched/internal/topology"
+	"fairsched/internal/tracecache"
 	"fairsched/internal/workload"
 )
 
@@ -310,6 +311,42 @@ func SyntheticSource(cfg WorkloadConfig) ScenarioSource { return scenario.Synthe
 // JobsSource wraps an in-memory workload as a campaign source.
 func JobsSource(name string, jobs []*Job, systemSize int) ScenarioSource {
 	return scenario.Jobs(name, jobs, systemSize)
+}
+
+// Trace-set manifests and the binary trace cache: a manifest names a
+// campaign's traces (paths, checksum pins, header overrides), and the cache
+// stores each trace's converted jobs in a compact columnar image that loads
+// with near-zero allocation — archive-scale campaigns parse each SWF file
+// once, ever.
+type (
+	// TraceManifest is a parsed trace-set manifest (traces.toml).
+	TraceManifest = tracecache.Manifest
+	// TraceManifestEntry is one named trace in a manifest.
+	TraceManifestEntry = tracecache.ManifestEntry
+	// TraceCacheMeta identifies a cache image: source checksum, conversion
+	// fingerprint, system size and trace start time.
+	TraceCacheMeta = tracecache.Meta
+)
+
+// LoadTraceManifest parses a manifest file (see the tracecache package for
+// the grammar).
+func LoadTraceManifest(path string) (*TraceManifest, error) {
+	return tracecache.LoadManifest(path)
+}
+
+// ManifestSources turns manifest entries into campaign sources. Each trace
+// is materialized at most once per process and the job slice is shared
+// across every cell that reads it; cacheDir == "" streams the SWF instead
+// of touching the binary cache.
+func ManifestSources(m *TraceManifest, entries []TraceManifestEntry, cacheDir string) []ScenarioSource {
+	return scenario.ManifestSources(m, entries, cacheDir)
+}
+
+// EnsureTraceCache returns a trace's converted jobs, serving the binary
+// cache when a valid image exists and (re)building it otherwise. hit
+// reports a warm load. A zero expectedSum skips the source-checksum pin.
+func EnsureTraceCache(cacheDir, tracePath string, opts SWFConvertOptions, expectedSum [32]byte) (jobs []*Job, meta TraceCacheMeta, hit bool, err error) {
+	return tracecache.Ensure(cacheDir, tracePath, opts, expectedSum)
 }
 
 // RenderCampaign writes a campaign's cell summaries as aligned tables; the

@@ -58,6 +58,9 @@ func RenderCampaign(w io.Writer, cells []*sweep.CellSummary) {
 		renderCellPartitions(w, c, polW)
 		fmt.Fprintln(w)
 	}
+	// Multi-trace campaigns close with the robustness scoreboard;
+	// single-trace reports are byte-identical to before.
+	renderRobustness(w, cells)
 }
 
 // renderCellQueues writes a cell's per-queue table (one row per policy ×

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fairsched/internal/sweep"
+)
+
+// Cross-trace robustness: a policy that wins on one machine's trace and
+// collapses on another is not deployable. When a campaign spans several
+// traces, the report closes with a scoreboard that aggregates each
+// policy's median bounded slowdown per trace into ranks, then across
+// traces into a mean rank and pairwise win/loss record — the deployability
+// ordering, as opposed to any single trace's podium.
+
+// policyRobustness is one policy's aggregated cross-trace standing.
+type policyRobustness struct {
+	Policy string
+	// MedBSLD[t] is the policy's median bounded slowdown on trace t (mean
+	// over the trace's scenario × seed cells).
+	MedBSLD []float64
+	// Rank[t] is the policy's 1-based rank on trace t (1 = lowest slowdown).
+	Rank []int
+	// MeanRank is the average of Rank over traces — the headline.
+	MeanRank float64
+	// Wins / Losses count pairwise trace-level victories: policy A beats B
+	// on trace t when A's median slowdown is strictly lower there. Each
+	// (opponent, trace) pair contributes one win, one loss, or (on ties)
+	// neither.
+	Wins, Losses int
+}
+
+// robustnessTable aggregates completed campaign cells into the per-policy
+// cross-trace standings. It returns nil unless the cells span at least two
+// distinct sources with at least one shared policy — single-trace
+// campaigns keep their report exactly as before. Failed (nil) cells drop
+// their trace from the aggregation only if no surviving cell covers it.
+func robustnessTable(cells []*sweep.CellSummary) []policyRobustness {
+	// Collect traces (first-appearance order) and policies (cell spec
+	// order) over the surviving cells.
+	var traces []string
+	traceIdx := map[string]int{}
+	var policies []string
+	polIdx := map[string]int{}
+	for _, c := range cells {
+		if c == nil {
+			continue
+		}
+		if _, ok := traceIdx[c.Source]; !ok {
+			traceIdx[c.Source] = len(traces)
+			traces = append(traces, c.Source)
+		}
+		for _, p := range c.Policies {
+			if _, ok := polIdx[p]; !ok {
+				polIdx[p] = len(policies)
+				policies = append(policies, p)
+			}
+		}
+	}
+	if len(traces) < 2 || len(policies) == 0 {
+		return nil
+	}
+	// Mean of median_bsld per (policy, trace) over that trace's cells.
+	sum := make([][]float64, len(policies))
+	cnt := make([][]int, len(policies))
+	for i := range sum {
+		sum[i] = make([]float64, len(traces))
+		cnt[i] = make([]int, len(traces))
+	}
+	for _, c := range cells {
+		if c == nil {
+			continue
+		}
+		t := traceIdx[c.Source]
+		for k, p := range c.Policies {
+			i := polIdx[p]
+			sum[i][t] += c.Summaries[k].MedianBoundedSlowdown
+			cnt[i][t]++
+		}
+	}
+	// Only rank policies measured on every trace (a partial failure must
+	// not hand a policy a default win on the traces it skipped).
+	out := make([]policyRobustness, 0, len(policies))
+	for i, p := range policies {
+		r := policyRobustness{Policy: p, MedBSLD: make([]float64, len(traces)), Rank: make([]int, len(traces))}
+		complete := true
+		for t := range traces {
+			if cnt[i][t] == 0 {
+				complete = false
+				break
+			}
+			r.MedBSLD[t] = sum[i][t] / float64(cnt[i][t])
+		}
+		if complete {
+			out = append(out, r)
+		}
+	}
+	if len(out) < 2 {
+		return nil
+	}
+	// Per-trace ranks (ties share the lower rank) and pairwise win/loss.
+	for t := range traces {
+		for i := range out {
+			rank := 1
+			for k := range out {
+				if out[k].MedBSLD[t] < out[i].MedBSLD[t] {
+					rank++
+				}
+			}
+			out[i].Rank[t] = rank
+		}
+		for i := range out {
+			for k := range out {
+				if out[i].MedBSLD[t] < out[k].MedBSLD[t] {
+					out[i].Wins++
+				} else if out[i].MedBSLD[t] > out[k].MedBSLD[t] {
+					out[i].Losses++
+				}
+			}
+		}
+	}
+	for i := range out {
+		total := 0
+		for _, rk := range out[i].Rank {
+			total += rk
+		}
+		out[i].MeanRank = float64(total) / float64(len(traces))
+	}
+	// Deployability order: mean rank, then win surplus, then name (total,
+	// deterministic at every parallelism).
+	sort.SliceStable(out, func(i, k int) bool {
+		a, b := &out[i], &out[k]
+		if a.MeanRank != b.MeanRank {
+			return a.MeanRank < b.MeanRank
+		}
+		if a.Wins-a.Losses != b.Wins-b.Losses {
+			return a.Wins-a.Losses > b.Wins-b.Losses
+		}
+		return a.Policy < b.Policy
+	})
+	return out
+}
+
+// renderRobustness writes the cross-trace scoreboard. Silent (and the
+// report byte-identical to before) unless the campaign spans 2+ traces.
+func renderRobustness(w io.Writer, cells []*sweep.CellSummary) {
+	table := robustnessTable(cells)
+	if table == nil {
+		return
+	}
+	var traces []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c != nil && !seen[c.Source] {
+			seen[c.Source] = true
+			traces = append(traces, c.Source)
+		}
+	}
+	polW := len("policy")
+	for _, r := range table {
+		if len(r.Policy) > polW {
+			polW = len(r.Policy)
+		}
+	}
+	fmt.Fprintf(w, "CROSS-TRACE ROBUSTNESS — %d policies over %d traces, ranked by mean per-trace\n", len(table), len(traces))
+	fmt.Fprintf(w, "median bounded-slowdown rank; win/loss counts pairwise per-trace victories\n\n")
+	fmt.Fprintf(w, "  %-*s %9s %6s %6s", polW, "policy", "meanrank", "wins", "losses")
+	for _, tr := range traces {
+		width := len(tr)
+		if width < 8 {
+			width = 8
+		}
+		fmt.Fprintf(w, " %*s", width, tr)
+	}
+	fmt.Fprintln(w)
+	for _, r := range table {
+		fmt.Fprintf(w, "  %-*s %9.2f %6d %6d", polW, r.Policy, r.MeanRank, r.Wins, r.Losses)
+		for t, tr := range traces {
+			width := len(tr)
+			if width < 8 {
+				width = 8
+			}
+			fmt.Fprintf(w, " %*s", width, fmt.Sprintf("%.2f/#%d", r.MedBSLD[t], r.Rank[t]))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

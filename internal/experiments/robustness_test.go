@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fairsched/internal/metrics"
+	"fairsched/internal/sweep"
+)
+
+func robCell(source string, seed int64, policies []string, bslds []float64) *sweep.CellSummary {
+	c := &sweep.CellSummary{Source: source, Scenario: "baseline", Seed: seed,
+		Policies: policies, Summaries: make([]*metrics.Summary, len(policies))}
+	for i, b := range bslds {
+		c.Summaries[i] = &metrics.Summary{MedianBoundedSlowdown: b}
+	}
+	return c
+}
+
+func TestRobustnessTable(t *testing.T) {
+	pols := []string{"fcfs", "fair"}
+	cells := []*sweep.CellSummary{
+		// fair wins trace A (both seeds), fcfs wins trace B.
+		robCell("A", 0, pols, []float64{4, 2}),
+		robCell("A", 1, pols, []float64{6, 2}),
+		robCell("B", 0, pols, []float64{1, 3}),
+	}
+	table := robustnessTable(cells)
+	if len(table) != 2 {
+		t.Fatalf("want 2 policies, got %d", len(table))
+	}
+	// Both end at mean rank 1.5 with 1 win, 1 loss; the name breaks the tie.
+	for _, r := range table {
+		if r.MeanRank != 1.5 || r.Wins != 1 || r.Losses != 1 {
+			t.Fatalf("%s: meanrank %.2f wins %d losses %d, want 1.50/1/1", r.Policy, r.MeanRank, r.Wins, r.Losses)
+		}
+	}
+	if table[0].Policy != "fair" || table[1].Policy != "fcfs" {
+		t.Fatalf("tie-break order: %s, %s", table[0].Policy, table[1].Policy)
+	}
+	// fcfs on trace A: mean of 4 and 6 = 5, rank 2.
+	if fcfs := table[1]; fcfs.MedBSLD[0] != 5 || fcfs.Rank[0] != 2 || fcfs.Rank[1] != 1 {
+		t.Fatalf("fcfs per-trace: %+v", fcfs)
+	}
+}
+
+func TestRobustnessSkipsSingleTrace(t *testing.T) {
+	cells := []*sweep.CellSummary{
+		robCell("A", 0, []string{"fcfs", "fair"}, []float64{4, 2}),
+		robCell("A", 1, []string{"fcfs", "fair"}, []float64{6, 2}),
+	}
+	if table := robustnessTable(cells); table != nil {
+		t.Fatalf("single-trace campaign produced a robustness table: %+v", table)
+	}
+	var b strings.Builder
+	RenderCampaign(&b, cells)
+	if strings.Contains(b.String(), "ROBUSTNESS") {
+		t.Fatal("single-trace report grew a robustness section")
+	}
+}
+
+func TestRobustnessDropsIncompletePolicies(t *testing.T) {
+	cells := []*sweep.CellSummary{
+		robCell("A", 0, []string{"fcfs", "fair", "sjf"}, []float64{4, 2, 1}),
+		robCell("B", 0, []string{"fcfs", "fair"}, []float64{1, 3}),
+	}
+	table := robustnessTable(cells)
+	for _, r := range table {
+		if r.Policy == "sjf" {
+			t.Fatal("sjf was ranked despite missing trace B")
+		}
+	}
+	if len(table) != 2 {
+		t.Fatalf("want 2 ranked policies, got %d", len(table))
+	}
+}
+
+func TestRenderRobustnessSection(t *testing.T) {
+	pols := []string{"fcfs", "fair"}
+	cells := []*sweep.CellSummary{
+		robCell("A", 0, pols, []float64{4, 2}),
+		robCell("B", 0, pols, []float64{5, 3}),
+		nil, // failed cells must not break the scoreboard
+	}
+	var b strings.Builder
+	RenderCampaign(&b, cells)
+	out := b.String()
+	if !strings.Contains(out, "CROSS-TRACE ROBUSTNESS — 2 policies over 2 traces") {
+		t.Fatalf("missing robustness header:\n%s", out)
+	}
+	// fair sweeps both traces: mean rank 1, two wins.
+	if !strings.Contains(out, "fair") || !strings.Contains(out, "2.00/#1") {
+		t.Fatalf("missing fair's winning row:\n%s", out)
+	}
+}

@@ -9,8 +9,8 @@ import (
 // The claim grammar, mirroring sched.ParseSpec's style (whitespace instead
 // of '+' as the separator, positional errors naming the offending token):
 //
-//	claim <id>: <term> [and <term>]... [on <metric>] [require <k>]
-//	                                   [tier <n>] [seeds <ranges>]
+//	claim <id>: <term> [and <term>]... [on <metric>] [trace <name>]
+//	                                   [require <k>] [tier <n>] [seeds <ranges>]
 //	term   := <side> <op> <side>
 //	side   := <number> | <policy>[@<scenario>][#<metric>][*<factor>]
 //	op     := < | <= | > | >= | = | ~<tol>%
@@ -25,7 +25,7 @@ import (
 
 // clause keywords that may follow the term list.
 var clauseKeywords = map[string]bool{
-	"and": true, "on": true, "require": true, "tier": true, "seeds": true,
+	"and": true, "on": true, "trace": true, "require": true, "tier": true, "seeds": true,
 }
 
 type token struct {
@@ -133,7 +133,7 @@ func Parse(in string) (Spec, error) {
 	for !p.done() {
 		kw := p.next()
 		if !clauseKeywords[kw.s] {
-			return Spec{}, p.errAt(kw.pos, "unexpected token %q (want on, require, tier or seeds)", kw.s)
+			return Spec{}, p.errAt(kw.pos, "unexpected token %q (want on, trace, require, tier or seeds)", kw.s)
 		}
 		if prev, dup := seen[kw.s]; dup {
 			return Spec{}, p.errAt(kw.pos, "duplicate %s clause (first at position %d)", kw.s, prev)
@@ -146,6 +146,8 @@ func Parse(in string) (Spec, error) {
 		switch kw.s {
 		case "on":
 			s.Metric = val.s
+		case "trace":
+			s.Trace = val.s
 		case "require":
 			n, err := strconv.Atoi(val.s)
 			if err != nil || n < 1 {

@@ -3,6 +3,7 @@ package hypothesis
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"fairsched/internal/core"
 	"fairsched/internal/metrics"
@@ -13,9 +14,14 @@ import (
 
 // CampaignOptions configures how a batch of claims expands into a campaign.
 type CampaignOptions struct {
-	// Source is the workload every configuration runs on (a trace file or a
-	// synthetic generator).
+	// Source is the workload every unscoped configuration runs on (a trace
+	// file or a synthetic generator).
 	Source scenario.Source
+	// Sources are the named traces claims may scope to with a trace clause
+	// (typically scenario.ManifestSources over a trace-set manifest). A
+	// claim's Trace must match one Name here; unscoped claims keep running
+	// on Source.
+	Sources []scenario.Source
 	// Study configures the simulator (system size, fairshare decay, ...).
 	Study core.StudyConfig
 	// Parallel bounds the worker pool; PolicyParallel promotes the policy
@@ -79,6 +85,7 @@ func (e *Evaluation) GateFailed(maxTier int) []string {
 
 // cellKey indexes the campaign's cells by the axes a claim addresses.
 type cellKey struct {
+	Source   string
 	Scenario string
 	Seed     int64
 }
@@ -116,7 +123,9 @@ func RunCampaign(specs []Spec, opt CampaignOptions) (*Evaluation, error) {
 		}
 	}
 
-	// Union the axes in deterministic order.
+	// Union the axes in deterministic order. The trace axis: unscoped
+	// claims run on the default Source; a trace clause selects a named
+	// source, in first-appearance order over the claims.
 	var (
 		scenNames  []string
 		scenSeen   = map[string]bool{}
@@ -124,7 +133,43 @@ func RunCampaign(specs []Spec, opt CampaignOptions) (*Evaluation, error) {
 		polSeen    = map[string]bool{}
 		seedSet    = map[int64]bool{}
 		seedsUnion []int64
+		srcs       []scenario.Source
+		srcSeen    = map[string]bool{}
 	)
+	srcName := func(trace string) string {
+		if trace == "" {
+			return opt.Source.Name
+		}
+		return trace
+	}
+	for _, s := range specs {
+		if s.Trace == "" {
+			if !srcSeen[opt.Source.Name] {
+				if opt.Source.Load == nil {
+					return nil, fmt.Errorf("hypothesis: claim %s names no trace and the campaign has no default source", s.ID)
+				}
+				srcSeen[opt.Source.Name] = true
+				srcs = append(srcs, opt.Source)
+			}
+		} else if !srcSeen[s.Trace] {
+			found := false
+			for _, src := range opt.Sources {
+				if src.Name == s.Trace {
+					srcSeen[s.Trace] = true
+					srcs = append(srcs, src)
+					found = true
+					break
+				}
+			}
+			if !found {
+				avail := make([]string, len(opt.Sources))
+				for i, src := range opt.Sources {
+					avail[i] = src.Name
+				}
+				return nil, fmt.Errorf("hypothesis: claim %s: no trace %q in the campaign's trace set (have: %v)", s.ID, s.Trace, avail)
+			}
+		}
+	}
 	for _, s := range specs {
 		for _, t := range s.Terms {
 			for _, side := range []Side{t.Left, t.Right} {
@@ -168,7 +213,7 @@ func RunCampaign(specs []Spec, opt CampaignOptions) (*Evaluation, error) {
 	}
 
 	camp := sweep.Campaign{
-		Sources:        []scenario.Source{opt.Source},
+		Sources:        srcs,
 		Scenarios:      scens,
 		Seeds:          seedsUnion,
 		Specs:          pols,
@@ -198,21 +243,26 @@ func RunCampaign(specs []Spec, opt CampaignOptions) (*Evaluation, error) {
 				cd.slos[pol] = cell.SLOs[i]
 			}
 		}
-		index[cellKey{Scenario: cell.Scenario, Seed: cell.Seed}] = cd
+		index[cellKey{Source: cell.Source, Scenario: cell.Scenario, Seed: cell.Seed}] = cd
 	}
 
+	names := make([]string, len(srcs))
+	for i, src := range srcs {
+		names[i] = src.Name
+	}
 	eval := &Evaluation{
-		Source:   opt.Source.Name,
-		Cells:    len(scens) * len(seedsUnion),
+		Source:   strings.Join(names, ", "),
+		Cells:    len(srcs) * len(scens) * len(seedsUnion),
 		Policies: len(pols),
 	}
 	for _, s := range specs {
 		spec := s
 		eval.Outcomes = append(eval.Outcomes, Evaluate(spec, func(seed int64) Resolver {
 			return func(cfg Config, metric string) (float64, error) {
-				cd, ok := index[cellKey{Scenario: cfg.Scenario, Seed: seed}]
+				key := cellKey{Source: srcName(spec.Trace), Scenario: cfg.Scenario, Seed: seed}
+				cd, ok := index[key]
 				if !ok {
-					return 0, fmt.Errorf("hypothesis: cell (%s × seed %d) did not complete", cfg.Scenario, seed)
+					return 0, fmt.Errorf("hypothesis: cell (%s × %s × seed %d) did not complete", key.Source, cfg.Scenario, seed)
 				}
 				return resolveMetric(cd.summaries[cfg.Policy], cd.slos[cfg.Policy], metric)
 			}

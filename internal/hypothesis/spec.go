@@ -101,6 +101,10 @@ type Spec struct {
 	// Metric is the default metric key for sides that don't name their own
 	// (metrics.ValueByKey keys, or "slo.<class>.<field>").
 	Metric string
+	// Trace scopes the claim to one named trace of the campaign's trace set
+	// (a manifest entry name, CampaignOptions.Sources). "" means the
+	// campaign's default source — every pre-manifest claim is unscoped.
+	Trace string
 	// Terms are the comparisons; Require is the quorum (0: all).
 	Terms   []Term
 	Require int
@@ -153,6 +157,11 @@ func (s Spec) Normalize() (Spec, error) {
 		if err := validMetricKey(s.Metric); err != nil {
 			return s, fmt.Errorf("hypothesis: claim %s: %w", s.ID, err)
 		}
+	}
+	if strings.ContainsAny(s.Trace, " \t\n\r,:") {
+		// The trace name must survive the grammar's whitespace tokenization
+		// (and the comma-before-keyword trimming) to round-trip canonically.
+		return s, fmt.Errorf("hypothesis: claim %s: trace name %q may not contain whitespace, ',' or ':'", s.ID, s.Trace)
 	}
 	terms := make([]Term, len(s.Terms))
 	for i, t := range s.Terms {
@@ -300,6 +309,10 @@ func (s Spec) Canonical() string {
 	if s.Metric != "" {
 		b.WriteString(" on ")
 		b.WriteString(s.Metric)
+	}
+	if s.Trace != "" {
+		b.WriteString(" trace ")
+		b.WriteString(s.Trace)
 	}
 	if s.Require != 0 {
 		fmt.Fprintf(&b, " require %d", s.Require)

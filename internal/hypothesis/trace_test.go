@@ -1,0 +1,105 @@
+package hypothesis_test
+
+import (
+	"strings"
+	"testing"
+
+	"fairsched/internal/hypothesis"
+	"fairsched/internal/job"
+	"fairsched/internal/scenario"
+)
+
+func TestParseTraceClause(t *testing.T) {
+	s, err := hypothesis.Parse("claim kth-wait: fcfs < 200 on avg_wait trace KTH-SP2 seeds 1..2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trace != "KTH-SP2" {
+		t.Fatalf("trace: %q", s.Trace)
+	}
+	canon := s.Canonical()
+	if !strings.Contains(canon, " trace KTH-SP2") {
+		t.Fatalf("canonical lacks trace clause: %q", canon)
+	}
+	again, err := hypothesis.Parse(canon)
+	if err != nil {
+		t.Fatalf("canonical %q does not re-parse: %v", canon, err)
+	}
+	if again.Canonical() != canon {
+		t.Fatalf("round-trip drift: %q != %q", again.Canonical(), canon)
+	}
+
+	if _, err := hypothesis.Parse("claim a: fcfs < 1 on avg_wait trace x trace y"); err == nil ||
+		!strings.Contains(err.Error(), "duplicate trace") {
+		t.Fatalf("duplicate trace clause: %v", err)
+	}
+	if _, err := hypothesis.Parse("claim a: fcfs < 1 on avg_wait trace"); err == nil {
+		t.Fatal("trace clause without a value parsed")
+	}
+}
+
+// tracedJobs builds a workload whose avg_wait under fcfs on 4 nodes is
+// directly controlled by the runtime of a head job everything queues
+// behind.
+func tracedJobs(headRuntime int64) []*job.Job {
+	return []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: headRuntime, Estimate: headRuntime, Nodes: 4},
+		{ID: 2, User: 2, Submit: 0, Runtime: 100, Estimate: 100, Nodes: 4},
+	}
+}
+
+func TestRunCampaignTraceScoped(t *testing.T) {
+	// Trace "slow" (head runtime 1000): job 2 waits 1000, avg_wait 500.
+	// Trace "fast" (head runtime 100): job 2 waits 100, avg_wait 50.
+	// The default source would refute both claims — proving each claim
+	// resolved against its own trace's cells, not the default.
+	opt := hypothesis.CampaignOptions{
+		Source: scenario.Jobs("default", tracedJobs(10), 4),
+		Sources: []scenario.Source{
+			scenario.Jobs("slow", tracedJobs(1000), 4),
+			scenario.Jobs("fast", tracedJobs(100), 4),
+		},
+	}
+	specs := make([]hypothesis.Spec, 3)
+	for i, text := range []string{
+		"claim slow-wait: fcfs = 500 on avg_wait trace slow",
+		"claim fast-wait: fcfs = 50 on avg_wait trace fast",
+		"claim default-wait: fcfs = 5 on avg_wait",
+	} {
+		s, err := hypothesis.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = s
+	}
+	eval, err := hypothesis.RunCampaign(specs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eval.Confirmed(); got != 3 {
+		for i := range eval.Outcomes {
+			t.Logf("%s: %v", eval.Outcomes[i].Spec.ID, eval.Outcomes[i].Status())
+		}
+		t.Fatalf("confirmed %d of 3 trace-scoped claims", got)
+	}
+	if eval.Source != "slow, fast, default" {
+		t.Fatalf("evaluation source: %q", eval.Source)
+	}
+	if eval.Cells != 3 {
+		t.Fatalf("cells: %d, want 3 (3 traces × 1 scenario × 1 seed)", eval.Cells)
+	}
+}
+
+func TestRunCampaignUnknownTrace(t *testing.T) {
+	s, err := hypothesis.Parse("claim a: fcfs < 1 on avg_wait trace nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = hypothesis.RunCampaign([]hypothesis.Spec{s}, hypothesis.CampaignOptions{
+		Source:  scenario.Jobs("default", tracedJobs(10), 4),
+		Sources: []scenario.Source{scenario.Jobs("slow", tracedJobs(1000), 4)},
+	})
+	if err == nil || !strings.Contains(err.Error(), `no trace "nope"`) {
+		t.Fatalf("unknown trace: %v", err)
+	}
+}

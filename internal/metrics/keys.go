@@ -30,6 +30,7 @@ var scalarKeys = []struct {
 	{"avg_bsld", func(s *Summary) float64 { return s.AvgBoundedSlowdown }},
 	{"median_wait", func(s *Summary) float64 { return s.MedianWait }},
 	{"median_tat", func(s *Summary) float64 { return s.MedianTurnaround }},
+	{"median_bsld", func(s *Summary) float64 { return s.MedianBoundedSlowdown }},
 	{"makespan", func(s *Summary) float64 { return float64(s.Makespan) }},
 	{"util", func(s *Summary) float64 { return s.Utilization }},
 	{"loc", func(s *Summary) float64 { return s.LossOfCapacity }},

@@ -25,6 +25,10 @@ type Summary struct {
 	AvgBoundedSlowdown float64
 	MedianWait         float64
 	MedianTurnaround   float64
+	// MedianBoundedSlowdown is the robust central tendency the cross-trace
+	// robustness ranking aggregates on: unlike the mean it is insensitive to
+	// the handful of pathological slowdowns every real trace contains.
+	MedianBoundedSlowdown float64
 
 	// System metrics (§3.2.2).
 	Makespan       int64
@@ -106,7 +110,7 @@ func Summarize(res *sim.Result, fst map[job.ID]int64, col *Collector) *Summary {
 		Makespan:   res.Makespan,
 	}
 	var sumWait, sumTAT, sumSlow float64
-	var waits, tats []float64
+	var waits, tats, slows []float64
 	var tatByWidth, waitByWidth [job.NumWidthCategories]float64
 	var usedProcSec float64
 	for _, r := range res.Records {
@@ -124,7 +128,9 @@ func Summarize(res *sim.Result, fst map[job.ID]int64, col *Collector) *Summary {
 		if run < SlowdownBound {
 			run = SlowdownBound
 		}
-		sumSlow += (wait + run) / run
+		slow := (wait + run) / run
+		sumSlow += slow
+		slows = append(slows, slow)
 		usedProcSec += float64(r.Job.Nodes) * float64(r.Complete-r.Start)
 	}
 	if s.Jobs > 0 {
@@ -134,6 +140,7 @@ func Summarize(res *sim.Result, fst map[job.ID]int64, col *Collector) *Summary {
 		s.AvgBoundedSlowdown = sumSlow / n
 		s.MedianWait = median(waits)
 		s.MedianTurnaround = median(tats)
+		s.MedianBoundedSlowdown = median(slows)
 	}
 	for w := 0; w < job.NumWidthCategories; w++ {
 		if s.JobsByWidth[w] > 0 {

@@ -248,6 +248,66 @@ func (p *Profile) EarliestFit(after, dur int64, nodes int) (s int64, ok bool) {
 	}
 }
 
+// EarliestFitBefore is EarliestFit restricted to candidate starts strictly
+// below limit: it returns the earliest s in [after, limit) at which the
+// rectangle fits (the fit itself may extend past limit), or ok=false when
+// no such start exists. Bounding the start lets the conservative engine's
+// hole-aware partial rebuild probe just the released window [now, holeEnd)
+// instead of scanning to a job's standing reservation, without ever walking
+// breakpoints past the window.
+func (p *Profile) EarliestFitBefore(after, limit, dur int64, nodes int) (s int64, ok bool) {
+	if after >= limit {
+		return 0, false
+	}
+	if nodes <= 0 || dur <= 0 {
+		return after, nodes <= p.size
+	}
+	if nodes > p.size {
+		return 0, false
+	}
+	if after < p.Origin() {
+		after = p.Origin()
+		if after >= limit {
+			return 0, false
+		}
+	}
+	i := sort.Search(len(p.bps), func(i int) bool { return p.bps[i].t > after })
+	if i > 0 {
+		i--
+	}
+	s = after
+	if p.bps[i].t > s {
+		s = p.bps[i].t
+	}
+	for s < limit {
+		end := s + dur
+		k := i
+		for k+1 < len(p.bps) && p.bps[k+1].t <= s {
+			k++
+		}
+		violated := false
+		for {
+			if p.bps[k].free < nodes {
+				if k+1 >= len(p.bps) {
+					return 0, false // steady tail lacks capacity
+				}
+				s = p.bps[k+1].t
+				i = k + 1
+				violated = true
+				break
+			}
+			if k+1 >= len(p.bps) || p.bps[k+1].t >= end {
+				break // window fully checked
+			}
+			k++
+		}
+		if !violated {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // SteadyFree returns the capacity after the last breakpoint.
 func (p *Profile) SteadyFree() int { return p.bps[len(p.bps)-1].free }
 

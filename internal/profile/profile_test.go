@@ -303,3 +303,43 @@ func TestCopyFromMatchesClone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEarliestFitBefore(t *testing.T) {
+	p := New(0, 10, 10)
+	// Occupy [0,100) fully except a 4-node hole on [20,40).
+	if err := p.Occupy(0, 100, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(20, 40, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 4x10 rectangle fits at 20; the bound at 40 admits it, a bound at 20
+	// excludes it.
+	if s, ok := p.EarliestFitBefore(0, 40, 10, 4); !ok || s != 20 {
+		t.Fatalf("got (%d,%v), want (20,true)", s, ok)
+	}
+	if _, ok := p.EarliestFitBefore(0, 20, 10, 4); ok {
+		t.Fatal("limit 20 must exclude the start at 20")
+	}
+	// The fitted rectangle may extend past the limit: a 4x30 job starting at
+	// 20 runs to 50, beyond limit 21 — still admitted (only the start is
+	// bounded) if capacity holds, which it does not here (hole ends at 40).
+	if _, ok := p.EarliestFitBefore(0, 21, 30, 4); ok {
+		t.Fatal("4x30 does not fit at 20 (hole ends at 40)")
+	}
+	if s, ok := p.EarliestFitBefore(0, 21, 20, 4); !ok || s != 20 {
+		t.Fatalf("4x20 spanning past the limit: got (%d,%v), want (20,true)", s, ok)
+	}
+	// Too wide for the hole: the first fit is at 100, past any bound below.
+	if _, ok := p.EarliestFitBefore(0, 99, 10, 5); ok {
+		t.Fatal("5 nodes never free before 100")
+	}
+	// Degenerate bounds.
+	if _, ok := p.EarliestFitBefore(50, 50, 1, 1); ok {
+		t.Fatal("empty window [50,50) admitted a fit")
+	}
+	if _, ok := p.EarliestFitBefore(0, 5, 1, 11); ok {
+		t.Fatal("wider than the system admitted a fit")
+	}
+}

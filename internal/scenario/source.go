@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"fairsched/internal/job"
 	"fairsched/internal/swf"
+	"fairsched/internal/tracecache"
 	"fairsched/internal/workload"
 )
 
@@ -19,6 +21,10 @@ type Workload struct {
 	// UnixStartTime is the trace's wall-clock origin (0 when unknown); it
 	// aligns fairshare decay boundaries to real days.
 	UnixStartTime int64
+	// FairshareEpoch is the trace-declared default fairshare epoch (0 when
+	// the trace does not declare one); manifest entries set it, and a
+	// campaign uses it when the study leaves the epoch unset.
+	FairshareEpoch int64
 }
 
 // Source names one workload a campaign can load on demand. Load is called
@@ -68,6 +74,59 @@ func TraceFileWith(path string, opts swf.ConvertOptions) Source {
 			return &Workload{Jobs: jobs, SystemSize: size, UnixStartTime: h.UnixStartTime}, nil
 		},
 	}
+}
+
+// ManifestSource is a Source for one manifest entry, loading through the
+// binary trace cache. Unlike TraceFile, which re-streams the SWF text on
+// every Load, a ManifestSource materializes the trace once per process and
+// shares the job slice across every (scenario × seed × policy) cell that
+// touches it — safe because scenarios never mutate input jobs. cacheDir ""
+// streams without writing a cache (the reference path cache-equivalence
+// tests diff against); otherwise a valid cache is loaded warm and a missing
+// or stale one is rebuilt.
+func ManifestSource(m *tracecache.Manifest, e tracecache.ManifestEntry, cacheDir string) Source {
+	var once sync.Once
+	var wl *Workload
+	var lerr error
+	path := m.ResolvePath(e)
+	opts := swf.ConvertOptions{KeepCancelled: e.KeepCancelled}
+	return Source{
+		Name: e.Name,
+		Load: func(int64) (*Workload, error) {
+			once.Do(func() {
+				jobs, meta, _, err := tracecache.Ensure(cacheDir, path, opts, e.SHA256)
+				if err != nil {
+					lerr = fmt.Errorf("scenario: trace %s: %w", e.Name, err)
+					return
+				}
+				size := meta.SystemSize
+				if e.MaxNodes > 0 {
+					size = e.MaxNodes
+				}
+				start := meta.UnixStartTime
+				if e.UnixStartTime > 0 {
+					start = e.UnixStartTime
+				}
+				wl = &Workload{
+					Jobs:           jobs,
+					SystemSize:     size,
+					UnixStartTime:  start,
+					FairshareEpoch: e.Epoch,
+				}
+			})
+			return wl, lerr
+		},
+	}
+}
+
+// ManifestSources returns one memoized ManifestSource per entry, in entry
+// order — the campaign trace axis for a manifest-driven sweep.
+func ManifestSources(m *tracecache.Manifest, entries []tracecache.ManifestEntry, cacheDir string) []Source {
+	srcs := make([]Source, len(entries))
+	for i, e := range entries {
+		srcs[i] = ManifestSource(m, e, cacheDir)
+	}
+	return srcs
 }
 
 // Synthetic is a Source generating the calibrated CPlant/Ross workload; the

@@ -90,6 +90,50 @@ func TestConservativeCacheMatchesFromScratch(t *testing.T) {
 	}
 }
 
+// TestConsdynPartialRebuildHoleHeavy targets the dynamic engine's
+// hole-aware partial rebuild (partialRebuild): workloads dominated by large
+// overestimates, so nearly every completion is early and opens a hole, and
+// short jobs that can actually reach the released windows. Every released
+// interval must produce exactly the schedule the from-scratch replay
+// produces — including the verbatim prefix the partial rebuild skips.
+func TestConsdynPartialRebuildHoleHeavy(t *testing.T) {
+	for seed := int64(100); seed < 160; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 24
+		n := rng.Intn(60) + 10
+		jobs := make([]*job.Job, n)
+		for i := range jobs {
+			runtime := rng.Int63n(300) + 1
+			// Overestimate almost always (holes), occasionally exactly.
+			est := runtime * (rng.Int63n(10) + 1)
+			if rng.Intn(10) == 0 {
+				est = runtime
+			}
+			nodes := rng.Intn(size/2) + 1
+			if rng.Intn(5) == 0 {
+				nodes = size/2 + rng.Intn(size/2) + 1 // wide: forces far reservations
+			}
+			jobs[i] = &job.Job{
+				ID:       job.ID(i + 1),
+				User:     rng.Intn(6) + 1,
+				Submit:   rng.Int63n(600),
+				Runtime:  runtime,
+				Estimate: est,
+				Nodes:    nodes,
+			}
+		}
+		for _, spec := range []string{"consdyn.nomax", "consdyn.lxf", "consdyn.sjf"} {
+			cfg := sim.Config{SystemSize: size, Validate: true}
+			cached := runRecords(t, MustParse(spec), cfg, jobs)
+			ref := runRecords(t, mustParseNoCache(t, spec), cfg, jobs)
+			assertSameSchedule(t, spec, cached, ref)
+			if t.Failed() {
+				t.Fatalf("seed %d diverged", seed)
+			}
+		}
+	}
+}
+
 // TestConservativeCacheMatchesRandomized sweeps random small workloads with
 // mixed estimate quality — heavy on underestimates, so the overrun-backoff
 // fallback and the same-instant completion batches are exercised — through

@@ -52,10 +52,16 @@ type conservativeEngine struct {
 	cacheOK bool
 	// holes records unconsumed capacity growth (early completions) — the
 	// static engine must run its improvement passes, the dynamic engine
-	// must rebuild. Also set when an improvement loop hit its pass bound
-	// without reaching the fixpoint, so the next event resumes it exactly
-	// where the from-scratch schedule would.
+	// must replay its placement against the grown profile. Also set when an
+	// improvement loop hit its pass bound without reaching the fixpoint, so
+	// the next event resumes it exactly where the from-scratch schedule
+	// would.
 	holes bool
+	// holeEnd (dynamic only) is the upper edge of the released capacity:
+	// the max promised release time over the holes opened since the last
+	// placement. Every hole lies within [now, holeEnd), which bounds the
+	// partial rebuild's probe window.
+	holeEnd int64
 	// snaps tracks the running set the profile was built against, sorted by
 	// promised release time (ec). snaps[0].ec <= now detects estimate-
 	// overrun backoff: a running job's promised release changes exactly when
@@ -105,6 +111,7 @@ func (e *conservativeEngine) reset() {
 	e.queue = nil
 	e.cacheOK = false
 	e.holes = false
+	e.holeEnd = 0
 	e.snaps = e.snaps[:0]
 	e.lastOrder = e.lastOrder[:0]
 }
@@ -136,6 +143,9 @@ func (e *conservativeEngine) dropSnap(now int64, id job.ID) {
 				panic(fmt.Sprintf("sched: conservative cache release: %v", err))
 			}
 			e.holes = true
+			if s.ec > e.holeEnd {
+				e.holeEnd = s.ec
+			}
 		}
 		copy(e.snaps[i:], e.snaps[i+1:])
 		e.snaps = e.snaps[:len(e.snaps)-1]
@@ -329,6 +339,7 @@ func (e *conservativeEngine) rebuild(env sim.Env, refreshSnaps bool) {
 	}
 
 	e.holes = false
+	e.holeEnd = 0
 	if !e.dynamic {
 		e.improve(env)
 	} else {
@@ -387,6 +398,7 @@ func (e *conservativeEngine) revalidate(env sim.Env) {
 		// feasible in place, but the priority pass may now compress them
 		// into the holes.
 		e.holes = false
+		e.holeEnd = 0
 		e.improve(env)
 	}
 }
@@ -399,11 +411,11 @@ func (e *conservativeEngine) revalidate(env sim.Env) {
 func (e *conservativeEngine) revalidateDynamic(env sim.Env) {
 	now := env.Now()
 	if e.holes {
-		// Capacity grew: any reservation may move earlier, which is a full
-		// priority-order rebuild by definition. The running snapshot is
-		// already reconciled (complete dropped the finished jobs, the clock
-		// crossed no promised release), so it carries over.
-		e.rebuild(env, false)
+		// Capacity grew: reservations may move earlier, which is a replay of
+		// the whole priority-order placement by definition — but the hole is
+		// confined to [now, holeEnd), so the replay's prefix is provably
+		// verbatim until the first job that can actually reach the window.
+		e.partialRebuild(env)
 		return
 	}
 	// Fast path: starts only remove entries, so e.queue is still in the last
@@ -444,6 +456,65 @@ func (e *conservativeEngine) revalidateDynamic(env sim.Env) {
 	for _, q := range e.queue {
 		e.lastOrder = append(e.lastOrder, q.job.ID)
 	}
+}
+
+// partialRebuild is the dynamic engine's early-completion-hole path: the
+// from-scratch replay (rebuild) re-places every queued job in priority
+// order, but the released capacity is confined to [now, holeEnd), so for
+// the prefix of the priority order that is unchanged since the last
+// placement the replay is a verbatim re-occupation — until the first job
+// whose earliest fit can land inside the hole window.
+//
+// Why the probe is exact: the last placement left each prefix job at the
+// earliest fit of its turn, and the post-hole profile differs from that
+// steady state only on [now, holeEnd). A prefix job's replayed fit can
+// therefore only move earlier, and any start s in [holeEnd, res) would have
+// been a fit before the hole too — contradicting res being earliest — so
+// an improvement exists iff one starts inside [now, min(res, holeEnd)),
+// which is exactly what EarliestFitBefore probes (the fitted rectangle may
+// still extend past holeEnd; only the start is bounded). Jobs at or past
+// the first improvement, order changes, and fresh arrivals are re-placed
+// with the full search, identical to the from-scratch replay from that
+// point on. The snapshot is already reconciled (complete dropped the
+// finished jobs, the clock crossed no promised release), so it carries
+// over — matching rebuild(env, false) semantics.
+func (e *conservativeEngine) partialRebuild(env sim.Env) {
+	now := env.Now()
+	sort.SliceStable(e.queue, func(i, k int) bool {
+		return e.order.Less(env, e.queue[i].job, e.queue[k].job)
+	})
+	stable := 0
+	for stable < len(e.queue) && stable < len(e.lastOrder) &&
+		e.queue[stable].hasRes && e.queue[stable].job.ID == e.lastOrder[stable] {
+		stable++
+	}
+	e.prof.CopyFrom(env.Availability())
+	cut := stable
+	for i := 0; i < stable; i++ {
+		q := e.queue[i]
+		est := q.job.Estimate
+		limit := q.res
+		if e.holeEnd < limit {
+			limit = e.holeEnd
+		}
+		if _, ok := e.prof.EarliestFitBefore(now, limit, est, q.job.Nodes); ok {
+			cut = i // first job that reaches the hole: replay live from here
+			break
+		}
+		// No start in the window: the replay keeps this reservation verbatim.
+		if err := e.prof.Occupy(q.res, q.res+est, q.job.Nodes); err != nil {
+			panic(fmt.Sprintf("sched: partial rebuild re-occupy: %v", err))
+		}
+	}
+	for _, q := range e.queue[cut:] {
+		e.place(env, q, now)
+	}
+	e.lastOrder = e.lastOrder[:0]
+	for _, q := range e.queue {
+		e.lastOrder = append(e.lastOrder, q.job.ID)
+	}
+	e.holes = false
+	e.holeEnd = 0
 }
 
 // place reserves q at the earliest fit of its rectangle no earlier than

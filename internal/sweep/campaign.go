@@ -306,6 +306,10 @@ func (c Campaign) loadCell(src scenario.Source, scen scenario.Scenario, seed int
 			study.SystemSize = w
 		}
 	}
+	if study.FairshareEpoch == 0 && wl.FairshareEpoch != 0 {
+		// Manifest-declared default epoch: a study-level setting still wins.
+		study.FairshareEpoch = wl.FairshareEpoch
+	}
 	if study.FairshareEpoch == 0 && wl.UnixStartTime > 0 {
 		// The scenario may have moved the time origin (window slicing);
 		// align decay boundaries to the wall clock at the shifted origin.

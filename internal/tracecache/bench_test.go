@@ -1,0 +1,86 @@
+package tracecache
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairsched/internal/job"
+	"fairsched/internal/swf"
+)
+
+// benchTrace writes a benchmark-scale SWF trace (benchJobs jobs, a realistic
+// few-hundred-user population) and returns its path. Shared by the cold and
+// warm load benchmarks so the two headline numbers measure the same bytes.
+const benchJobs = 20000
+
+func benchTrace(b *testing.B) string {
+	b.Helper()
+	dir := b.TempDir()
+	rng := rand.New(rand.NewSource(42))
+	jobs := make([]*job.Job, benchJobs)
+	for i := range jobs {
+		jobs[i] = &job.Job{
+			ID:       job.ID(i + 1),
+			User:     rng.Intn(640),
+			Group:    rng.Intn(16),
+			Submit:   int64(i * 30),
+			Runtime:  int64(1 + rng.Intn(86400)),
+			Estimate: int64(1 + rng.Intn(129600)),
+			Nodes:    1 + rng.Intn(256),
+		}
+	}
+	var sb strings.Builder
+	tr := swf.FromJobs(jobs, swf.Header{Version: 2, MaxNodes: 1024, UnixStartTime: 878606400})
+	if err := swf.Write(&sb, tr); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "bench.swf")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkCacheColdLoad measures the cache-cold path: stream-parse the SWF
+// text, convert, and write the cache image. jobs/sec here is the price paid
+// once per (trace, options) pair.
+func BenchmarkCacheColdLoad(b *testing.B) {
+	path := benchTrace(b)
+	cacheDir := filepath.Join(b.TempDir(), "cache")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs, meta, err := BuildFromSWF(path, swf.ConvertOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := WriteFile(CachePath(cacheDir, path), jobs, meta); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkCacheWarmLoad measures the steady state every repeated campaign
+// run sees: one file read plus the columnar decode. The jobs/sec ratio to
+// BenchmarkCacheColdLoad is the headline speedup published in
+// docs/PERFORMANCE.md.
+func BenchmarkCacheWarmLoad(b *testing.B) {
+	path := benchTrace(b)
+	cacheDir := filepath.Join(b.TempDir(), "cache")
+	if _, _, _, err := Ensure(cacheDir, path, swf.ConvertOptions{}, [32]byte{}); err != nil {
+		b.Fatal(err)
+	}
+	cp := CachePath(cacheDir, path)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadFile(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

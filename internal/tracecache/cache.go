@@ -1,0 +1,293 @@
+// Package tracecache is the binary workload cache behind archive-scale
+// campaigns: a compact, mmap-friendly columnar encoding of converted jobs
+// that is written once from the streaming SWF scanner and thereafter loaded
+// with near-zero allocation, so repeated campaign sweeps skip SWF text
+// parsing entirely.
+//
+// # Format (version 1, all integers little-endian)
+//
+//	offset  size  field
+//	     0     8  magic "FSTRCCH1"
+//	     8     4  format version (1)
+//	    12     4  reserved flags (0)
+//	    16     8  ConvertOptions fingerprint
+//	    24    32  SHA-256 of the source SWF bytes
+//	    56     8  system size (trace MaxNodes, falling back to MaxProcs)
+//	    64     8  trace UnixStartTime
+//	    72     8  job count N
+//	    80     4  user count U
+//	    84     4  user-table blob length B
+//	    88     4  CRC-32C of the body
+//	    92     4  CRC-32C of the header bytes [0,92)
+//	    96     -  body
+//
+// The body is fixed-width columns, each N entries — id, submit, runtime,
+// estimate (int64), nodes, group (int32), user (uint32 index into the user
+// table) — followed by the user table: U+1 uint32 offsets into a B-byte
+// string blob. Users are stored as strings (today the decimal SWF user id)
+// so the format survives traces or manifests that name users; the column
+// itself stays a fixed-width index.
+//
+// Corrupted or truncated files are rejected with positional errors, never
+// mis-decoded: the header CRC gates the header, the body CRC gates
+// everything after it, and every count is bounds-checked against the actual
+// byte length before any column is touched (DESIGN.md §14).
+package tracecache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+
+	"fairsched/internal/job"
+	"fairsched/internal/swf"
+)
+
+// Version is the cache format version this package writes. Readers reject
+// every other version: the format may only evolve by bumping it.
+const Version = 1
+
+var magic = [8]byte{'F', 'S', 'T', 'R', 'C', 'C', 'H', '1'}
+
+const (
+	headerSize = 96
+	// bytesPerJob is the fixed per-job body cost: 4 int64 columns + 2 int32
+	// columns + 1 uint32 column.
+	bytesPerJob = 4*8 + 2*4 + 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta is the cache header's trace-level payload: the identity of the
+// source bytes and conversion options the jobs were produced from, plus the
+// trace directives a campaign needs to configure the simulator.
+type Meta struct {
+	// SourceSHA256 is the checksum of the raw SWF file the cache encodes.
+	SourceSHA256 [32]byte
+	// Fingerprint identifies the swf.ConvertOptions used (OptionsFingerprint);
+	// a cache built under different conversion rules never matches.
+	Fingerprint uint64
+	// SystemSize is the trace-declared node count (MaxNodes, falling back to
+	// MaxProcs; 0 when the header declares neither).
+	SystemSize int
+	// UnixStartTime is the trace's wall-clock origin (0 when unknown).
+	UnixStartTime int64
+}
+
+// OptionsFingerprint hashes the conversion options into the header
+// fingerprint. It is intentionally structural (one bit per option), so the
+// fingerprint of given options is stable across releases; any new
+// ConvertOptions field must be folded in here to invalidate stale caches.
+func OptionsFingerprint(opts swf.ConvertOptions) uint64 {
+	var fp uint64 = 0xf51c_0000_0000_0001 // version-1 conversion semantics
+	if opts.KeepCancelled {
+		fp |= 1 << 8
+	}
+	return fp
+}
+
+// FormatError reports a malformed cache file with the byte offset of the
+// first problem.
+type FormatError struct {
+	Offset int64
+	Err    error
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("tracecache: offset %d: %v", e.Offset, e.Err)
+}
+func (e *FormatError) Unwrap() error { return e.Err }
+
+func errAt(off int64, format string, args ...any) error {
+	return &FormatError{Offset: off, Err: fmt.Errorf(format, args...)}
+}
+
+// Encode serializes jobs and meta into a fresh cache image. Jobs must be in
+// trace order (swf.SortJobs); Decode returns them in exactly this order, so
+// the cached and streamed load paths are byte-identical downstream.
+func Encode(jobs []*job.Job, meta Meta) ([]byte, error) {
+	// User table: first-appearance order, one decimal string per distinct id.
+	userIdx := make(map[int]uint32)
+	var users []string
+	var blobLen int
+	col := make([]uint32, len(jobs))
+	for i, j := range jobs {
+		if j == nil {
+			return nil, fmt.Errorf("tracecache: job %d is nil", i)
+		}
+		idx, ok := userIdx[j.User]
+		if !ok {
+			s := strconv.Itoa(j.User)
+			idx = uint32(len(users))
+			userIdx[j.User] = idx
+			users = append(users, s)
+			blobLen += len(s)
+		}
+		col[i] = idx
+	}
+	if len(users) > 1<<31 || blobLen > 1<<31 {
+		return nil, fmt.Errorf("tracecache: user table too large (%d users, %d bytes)", len(users), blobLen)
+	}
+
+	bodyLen := len(jobs)*bytesPerJob + (len(users)+1)*4 + blobLen
+	buf := make([]byte, headerSize+bodyLen)
+	le := binary.LittleEndian
+
+	body := buf[headerSize:]
+	off := 0
+	put64 := func(get func(*job.Job) int64) {
+		for _, j := range jobs {
+			le.PutUint64(body[off:], uint64(get(j)))
+			off += 8
+		}
+	}
+	put32 := func(get func(*job.Job) int32) {
+		for _, j := range jobs {
+			le.PutUint32(body[off:], uint32(get(j)))
+			off += 4
+		}
+	}
+	put64(func(j *job.Job) int64 { return int64(j.ID) })
+	put64(func(j *job.Job) int64 { return j.Submit })
+	put64(func(j *job.Job) int64 { return j.Runtime })
+	put64(func(j *job.Job) int64 { return j.Estimate })
+	put32(func(j *job.Job) int32 { return int32(j.Nodes) })
+	put32(func(j *job.Job) int32 { return int32(j.Group) })
+	for _, idx := range col {
+		le.PutUint32(body[off:], idx)
+		off += 4
+	}
+	var strOff uint32
+	for _, s := range users {
+		le.PutUint32(body[off:], strOff)
+		off += 4
+		strOff += uint32(len(s))
+	}
+	le.PutUint32(body[off:], strOff)
+	off += 4
+	for _, s := range users {
+		off += copy(body[off:], s)
+	}
+
+	copy(buf[0:8], magic[:])
+	le.PutUint32(buf[8:], Version)
+	le.PutUint32(buf[12:], 0)
+	le.PutUint64(buf[16:], meta.Fingerprint)
+	copy(buf[24:56], meta.SourceSHA256[:])
+	le.PutUint64(buf[56:], uint64(meta.SystemSize))
+	le.PutUint64(buf[64:], uint64(meta.UnixStartTime))
+	le.PutUint64(buf[72:], uint64(len(jobs)))
+	le.PutUint32(buf[80:], uint32(len(users)))
+	le.PutUint32(buf[84:], uint32(blobLen))
+	le.PutUint32(buf[88:], crc32.Checksum(body, castagnoli))
+	le.PutUint32(buf[92:], crc32.Checksum(buf[:92], castagnoli))
+	return buf, nil
+}
+
+// DecodeMeta reads and verifies only the header (CRC-gated), without
+// touching the body. Cache-validity probes use it to reject a stale or
+// foreign cache before decoding columns.
+func DecodeMeta(data []byte) (Meta, error) {
+	if len(data) < headerSize {
+		return Meta{}, errAt(int64(len(data)), "file truncated: %d bytes, header needs %d", len(data), headerSize)
+	}
+	if [8]byte(data[0:8]) != magic {
+		return Meta{}, errAt(0, "bad magic %q (want %q)", data[0:8], magic[:])
+	}
+	le := binary.LittleEndian
+	if got := crc32.Checksum(data[:92], castagnoli); got != le.Uint32(data[92:]) {
+		return Meta{}, errAt(92, "header checksum mismatch (got %08x, stored %08x)", got, le.Uint32(data[92:]))
+	}
+	if v := le.Uint32(data[8:]); v != Version {
+		return Meta{}, errAt(8, "unsupported format version %d (want %d)", v, Version)
+	}
+	var m Meta
+	m.Fingerprint = le.Uint64(data[16:])
+	copy(m.SourceSHA256[:], data[24:56])
+	m.SystemSize = int(int64(le.Uint64(data[56:])))
+	m.UnixStartTime = int64(le.Uint64(data[64:]))
+	return m, nil
+}
+
+// Decode deserializes a cache image back into jobs (trace order) and its
+// meta. The whole load allocates one backing array of job values, one
+// pointer slice and the small user table — no per-record parsing — which is
+// what makes cache-warm campaign sweeps cheap. Corruption anywhere is
+// rejected with a positional error: the header and body CRCs cover every
+// byte, and all counts are bounds-checked before use, so a hostile or
+// truncated file can error but never mis-decode or panic.
+func Decode(data []byte) ([]*job.Job, Meta, error) {
+	meta, err := DecodeMeta(data)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	le := binary.LittleEndian
+	n := le.Uint64(data[72:])
+	users := uint64(le.Uint32(data[80:]))
+	blobLen := uint64(le.Uint32(data[84:]))
+
+	bodyLen := uint64(len(data) - headerSize)
+	want := n*bytesPerJob + (users+1)*4 + blobLen
+	// n is attacker-controlled until the body CRC is checked; the
+	// multiplication cannot overflow because n is rejected first unless it
+	// is consistent with the actual byte length.
+	if n > bodyLen/bytesPerJob || want != bodyLen {
+		return nil, Meta{}, errAt(72, "job count %d / user count %d inconsistent with body length %d", n, users, bodyLen)
+	}
+	body := data[headerSize:]
+	if got := crc32.Checksum(body, castagnoli); got != le.Uint32(data[88:]) {
+		return nil, Meta{}, errAt(88, "body checksum mismatch (got %08x, stored %08x)", got, le.Uint32(data[88:]))
+	}
+
+	// User table: offsets must be monotone and end exactly at the blob end.
+	offTab := body[n*bytesPerJob : n*bytesPerJob+(users+1)*4]
+	blob := body[n*bytesPerJob+(users+1)*4:]
+	userIDs := make([]int, users)
+	prev := uint32(0)
+	for u := uint64(0); u < users; u++ {
+		lo, hi := le.Uint32(offTab[u*4:]), le.Uint32(offTab[u*4+4:])
+		if lo != prev || hi < lo || uint64(hi) > blobLen {
+			return nil, Meta{}, errAt(int64(headerSize+n*bytesPerJob+u*4), "user table offsets not monotone")
+		}
+		prev = hi
+		id, err := strconv.Atoi(string(blob[lo:hi]))
+		if err != nil {
+			return nil, Meta{}, errAt(int64(headerSize+n*bytesPerJob+(users+1)*4+uint64(lo)), "user %d: %q is not an integer id", u, blob[lo:hi])
+		}
+		userIDs[u] = id
+	}
+	if uint64(prev) != blobLen {
+		return nil, Meta{}, errAt(int64(uint64(len(data))-blobLen), "user blob length %d, offsets cover %d", blobLen, prev)
+	}
+
+	backing := make([]job.Job, n)
+	jobs := make([]*job.Job, n)
+	ids := body[0:]
+	submits := body[n*8:]
+	runtimes := body[n*16:]
+	estimates := body[n*24:]
+	nodes := body[n*32:]
+	groups := body[n*36:]
+	userCol := body[n*40:]
+	for i := uint64(0); i < n; i++ {
+		u := le.Uint32(userCol[i*4:])
+		if uint64(u) >= users {
+			return nil, Meta{}, errAt(int64(headerSize+n*40+i*4), "job %d: user index %d out of range (%d users)", i, u, users)
+		}
+		j := &backing[i]
+		j.ID = job.ID(le.Uint64(ids[i*8:]))
+		j.Submit = int64(le.Uint64(submits[i*8:]))
+		j.Runtime = int64(le.Uint64(runtimes[i*8:]))
+		j.Estimate = int64(le.Uint64(estimates[i*8:]))
+		j.Nodes = int(int32(le.Uint32(nodes[i*4:])))
+		j.Group = int(int32(le.Uint32(groups[i*4:])))
+		j.User = userIDs[u]
+		jobs[i] = j
+	}
+	return jobs, meta, nil
+}
+
+// sha256Sum is a tiny named helper so build.go reads naturally.
+func sha256Sum(data []byte) [32]byte { return sha256.Sum256(data) }

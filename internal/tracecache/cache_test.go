@@ -1,0 +1,321 @@
+package tracecache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairsched/internal/job"
+	"fairsched/internal/swf"
+)
+
+// testJobs builds a deterministic workload with repeated and negative user
+// ids (the dedup and sign paths of the user table).
+func testJobs(n int) []*job.Job {
+	rng := rand.New(rand.NewSource(7))
+	jobs := make([]*job.Job, n)
+	for i := range jobs {
+		jobs[i] = &job.Job{
+			ID:       job.ID(i + 1),
+			User:     []int{3, 14, -1, 159, 3}[rng.Intn(5)],
+			Group:    rng.Intn(4) - 1,
+			Submit:   int64(i * 60),
+			Runtime:  int64(1 + rng.Intn(7200)),
+			Estimate: int64(1 + rng.Intn(14400)),
+			Nodes:    1 + rng.Intn(64),
+		}
+	}
+	return jobs
+}
+
+func testMeta() Meta {
+	m := Meta{
+		Fingerprint:   OptionsFingerprint(swf.ConvertOptions{}),
+		SystemSize:    1010,
+		UnixStartTime: 878606400,
+	}
+	for i := range m.SourceSHA256 {
+		m.SourceSHA256[i] = byte(i * 3)
+	}
+	return m
+}
+
+func assertJobsEqual(t *testing.T, got, want []*job.Job) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("job count: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if *got[i] != *want[i] {
+			t.Fatalf("job %d: got %+v, want %+v", i, *got[i], *want[i])
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100} {
+		jobs, meta := testJobs(n), testMeta()
+		buf, err := Encode(jobs, meta)
+		if err != nil {
+			t.Fatalf("Encode(%d jobs): %v", n, err)
+		}
+		got, gotMeta, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%d jobs): %v", n, err)
+		}
+		if gotMeta != meta {
+			t.Fatalf("meta: got %+v, want %+v", gotMeta, meta)
+		}
+		assertJobsEqual(t, got, jobs)
+	}
+}
+
+// TestDecodeRejectsEveryByteFlip is the corruption gate: flipping any
+// single byte of a valid image must produce an error (the header CRC covers
+// the header, the body CRC the body, and a flip inside either CRC field
+// breaks its own comparison) — never a silent mis-decode.
+func TestDecodeRejectsEveryByteFlip(t *testing.T) {
+	buf, err := Encode(testJobs(17), testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		mut := bytes.Clone(buf)
+		mut[i] ^= 0x40
+		if _, _, err := Decode(mut); err == nil {
+			t.Fatalf("byte %d flipped: Decode accepted corrupted image", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	buf, err := Encode(testJobs(9), testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, headerSize - 1, headerSize, len(buf) - 1} {
+		_, _, err := Decode(buf[:cut])
+		if err == nil {
+			t.Fatalf("truncated to %d bytes: Decode accepted", cut)
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("truncated to %d bytes: error %v is not a *FormatError", cut, err)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	buf, err := Encode(testJobs(3), testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the version and re-seal the header CRC so only the version gate
+	// can object.
+	buf[8] = 2
+	reseal := crcOf(buf[:92])
+	buf[92], buf[93], buf[94], buf[95] = byte(reseal), byte(reseal>>8), byte(reseal>>16), byte(reseal>>24)
+	_, _, err = Decode(buf)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+func TestFormatErrorOffsets(t *testing.T) {
+	_, _, err := Decode([]byte("not a cache"))
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *FormatError, got %v", err)
+	}
+	if fe.Offset != 11 {
+		t.Fatalf("truncation offset: got %d, want 11", fe.Offset)
+	}
+}
+
+// writeTestSWF emits a small SWF trace and returns its path.
+func writeTestSWF(t *testing.T, dir string) string {
+	t.Helper()
+	var b strings.Builder
+	tr := swf.FromJobs(testJobs(40), swf.Header{Version: 2, MaxNodes: 128, UnixStartTime: 878606400})
+	if err := swf.Write(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "test.swf")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEnsureBuildsThenReuses(t *testing.T) {
+	dir := t.TempDir()
+	swfPath := writeTestSWF(t, dir)
+	cacheDir := filepath.Join(dir, "cache")
+
+	streamed, _, hit, err := Ensure("", swfPath, swf.ConvertOptions{}, [32]byte{})
+	if err != nil || hit {
+		t.Fatalf("streamed Ensure: hit=%v err=%v", hit, err)
+	}
+
+	cold, coldMeta, hit, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{}, [32]byte{})
+	if err != nil {
+		t.Fatalf("cold Ensure: %v", err)
+	}
+	if hit {
+		t.Fatal("cold Ensure reported a cache hit")
+	}
+	assertJobsEqual(t, cold, streamed)
+
+	warm, warmMeta, hit, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{}, [32]byte{})
+	if err != nil {
+		t.Fatalf("warm Ensure: %v", err)
+	}
+	if !hit {
+		t.Fatal("warm Ensure missed the cache")
+	}
+	if warmMeta != coldMeta {
+		t.Fatalf("meta drift: cold %+v, warm %+v", coldMeta, warmMeta)
+	}
+	assertJobsEqual(t, warm, streamed)
+
+	// Checksum pin: the real sum passes, a wrong pin fails loudly.
+	if _, _, _, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{}, coldMeta.SourceSHA256); err != nil {
+		t.Fatalf("pinned Ensure with matching sum: %v", err)
+	}
+	var bad [32]byte
+	bad[0] = 0xff
+	if _, _, _, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{}, bad); err == nil {
+		t.Fatal("pinned Ensure with wrong sum succeeded")
+	}
+}
+
+func TestEnsureRebuildsOnSourceChange(t *testing.T) {
+	dir := t.TempDir()
+	swfPath := writeTestSWF(t, dir)
+	cacheDir := filepath.Join(dir, "cache")
+	if _, _, _, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{}, [32]byte{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append one record: the cache's stored checksum no longer matches the
+	// file, so a pinned Ensure against the new sum must rebuild, not reuse.
+	f, err := os.OpenFile(swfPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f, "999 5000 0 100 4 -1 -1 4 200 -1 1 42 1 -1 -1 -1 -1 -1")
+	f.Close()
+
+	fresh, meta, err := BuildFromSWF(swfPath, swf.ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, hit, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{}, meta.SourceSHA256)
+	if err != nil {
+		t.Fatalf("Ensure after source change: %v", err)
+	}
+	if hit {
+		t.Fatal("Ensure reused a cache whose source bytes changed")
+	}
+	assertJobsEqual(t, got, fresh)
+
+	// And the rebuilt cache now serves warm.
+	_, _, hit, err = Ensure(cacheDir, swfPath, swf.ConvertOptions{}, meta.SourceSHA256)
+	if err != nil || !hit {
+		t.Fatalf("rebuilt cache not reused: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestEnsureRejectsDifferentOptions(t *testing.T) {
+	dir := t.TempDir()
+	swfPath := writeTestSWF(t, dir)
+	cacheDir := filepath.Join(dir, "cache")
+	if _, _, _, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{}, [32]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, hit, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{KeepCancelled: true}, [32]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("Ensure reused a cache built under different ConvertOptions")
+	}
+	// One cache file per trace: the rebuild overwrote the old-options image,
+	// so the new options now serve warm (and the old ones would go cold).
+	_, _, hit, err = Ensure(cacheDir, swfPath, swf.ConvertOptions{KeepCancelled: true}, [32]byte{})
+	if err != nil || !hit {
+		t.Fatalf("rebuilt cache not reused: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestEnsureRecoversFromCorruptCache(t *testing.T) {
+	dir := t.TempDir()
+	swfPath := writeTestSWF(t, dir)
+	cacheDir := filepath.Join(dir, "cache")
+	streamed, _, _, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{}, [32]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CachePath(cacheDir, swfPath)
+	data, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(cp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, hit, err := Ensure(cacheDir, swfPath, swf.ConvertOptions{}, [32]byte{})
+	if err != nil {
+		t.Fatalf("Ensure over corrupt cache: %v", err)
+	}
+	if hit {
+		t.Fatal("Ensure trusted a corrupt cache")
+	}
+	assertJobsEqual(t, got, streamed)
+}
+
+// TestWarmLoadAllocations is the acceptance bar: a warm cache load must
+// allocate at least 5× fewer times than the streaming SWF parse of the same
+// trace (ISSUE 8). The measured ratio on the 40-job test trace is ~10–100×;
+// real traces (tens of thousands of jobs, one alloc per line and per field
+// slice when streaming) widen it further.
+func TestWarmLoadAllocations(t *testing.T) {
+	dir := t.TempDir()
+	swfPath := writeTestSWF(t, dir)
+	cp := filepath.Join(dir, "cache", "test.fstc")
+	jobs, meta, err := BuildFromSWF(swfPath, swf.ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(cp, jobs, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	streamAllocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := BuildFromSWF(swfPath, swf.ConvertOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	warmAllocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := ReadFile(cp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if warmAllocs*5 > streamAllocs {
+		t.Fatalf("warm load allocates %.0f, streaming %.0f: want >= 5x reduction", warmAllocs, streamAllocs)
+	}
+	t.Logf("allocations: streaming %.0f, warm %.0f (%.1fx fewer)",
+		streamAllocs, warmAllocs, streamAllocs/warmAllocs)
+}
+
+// crcOf re-seals a header region for test patching.
+func crcOf(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli)
+}

@@ -1,0 +1,87 @@
+package tracecache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fairsched/internal/job"
+	"fairsched/internal/swf"
+)
+
+// FuzzTraceCacheRoundTrip drives arbitrary bytes through the same pipeline
+// the campaign uses — SWF text → Scanner/Convert → cache encode → decode —
+// and requires job-for-job agreement, then flips one byte of the encoded
+// image and requires rejection. Decode also runs directly on the raw fuzz
+// bytes: a hostile cache file may error, but must never panic or
+// mis-decode.
+func FuzzTraceCacheRoundTrip(f *testing.F) {
+	f.Add([]byte("; MaxNodes: 64\n1 0 0 100 4 -1 -1 4 200 -1 1 7 1 -1 -1 -1 -1 -1\n"), uint32(3))
+	f.Add([]byte("1 10 0 50 2 -1 -1 -1 -1 -1 5 9 2 -1 -1 -1 -1 -1\n2 5 0 1 1 -1 -1 1 1 -1 1 -3 1 -1 -1 -1 -1 -1\n"), uint32(90))
+	f.Add([]byte("garbage\n"), uint32(0))
+	valid, _ := Encode([]*job.Job{{ID: 1, User: 4, Runtime: 9, Estimate: 9, Nodes: 2}}, Meta{})
+	f.Add(valid, uint32(17))
+	f.Fuzz(func(t *testing.T, data []byte, flip uint32) {
+		// A hostile cache image must never panic the decoder.
+		if jobs, _, err := Decode(data); err == nil {
+			// Decodable fuzz input: it must re-encode to a self-consistent
+			// image (same jobs back).
+			if reenc, err := Encode(jobs, Meta{}); err == nil {
+				again, _, err := Decode(reenc)
+				if err != nil {
+					t.Fatalf("re-encode of decoded image fails to decode: %v", err)
+				}
+				if len(again) != len(jobs) {
+					t.Fatalf("re-encode changed job count: %d != %d", len(again), len(jobs))
+				}
+			}
+		}
+
+		// Treat the input as SWF text and round-trip the converted jobs.
+		sc := swf.NewScanner(bytes.NewReader(data))
+		var jobs []*job.Job
+		for sc.Scan() {
+			if j, ok := swf.Convert(sc.Record(), swf.ConvertOptions{}); ok {
+				jobs = append(jobs, j)
+			}
+		}
+		if sc.Err() != nil {
+			return // malformed SWF: nothing to cache
+		}
+		swf.SortJobs(jobs)
+		meta := testMeta()
+		enc, err := Encode(jobs, meta)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		dec, decMeta, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode of fresh encode: %v", err)
+		}
+		if decMeta != meta {
+			t.Fatalf("meta round-trip: got %+v, want %+v", decMeta, meta)
+		}
+		if len(dec) != len(jobs) {
+			t.Fatalf("job count: got %d, want %d", len(dec), len(jobs))
+		}
+		for i := range jobs {
+			if *dec[i] != *jobs[i] {
+				t.Fatalf("job %d: got %+v, want %+v", i, *dec[i], *jobs[i])
+			}
+		}
+
+		// Corruption gate: any single-byte flip is rejected, and truncation
+		// at any point is rejected (never mis-decoded).
+		mut := bytes.Clone(enc)
+		pos := int(flip) % len(mut)
+		mut[pos] ^= 1 << (flip % 8)
+		if _, _, err := Decode(mut); err == nil {
+			t.Fatalf("flip at %d accepted", pos)
+		}
+		if _, _, err := Decode(enc[:pos]); err == nil {
+			t.Fatalf("truncation to %d accepted", pos)
+		} else if !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("truncation error lacks position: %v", err)
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package tracecache
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ManifestEntry declares one trace in a trace-set manifest: where its SWF
+// file lives, how to verify and convert it, and the header overrides to
+// apply when the file's own directives are absent or wrong.
+type ManifestEntry struct {
+	// Name is the campaign-facing trace name (the [trace.NAME] section).
+	Name string
+	// Path is the SWF file location, resolved relative to the manifest file.
+	Path string
+	// URL records provenance (where the trace was downloaded from). It is
+	// documentation only — the loader never fetches.
+	URL string
+	// SHA256 pins the source bytes; zero means unpinned.
+	SHA256 [32]byte
+	// MaxNodes overrides the trace-declared system size when > 0.
+	MaxNodes int
+	// UnixStartTime overrides the trace-declared wall-clock origin when > 0.
+	UnixStartTime int64
+	// Epoch is the default fairshare epoch for campaigns over this trace
+	// (0 = derive from the trace start time as usual).
+	Epoch int64
+	// KeepCancelled selects swf.ConvertOptions{KeepCancelled: true}.
+	KeepCancelled bool
+}
+
+// Manifest is an ordered trace set: the campaign trace axis in file order.
+type Manifest struct {
+	// Path is the manifest file location ("" when parsed from a reader);
+	// entry paths are resolved against its directory.
+	Path    string
+	Entries []ManifestEntry
+}
+
+// Entry returns the named entry.
+func (m *Manifest) Entry(name string) (ManifestEntry, bool) {
+	for _, e := range m.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return ManifestEntry{}, false
+}
+
+// ManifestError reports a malformed manifest with its line number.
+type ManifestError struct {
+	Path string
+	Line int
+	Err  error
+}
+
+func (e *ManifestError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("manifest: line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("%s:%d: %v", e.Path, e.Line, e.Err)
+}
+func (e *ManifestError) Unwrap() error { return e.Err }
+
+// ParseManifest reads a traces.toml-style manifest. The grammar is a small
+// TOML subset, one section per trace:
+//
+//	[trace.KTH-SP2]
+//	path = "traces/KTH-SP2-1996-2.1-cln.swf"   # relative to the manifest
+//	url = "https://www.cs.huji.ac.il/labs/parallel/workload/l_kth_sp2/"
+//	sha256 = "9f86d081884c7d65..."              # pins the source bytes
+//	max-nodes = 100                             # header override
+//	unix-start-time = 843314415                 # header override
+//	epoch = 843264000                           # default fairshare epoch
+//	keep-cancelled = true                       # conversion option
+//
+// Strings may be quoted or bare; `#` starts a comment; every error carries
+// the offending line number. Entry names keep file order (the campaign
+// trace axis) and must be unique.
+func ParseManifest(r io.Reader, path string) (*Manifest, error) {
+	m := &Manifest{Path: path}
+	fail := func(line int, format string, args ...any) error {
+		return &ManifestError{Path: path, Line: line, Err: fmt.Errorf(format, args...)}
+	}
+	var cur *ManifestEntry
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 && !insideQuotes(text, i) {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "[") {
+			if !strings.HasSuffix(text, "]") {
+				return nil, fail(line, "unterminated section header %q", text)
+			}
+			name, ok := strings.CutPrefix(strings.TrimSpace(text[1:len(text)-1]), "trace.")
+			if !ok || name == "" {
+				return nil, fail(line, "section %q: want [trace.NAME]", text)
+			}
+			if seen[name] {
+				return nil, fail(line, "duplicate trace %q", name)
+			}
+			seen[name] = true
+			m.Entries = append(m.Entries, ManifestEntry{Name: name})
+			cur = &m.Entries[len(m.Entries)-1]
+			continue
+		}
+		key, val, ok := strings.Cut(text, "=")
+		if !ok {
+			return nil, fail(line, "expected key = value, got %q", text)
+		}
+		if cur == nil {
+			return nil, fail(line, "key %q before any [trace.NAME] section", strings.TrimSpace(key))
+		}
+		key = strings.TrimSpace(key)
+		val, err := unquote(strings.TrimSpace(val))
+		if err != nil {
+			return nil, fail(line, "key %q: %v", key, err)
+		}
+		switch key {
+		case "path":
+			cur.Path = val
+		case "url":
+			cur.URL = val
+		case "sha256":
+			b, err := hex.DecodeString(val)
+			if err != nil || len(b) != 32 {
+				return nil, fail(line, "sha256 %q: want 64 hex digits", val)
+			}
+			copy(cur.SHA256[:], b)
+		case "max-nodes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return nil, fail(line, "max-nodes %q: want positive integer", val)
+			}
+			cur.MaxNodes = n
+		case "unix-start-time":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fail(line, "unix-start-time %q: want positive integer", val)
+			}
+			cur.UnixStartTime = n
+		case "epoch":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fail(line, "epoch %q: want positive integer", val)
+			}
+			cur.Epoch = n
+		case "keep-cancelled":
+			switch val {
+			case "true":
+				cur.KeepCancelled = true
+			case "false":
+				cur.KeepCancelled = false
+			default:
+				return nil, fail(line, "keep-cancelled %q: want true or false", val)
+			}
+		default:
+			return nil, fail(line, "unknown key %q", key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fail(line+1, "%v", err)
+	}
+	for i, e := range m.Entries {
+		if e.Path == "" {
+			return nil, fail(0, "trace %q: missing path", m.Entries[i].Name)
+		}
+	}
+	if len(m.Entries) == 0 {
+		return nil, fail(0, "no [trace.NAME] sections")
+	}
+	return m, nil
+}
+
+// LoadManifest parses the manifest file at path.
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	defer f.Close()
+	return ParseManifest(f, path)
+}
+
+// ResolvePath returns an entry's SWF path resolved against the manifest's
+// directory (entries with absolute paths pass through).
+func (m *Manifest) ResolvePath(e ManifestEntry) string {
+	if filepath.IsAbs(e.Path) || m.Path == "" {
+		return e.Path
+	}
+	return filepath.Join(filepath.Dir(m.Path), e.Path)
+}
+
+// Names returns the entry names in manifest order.
+func (m *Manifest) Names() []string {
+	names := make([]string, len(m.Entries))
+	for i, e := range m.Entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Select returns the entries for the requested names, in request order; an
+// empty request selects every entry in manifest order. Unknown names list
+// the available ones.
+func (m *Manifest) Select(names []string) ([]ManifestEntry, error) {
+	if len(names) == 0 {
+		return m.Entries, nil
+	}
+	out := make([]ManifestEntry, 0, len(names))
+	for _, n := range names {
+		e, ok := m.Entry(n)
+		if !ok {
+			avail := m.Names()
+			sort.Strings(avail)
+			return nil, fmt.Errorf("manifest: no trace %q (have %s)", n, strings.Join(avail, ", "))
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// insideQuotes reports whether byte position i of line falls inside a
+// double-quoted string, so '#' inside a quoted value does not start a
+// comment.
+func insideQuotes(line string, i int) bool {
+	in := false
+	for _, c := range []byte(line[:i]) {
+		if c == '"' {
+			in = !in
+		}
+	}
+	return in
+}
+
+// unquote strips optional double quotes from a value. Bare values must not
+// contain quotes; quoted values take everything between the quotes verbatim
+// (no escapes — trace paths and URLs never need them).
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "\"") {
+		if len(s) < 2 || !strings.HasSuffix(s, "\"") {
+			return "", fmt.Errorf("unterminated quoted value %s", s)
+		}
+		inner := s[1 : len(s)-1]
+		if strings.Contains(inner, "\"") {
+			return "", fmt.Errorf("stray quote in value %s", s)
+		}
+		return inner, nil
+	}
+	if strings.Contains(s, "\"") {
+		return "", fmt.Errorf("stray quote in value %s", s)
+	}
+	if s == "" {
+		return "", fmt.Errorf("empty value")
+	}
+	return s, nil
+}

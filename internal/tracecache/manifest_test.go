@@ -1,0 +1,111 @@
+package tracecache
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sampleManifest = `
+# Parallel Workloads Archive slice used by the cross-trace campaigns.
+[trace.KTH-SP2]
+path = "traces/kth-sp2.swf"
+url = "https://example.org/kth"          # provenance only
+sha256 = "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08"
+max-nodes = 100
+epoch = 843264000
+
+[trace.SDSC-Par]
+path = traces/sdsc-par.swf
+unix-start-time = 788914800
+keep-cancelled = true
+
+[trace.CTC-SP2]
+path = "traces/ctc # not a comment.swf"
+`
+
+func TestParseManifest(t *testing.T) {
+	m, err := ParseManifest(strings.NewReader(sampleManifest), "/data/traces.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Names(); strings.Join(got, ",") != "KTH-SP2,SDSC-Par,CTC-SP2" {
+		t.Fatalf("names: %v", got)
+	}
+	kth, ok := m.Entry("KTH-SP2")
+	if !ok {
+		t.Fatal("KTH-SP2 missing")
+	}
+	if kth.Path != "traces/kth-sp2.swf" || kth.URL != "https://example.org/kth" ||
+		kth.MaxNodes != 100 || kth.Epoch != 843264000 || kth.KeepCancelled {
+		t.Fatalf("KTH entry: %+v", kth)
+	}
+	if kth.SHA256[0] != 0x9f || kth.SHA256[31] != 0x08 {
+		t.Fatalf("KTH sha256: %x", kth.SHA256)
+	}
+	if got := m.ResolvePath(kth); got != "/data/traces/kth-sp2.swf" {
+		t.Fatalf("ResolvePath: %q", got)
+	}
+	sdsc, _ := m.Entry("SDSC-Par")
+	if sdsc.UnixStartTime != 788914800 || !sdsc.KeepCancelled || sdsc.SHA256 != [32]byte{} {
+		t.Fatalf("SDSC entry: %+v", sdsc)
+	}
+	ctc, _ := m.Entry("CTC-SP2")
+	if ctc.Path != "traces/ctc # not a comment.swf" {
+		t.Fatalf("quoted # was treated as a comment: %q", ctc.Path)
+	}
+}
+
+func TestManifestSelect(t *testing.T) {
+	m, err := ParseManifest(strings.NewReader(sampleManifest), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := m.Select(nil)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("Select(nil): %d entries, err %v", len(all), err)
+	}
+	some, err := m.Select([]string{"CTC-SP2", "KTH-SP2"})
+	if err != nil || len(some) != 2 || some[0].Name != "CTC-SP2" || some[1].Name != "KTH-SP2" {
+		t.Fatalf("Select order: %+v, err %v", some, err)
+	}
+	if _, err := m.Select([]string{"nope"}); err == nil || !strings.Contains(err.Error(), "have CTC-SP2") {
+		t.Fatalf("unknown select: %v", err)
+	}
+}
+
+func TestParseManifestErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+		line           int
+	}{
+		{"key before section", `path = "x"`, "before any", 1},
+		{"bad section", "[traces.X]\npath = \"x\"", "want [trace.NAME]", 1},
+		{"unterminated section", "[trace.X\npath = \"x\"", "unterminated", 1},
+		{"duplicate", "[trace.X]\npath = \"a\"\n[trace.X]\npath = \"b\"", "duplicate", 3},
+		{"unknown key", "[trace.X]\nfoo = 1", "unknown key", 2},
+		{"bad sha", "[trace.X]\nsha256 = \"zz\"", "64 hex digits", 2},
+		{"bad bool", "[trace.X]\nkeep-cancelled = yes", "true or false", 2},
+		{"bad int", "[trace.X]\nmax-nodes = many", "positive integer", 2},
+		{"no equals", "[trace.X]\npath \"x\"", "key = value", 2},
+		{"unterminated quote", "[trace.X]\npath = \"x", "unterminated quoted", 2},
+		{"missing path", "[trace.X]\nepoch = 5", "missing path", 0},
+		{"empty", "# nothing\n", "no [trace.NAME]", 0},
+	}
+	for _, tc := range cases {
+		_, err := ParseManifest(strings.NewReader(tc.in), "t.toml")
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		var me *ManifestError
+		if !errors.As(err, &me) {
+			t.Errorf("%s: %v is not a *ManifestError", tc.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) || me.Line != tc.line {
+			t.Errorf("%s: got line %d %q, want line %d containing %q",
+				tc.name, me.Line, err, tc.line, tc.want)
+		}
+	}
+}

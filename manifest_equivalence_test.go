@@ -1,0 +1,132 @@
+package fairsched_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairsched"
+)
+
+// writeManifestTraces generates three distinct synthetic workloads, writes
+// them as SWF files under dir and returns the manifest naming them.
+func writeManifestTraces(t testing.TB, dir string) *fairsched.TraceManifest {
+	t.Helper()
+	m := &fairsched.TraceManifest{Path: filepath.Join(dir, "traces.toml")}
+	for i := 1; i <= 3; i++ {
+		jobs, err := fairsched.GenerateWorkload(fairsched.WorkloadConfig{
+			Seed: int64(i), Scale: 0.01, SystemSize: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("trace%d.swf", i))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		werr := fairsched.WriteSWF(f, jobs, 100)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		m.Entries = append(m.Entries, fairsched.TraceManifestEntry{
+			Name: fmt.Sprintf("trace%d", i), Path: path,
+		})
+	}
+	return m
+}
+
+// The campaign contract, extended to the trace cache: the report over a
+// manifest is byte-identical whether each trace is streamed from SWF or
+// loaded from the binary cache (cold or warm), at every parallelism.
+func TestManifestCampaignByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	m := writeManifestTraces(t, dir)
+	specs := []fairsched.PolicySpec{
+		mustPolicy(t, "cons.nomax"),
+		mustPolicy(t, "consdyn.nomax"),
+	}
+	render := func(sources []fairsched.ScenarioSource, parallel int) string {
+		cells, err := fairsched.Campaign{
+			Sources:   sources,
+			Scenarios: []fairsched.Scenario{fairsched.BuiltinScenarios()[0]},
+			Seeds:     []int64{7},
+			Specs:     specs,
+			Parallel:  parallel,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		fairsched.RenderCampaign(&b, cells)
+		return b.String()
+	}
+
+	// The reference: manifest sources with caching disabled stream each SWF
+	// through the scanner, exactly like TraceSource.
+	ref := render(fairsched.ManifestSources(m, m.Entries, ""), 1)
+	if !strings.Contains(ref, "CROSS-TRACE ROBUSTNESS") {
+		t.Fatalf("three-trace report lacks the robustness section:\n%s", ref)
+	}
+
+	// Cold (first pass builds every cache file), then warm (second pass
+	// decodes them), across parallel widths. Fresh sources each pass: a
+	// source memoizes its load, so reuse would not touch the cache again.
+	cacheDir := filepath.Join(dir, "cache")
+	for _, parallel := range []int{1, 2, 8} {
+		if got := render(fairsched.ManifestSources(m, m.Entries, cacheDir), parallel); got != ref {
+			t.Fatalf("cached report at parallel=%d differs from the streamed report:\n--- streamed ---\n%s\n--- cached ---\n%s",
+				parallel, ref, got)
+		}
+	}
+
+	// The plain streamed TraceSource path agrees too once its sources carry
+	// the manifest names (the name is part of the rendered report).
+	var plain []fairsched.ScenarioSource
+	for _, e := range m.Entries {
+		s := fairsched.TraceSource(e.Path)
+		s.Name = e.Name
+		plain = append(plain, s)
+	}
+	if got := render(plain, 1); got != ref {
+		t.Fatalf("TraceSource report differs from the manifest report:\n--- manifest ---\n%s\n--- tracesource ---\n%s", ref, got)
+	}
+}
+
+// BenchmarkCampaignManifest times a whole manifest campaign with every
+// cache warm — the steady-state cost of an archive-scale sweep iteration
+// (docs/PERFORMANCE.md records the methodology).
+func BenchmarkCampaignManifest(b *testing.B) {
+	dir := b.TempDir()
+	m := writeManifestTraces(b, dir)
+	cacheDir := filepath.Join(dir, "cache")
+	spec, err := fairsched.PolicyByName("consdyn.nomax")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() int {
+		cells, err := fairsched.Campaign{
+			Sources:   fairsched.ManifestSources(m, m.Entries, cacheDir),
+			Scenarios: []fairsched.Scenario{fairsched.BuiltinScenarios()[0]},
+			Seeds:     []int64{7},
+			Specs:     []fairsched.PolicySpec{spec},
+			Parallel:  1,
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(cells)
+	}
+	run() // prime the cache; the timed iterations are all warm
+	b.ResetTimer()
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		cells += run()
+	}
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "runs/s")
+}
