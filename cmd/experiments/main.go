@@ -149,6 +149,8 @@ func main() {
 		fmt.Println("  slo=p50:2h,p90:24h,default:96h (see -list-slos)")
 		fmt.Println("  queue=p50:org/a,default:org/b  partition=p50:fast,default:slow")
 		fmt.Println("      route users to queue-tree leaves / partitions (with -topology)")
+		fmt.Println("  pop=users:100k,jobs:25k,cohorts:4,weeks:4,churn:0.25,zipf:1.3")
+		fmt.Println("      replace the workload with a generated population (k/m suffixes ok)")
 		fmt.Println("\nExample: -scenario 'load=1.5+perturb=3'")
 		return
 	}

@@ -33,6 +33,7 @@ import (
 
 	"fairsched/internal/core"
 	"fairsched/internal/fairness"
+	"fairsched/internal/fairshare"
 	"fairsched/internal/job"
 	"fairsched/internal/scenario"
 	"fairsched/internal/sched"
@@ -85,6 +86,23 @@ type cacheBench struct {
 	WarmRunsPerSec float64 `json:"warm_runs_per_sec"`
 }
 
+// popBench is one population-scale measurement (DESIGN.md §15): generator
+// throughput streaming a cohort population of the given size, the fairshare
+// tracker's retained bytes per charged user, and per-event simulation cost
+// under a fairshare-ordering policy on the generated workload. The job
+// budget is fixed across sizes, so ns/event isolates the per-user index
+// cost as the population grows (the 640-user row is the trace-scale anchor
+// the larger rows are compared against).
+type popBench struct {
+	Users          int     `json:"users"`
+	Jobs           int     `json:"jobs"`
+	GenUsersPerSec float64 `json:"gen_users_per_sec"`
+	GenJobsPerSec  float64 `json:"gen_jobs_per_sec"`
+	BytesPerUser   float64 `json:"tracker_bytes_per_user"`
+	Events         int64   `json:"events"`
+	NsPerEvt       float64 `json:"ns_per_event"`
+}
+
 // eventSchema versions the meaning of the event-count denominators
 // (Events, ns_per_event, events_per_sec). Version 2: the simulator dedups
 // identical wake reschedules, so Result.Events counts real scheduling
@@ -94,17 +112,18 @@ type cacheBench struct {
 const eventSchema = 2
 
 type report struct {
-	Schema   int             `json:"event_schema"`
-	GoOS     string          `json:"goos"`
-	GoArch   string          `json:"goarch"`
-	CPUs     int             `json:"cpus"`
-	When     string          `json:"when"`
-	Scale    float64         `json:"scale"`
-	Events   []policyBench   `json:"per_event"`
-	Sweep    sweepBench      `json:"sweep"`
-	Cache    *cacheBench     `json:"cache,omitempty"`
-	Fairness []fairnessBench `json:"fairness,omitempty"`
-	Failures []string        `json:"failures,omitempty"`
+	Schema     int             `json:"event_schema"`
+	GoOS       string          `json:"goos"`
+	GoArch     string          `json:"goarch"`
+	CPUs       int             `json:"cpus"`
+	When       string          `json:"when"`
+	Scale      float64         `json:"scale"`
+	Events     []policyBench   `json:"per_event"`
+	Sweep      sweepBench      `json:"sweep"`
+	Cache      *cacheBench     `json:"cache,omitempty"`
+	Fairness   []fairnessBench `json:"fairness,omitempty"`
+	Population []popBench      `json:"population,omitempty"`
+	Failures   []string        `json:"failures,omitempty"`
 }
 
 var eventPolicies = []string{
@@ -199,6 +218,21 @@ func main() {
 		})
 	}
 
+	// Population-scale costs: generator throughput, tracker bytes/user and
+	// per-event cost from trace scale (640 users) up to a million users.
+	for _, size := range []int{640, 1_000, 100_000, 1_000_000} {
+		if time.Now().After(deadline) {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("budget exhausted before population %d", size))
+			break
+		}
+		pb, err := benchPopulation(size, *seed, *repeat)
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("population %d: %v", size, err))
+			continue
+		}
+		rep.Population = append(rep.Population, pb)
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -280,6 +314,19 @@ func compareAgainst(path string, cur report) {
 		row("manifest cold runs/sec", prev.Cache.ColdRunsPerSec, cur.Cache.ColdRunsPerSec)
 		row("manifest warm runs/sec", prev.Cache.WarmRunsPerSec, cur.Cache.WarmRunsPerSec)
 	}
+	prevPop := make(map[int]popBench, len(prev.Population))
+	for _, p := range prev.Population {
+		prevPop[p.Users] = p
+	}
+	for _, c := range cur.Population {
+		if p, ok := prevPop[c.Users]; ok {
+			row(fmt.Sprintf("pop %d users/sec", c.Users), p.GenUsersPerSec, c.GenUsersPerSec)
+			row(fmt.Sprintf("pop %d bytes/user", c.Users), p.BytesPerUser, c.BytesPerUser)
+			if prev.Schema == cur.Schema {
+				row(fmt.Sprintf("pop %d ns/event", c.Users), p.NsPerEvt, c.NsPerEvt)
+			}
+		}
+	}
 	prevFair := make(map[int]fairnessBench, len(prev.Fairness))
 	for _, p := range prev.Fairness {
 		prevFair[p.Queue] = p
@@ -290,6 +337,76 @@ func compareAgainst(path string, cur report) {
 			row(fmt.Sprintf("fst queue%d allocs/arrival", c.Queue), p.AllocsPerArrival, c.AllocsPerArrival)
 		}
 	}
+}
+
+// benchPopulation measures one population size: streaming-generation
+// throughput, the fairshare tracker's retained bytes per user at that
+// population, and per-event cost simulating the generated jobs under
+// list.fairshare. The job budget is fixed (20k) so only the user axis
+// varies between rows.
+func benchPopulation(users int, seed int64, repeat int) (popBench, error) {
+	const jobBudget = 20_000
+	cfg := workload.PopConfig{Seed: seed, Users: users, Jobs: jobBudget}
+	pb := popBench{Users: users}
+
+	// Generator throughput: stream-and-discard, best of repeat.
+	var genBest time.Duration
+	count := 0
+	for r := 0; r < repeat; r++ {
+		n := 0
+		t0 := time.Now()
+		if _, err := workload.StreamPopulation(cfg, func(*job.Job) error { n++; return nil }); err != nil {
+			return popBench{}, err
+		}
+		if el := time.Since(t0); genBest == 0 || el < genBest {
+			genBest, count = el, n
+		}
+	}
+	pb.GenUsersPerSec = float64(users) / genBest.Seconds()
+	pb.GenJobsPerSec = float64(count) / genBest.Seconds()
+
+	// Tracker residency: charge every user once and measure the retained
+	// heap per user (the per-user index cost the dense paging moves).
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	tr := fairshare.NewTracker(fairshare.DefaultConfig(), 0)
+	for u := 1; u <= users; u++ {
+		tr.Charge(u, 1)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	pb.BytesPerUser = float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(users)
+	runtime.KeepAlive(tr)
+
+	// Per-event cost under fairshare ordering on the generated workload.
+	jobs, err := workload.GeneratePopulation(cfg)
+	if err != nil {
+		return popBench{}, err
+	}
+	pb.Jobs = len(jobs)
+	spec, err := sched.ParseSpec("list.fairshare")
+	if err != nil {
+		return popBench{}, err
+	}
+	var bestRun time.Duration
+	for r := 0; r < repeat; r++ {
+		pol, err := sched.New(spec)
+		if err != nil {
+			return popBench{}, err
+		}
+		t0 := time.Now()
+		res, err := sim.New(sim.Config{SystemSize: 1000}, pol).Run(jobs)
+		if err != nil {
+			return popBench{}, err
+		}
+		if el := time.Since(t0); bestRun == 0 || el < bestRun {
+			bestRun = el
+			pb.Events = res.Events
+			pb.NsPerEvt = float64(el.Nanoseconds()) / float64(res.Events)
+		}
+	}
+	return pb, nil
 }
 
 func benchPolicy(name string, jobs []*job.Job, repeat int) (policyBench, error) {

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"fairsched/internal/job"
+	"fairsched/internal/userdex"
 )
 
 // Config parameterizes the tracker. The paper fixes the decay interval at 24
@@ -75,12 +76,19 @@ type Tracker struct {
 	cfg   Config
 	epoch int64 // decay boundaries are epoch + k*interval
 	now   int64 // accrual frontier
-	usage map[int]decayedUsage
+	// usage is the per-user ledger on the paged user index: at population
+	// scale (10^5..10^6 users) the dense pages replace a hash probe per
+	// settle/charge with two array indexes, and iteration comes out in
+	// ascending user order for free (DESIGN.md §15).
+	usage userdex.Map[decayedUsage]
 	gen   int64 // decay generation: boundaries crossed so far
-	// perUser and aggBuf are Accrue's reused aggregation scratch (per-
-	// interval node counts): Accrue runs once per simulation event, and
-	// allocating them anew each time dominated its profile.
-	perUser map[int]int
+	// perUser, touched and aggBuf are Accrue's reused aggregation scratch
+	// (per-interval node counts): Accrue runs once per simulation event, and
+	// allocating them anew each time dominated its profile. touched lists
+	// the users present in perUser (first-appearance order), so resetting
+	// the scratch is O(users running), never a page sweep.
+	perUser userdex.Map[int]
+	touched []int
 	aggBuf  []Usage
 }
 
@@ -97,7 +105,6 @@ func NewTracker(cfg Config, epoch int64) *Tracker {
 		cfg:   cfg.withDefaults(),
 		epoch: epoch,
 		now:   epoch,
-		usage: make(map[int]decayedUsage),
 	}
 }
 
@@ -110,42 +117,53 @@ func (t *Tracker) Usage(user int) float64 {
 	return v
 }
 
+// settledValue replays e's pending per-boundary decays without touching the
+// ledger. ok is false when the value vanishes — exactly when the eager sweep
+// would have dropped it (the first boundary pushing it under the threshold).
+func (t *Tracker) settledValue(e decayedUsage) (float64, bool) {
+	v := e.v
+	for g := e.gen; g < t.gen; g++ {
+		v *= t.cfg.DecayFactor
+		if v < 1e-9 {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
 // settled returns user's usage settled to the current decay generation,
-// replaying any pending per-boundary decays. Vanishing entries are dropped
-// exactly when the eager sweep would have dropped them (the first boundary
-// pushing them under the threshold).
+// replaying any pending per-boundary decays and writing the result back
+// (vanishing entries are dropped to keep the index small).
 func (t *Tracker) settled(user int) (float64, bool) {
-	e, ok := t.usage[user]
+	e, ok := t.usage.Get(user)
 	if !ok {
 		return 0, false
 	}
 	if e.gen == t.gen {
 		return e.v, true
 	}
-	v := e.v
-	for g := e.gen; g < t.gen; g++ {
-		v *= t.cfg.DecayFactor
-		if v < 1e-9 {
-			delete(t.usage, user) // drop vanishing entries to keep the map small
-			return 0, false
-		}
+	v, ok := t.settledValue(e)
+	if !ok {
+		t.usage.Delete(user)
+		return 0, false
 	}
-	t.usage[user] = decayedUsage{v: v, gen: t.gen}
+	t.usage.Set(user, decayedUsage{v: v, gen: t.gen})
 	return v, true
 }
 
 // charge settles user to the current generation and adds procSeconds.
 func (t *Tracker) charge(user int, procSeconds float64) {
 	v, _ := t.settled(user)
-	t.usage[user] = decayedUsage{v: v + procSeconds, gen: t.gen}
+	t.usage.Set(user, decayedUsage{v: v + procSeconds, gen: t.gen})
 }
 
 // Users returns the ids of all users with recorded usage, sorted.
 func (t *Tracker) Users() []int {
-	keys := make([]int, 0, len(t.usage))
-	for u := range t.usage {
+	keys := make([]int, 0, t.usage.Len())
+	t.usage.Range(func(u int, _ decayedUsage) bool {
 		keys = append(keys, u)
-	}
+		return true
+	})
 	out := keys[:0]
 	for _, u := range keys {
 		if _, ok := t.settled(u); ok {
@@ -165,19 +183,22 @@ func (t *Tracker) Users() []int {
 func (t *Tracker) Accrue(now int64, running []Usage) error {
 	var perUser []Usage
 	if len(running) > 0 {
-		if t.perUser == nil {
-			t.perUser = make(map[int]int, len(running))
-		} else {
-			clear(t.perUser)
-		}
 		for _, u := range running {
-			t.perUser[u.User] += u.Nodes
+			if n, ok := t.perUser.Get(u.User); ok {
+				t.perUser.Set(u.User, n+u.Nodes)
+			} else {
+				t.perUser.Set(u.User, u.Nodes)
+				t.touched = append(t.touched, u.User)
+			}
 		}
 		perUser = t.aggBuf[:0]
-		for user, nodes := range t.perUser {
-			perUser = append(perUser, Usage{User: user, Nodes: nodes})
+		for _, user := range t.touched {
+			n, _ := t.perUser.Get(user)
+			perUser = append(perUser, Usage{User: user, Nodes: n})
+			t.perUser.Delete(user)
 		}
 		t.aggBuf = perUser
+		t.touched = t.touched[:0]
 	}
 	return t.AccrueAggregated(now, perUser)
 }
@@ -265,15 +286,32 @@ func (t *Tracker) SortJobs(jobs []*job.Job) {
 // Snapshot returns a copy of the per-user usage map (for metric engines that
 // must not observe later mutation).
 func (t *Tracker) Snapshot() map[int]float64 {
-	keys := make([]int, 0, len(t.usage))
-	for u := range t.usage {
-		keys = append(keys, u)
-	}
-	out := make(map[int]float64, len(keys))
-	for _, u := range keys {
-		if v, ok := t.settled(u); ok {
-			out[u] = v
-		}
+	out := make(map[int]float64, t.usage.Len())
+	for _, e := range t.AppendSnapshot(nil) {
+		out[e.User] = e.Usage
 	}
 	return out
+}
+
+// UserUsage is one user's settled decayed usage, as rendered by
+// AppendSnapshot.
+type UserUsage struct {
+	User  int
+	Usage float64
+}
+
+// AppendSnapshot appends every user's settled usage to buf (reusing its
+// capacity) in ascending user order and returns it: the reuse-buffer form
+// of Snapshot for render paths that snapshot per cell. The replay is
+// read-only — the ledger is not settled in place — so with enough capacity
+// a call allocates nothing, whatever the population size.
+func (t *Tracker) AppendSnapshot(buf []UserUsage) []UserUsage {
+	buf = buf[:0]
+	t.usage.Range(func(u int, e decayedUsage) bool {
+		if v, ok := t.settledValue(e); ok {
+			buf = append(buf, UserUsage{User: u, Usage: v})
+		}
+		return true
+	})
+	return buf
 }

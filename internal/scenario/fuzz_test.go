@@ -35,6 +35,13 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add("slo=p100:1w,p1:1s")
 	f.Add("load=1.5+slo=p50:2h+window=0..4w")
 	f.Add("users=top4+slo=p50:2h,default:96h")
+	f.Add("pop=")
+	f.Add("pop=users:100k,jobs:25k")
+	f.Add("pop=users:1m,cohorts:8,churn:0.5,zipf:1.7")
+	f.Add("pop=weeks:2,alpha:1.05,diurnal:1,weekly:0,maxnodes:128")
+	f.Add("pop=users:0")
+	f.Add("pop=zipf:NaN")
+	f.Add("pop=users:100k+load=1.5")
 	f.Fuzz(func(t *testing.T, in string) {
 		s, err := Parse(in)
 		if err != nil {
@@ -59,6 +66,45 @@ func FuzzParseScenario(f *testing.F) {
 			if _, err := Parse(strings.Join(parts, "+")); err != nil {
 				t.Fatalf("rejoined chain of %q does not parse: %v", in, err)
 			}
+		}
+	})
+}
+
+// FuzzParsePop asserts the pop= axis's stronger contract: the canonical
+// Name is fully explicit, so for any accepted value the render is LOSSLESS —
+// re-parsing it reproduces the identical Pop, and every accepted Pop passes
+// the range validation that keeps it generatable.
+func FuzzParsePop(f *testing.F) {
+	f.Add("")
+	f.Add("users:100k,jobs:25k")
+	f.Add("users:1m,cohorts:8,churn:0.5,zipf:1.7,alpha:1.1")
+	f.Add("weeks:2,diurnal:1,weekly:0,maxnodes:128")
+	f.Add("users:8000001")
+	f.Add("churn:-1")
+	f.Add("zipf:NaN")
+	f.Add("alpha:Inf")
+	f.Add("users:1k,users:2k") // last key wins
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParsePop(in)
+		if err != nil {
+			return // rejected inputs only need to fail cleanly
+		}
+		name := p.Name()
+		val, ok := strings.CutPrefix(name, "pop=")
+		if !ok {
+			t.Fatalf("Pop name %q (from %q) lost its pop= prefix", name, in)
+		}
+		re, err := ParsePop(val)
+		if err != nil {
+			t.Fatalf("canonical value %q (from %q) does not re-parse: %v", val, in, err)
+		}
+		if re != p {
+			t.Fatalf("lossy render: %q parsed %+v, re-parsed %+v", in, p, re)
+		}
+		if tr, err := ParseTransform(name); err != nil {
+			t.Fatalf("name %q does not parse as a transform: %v", name, err)
+		} else if tr.Name() != name {
+			t.Fatalf("transform render unstable: %q -> %q", name, tr.Name())
 		}
 	})
 }

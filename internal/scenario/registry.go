@@ -47,6 +47,16 @@ func Builtins() []Scenario {
 			}},
 		},
 		{
+			Name:        "population-100k",
+			Description: "generated population: 100k users in 4 cohorts, 25k jobs over 4 weeks",
+			Transforms:  []Transform{sizedPop(100_000, 25_000)},
+		},
+		{
+			Name:        "population-1m",
+			Description: "generated population: 1m users in 4 cohorts, 50k jobs over 4 weeks",
+			Transforms:  []Transform{sizedPop(1_000_000, 50_000)},
+		},
+		{
 			Name:        "slo-tiered",
 			Description: "per-user wait SLOs: lightest half 2h, next 40% 24h, heaviest 10% 96h",
 			Transforms: []Transform{SLOTag{Classes: []SLOClass{
@@ -56,6 +66,13 @@ func Builtins() []Scenario {
 			}}},
 		},
 	}
+}
+
+// sizedPop is the default population scaled to a user/job budget.
+func sizedPop(users, jobs int) Pop {
+	p := DefaultPop()
+	p.Users, p.Jobs = users, jobs
+	return p
 }
 
 // Get resolves a builtin scenario by name.
@@ -93,6 +110,11 @@ func Names() []string {
 //	queue=p50:org/a,default:org/b      route users to queue-tree leaves (same
 //	                                   band grammar; destinations are queue paths)
 //	partition=p50:fast,default:slow    route users to partitions directly
+//	pop=users:100k,cohorts:8,churn:0.5 replace the workload with a generated
+//	                                   population (keys users, jobs, cohorts,
+//	                                   weeks, churn, zipf, alpha, diurnal,
+//	                                   weekly, maxnodes; counts take k/m
+//	                                   suffixes; omitted keys default)
 //
 // Example: "load=1.5+perturb=3" compresses arrivals and degrades estimates.
 func Parse(spec string) (Scenario, error) {
@@ -178,8 +200,10 @@ func parseTransform(part string) (Transform, error) {
 		return parseSLO(val)
 	case "queue", "partition":
 		return parsePlacement(key, val)
+	case "pop":
+		return ParsePop(val)
 	}
-	return nil, fmt.Errorf("unknown transform %q (want load, window, users, burst, perturb, slo, queue or partition)", key)
+	return nil, fmt.Errorf("unknown transform %q (want load, window, users, burst, perturb, slo, queue, partition or pop)", key)
 }
 
 func parseBurst(val string) (Transform, error) {

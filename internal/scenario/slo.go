@@ -190,7 +190,6 @@ func (t SLOTag) ContributeSLO(jobs []*job.Job, b *slo.Builder) error {
 	// Rank users by total processor-seconds ascending (the same heaviness
 	// measure UserFilter's top-K uses; ties toward the lower id in both).
 	usage := userProcSeconds(jobs)
-	users := usersByUsage(usage, true)
 	var quantiles []SLOClass
 	var hasDefault bool
 	for _, c := range ordered {
@@ -201,18 +200,42 @@ func (t SLOTag) ContributeSLO(jobs []*job.Job, b *slo.Builder) error {
 			hasDefault = true
 		}
 	}
+	// Band membership needs only the partition of the rank order at each
+	// band boundary, never the full order: user k of n (1-based) has
+	// percentile 100*k/n, so band q covers exactly the quantileBoundary(q, n)
+	// lightest users not claimed by a smaller band. Successive quickselects
+	// at the boundary ranks therefore give membership identical to the full
+	// sort — the (usage, id) order is strict, so "the k lightest users" is a
+	// unique set — at O(n) instead of O(n log n), which matters when bands
+	// tag a population-scale user set (DESIGN.md §15). Builder.Build sorts
+	// its tagged users, so the within-band tag order is free.
+	users := make([]int, 0, len(usage))
+	for u := range usage {
+		users = append(users, u)
+	}
 	n := len(users)
-	for rank, u := range users {
-		pct := 100 * (rank + 1) / n
-		tagged := false
-		for _, c := range quantiles {
-			if pct <= c.Quantile {
-				b.Tag(u, c.name())
-				tagged = true
-				break
-			}
+	less := func(a, b int) bool {
+		if usage[a] != usage[b] {
+			return usage[a] < usage[b]
 		}
-		if !tagged && hasDefault {
+		return a < b
+	}
+	lo := 0
+	for _, c := range quantiles {
+		k := quantileBoundary(c.Quantile, n)
+		if k < lo {
+			k = lo // boundaries are monotone in q; defensive
+		}
+		if k > lo && k < n {
+			selectSmallest(users[lo:], k-lo, less)
+		}
+		for _, u := range users[lo:k] {
+			b.Tag(u, c.name())
+		}
+		lo = k
+	}
+	if hasDefault {
+		for _, u := range users[lo:] {
 			b.Tag(u, "default")
 		}
 	}
@@ -226,6 +249,56 @@ func (t SLOTag) ContributeSLO(jobs []*job.Job, b *slo.Builder) error {
 		}
 	}
 	return nil
+}
+
+// quantileBoundary returns how many of n ranked users fall at or below
+// quantile q: the largest 1-based rank k with 100*k/n <= q under integer
+// division — 100k/n <= q ⟺ 100k < (q+1)n ⟺ k <= ((q+1)n − 1)/100 —
+// capped at n.
+func quantileBoundary(q, n int) int {
+	k := ((q+1)*n - 1) / 100
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// selectSmallest partially orders s so s[:k] holds the k smallest elements
+// under less (within-segment order unspecified): iterative quickselect with
+// a median-of-three pivot, expected O(len(s)). less must be a strict total
+// order; 0 < k < len(s).
+func selectSmallest(s []int, k int, less func(a, b int) bool) {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if less(s[mid], s[lo]) {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if less(s[hi], s[lo]) {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if less(s[hi], s[mid]) {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		s[mid], s[hi] = s[hi], s[mid]
+		pivot := s[hi]
+		i := lo
+		for j := lo; j < hi; j++ {
+			if less(s[j], pivot) {
+				s[i], s[j] = s[j], s[i]
+				i++
+			}
+		}
+		s[i], s[hi] = s[hi], s[i]
+		switch {
+		case i == k:
+			return
+		case i < k:
+			lo = i + 1
+		default:
+			hi = i - 1
+		}
+	}
 }
 
 // parseSLO parses the slo= value: comma-separated class:target entries.

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -255,6 +257,112 @@ func TestSLOAssignmentDeterministic(t *testing.T) {
 	for i := range ua {
 		if ua[i] != ub[i] {
 			t.Fatalf("user %d differs: %+v vs %+v", i, ua[i], ub[i])
+		}
+	}
+}
+
+// referenceQuantileAssign is the pre-selection band assignment: full sort of
+// the users by (usage asc, id asc), percentile 100*k/n per 1-based rank k,
+// smallest covering band wins. The selection-based ContributeSLO must
+// reproduce its membership exactly.
+func referenceQuantileAssign(usage map[int]int64, quantiles []int, hasDefault bool) map[int]string {
+	users := usersByUsage(usage, true)
+	n := len(users)
+	out := make(map[int]string, n)
+	for rank, u := range users {
+		pct := 100 * (rank + 1) / n
+		tagged := false
+		for _, q := range quantiles {
+			if pct <= q {
+				out[u] = fmt.Sprintf("p%d", q)
+				tagged = true
+				break
+			}
+		}
+		if !tagged && hasDefault {
+			out[u] = "default"
+		}
+	}
+	return out
+}
+
+// TestSLOSelectionMatchesSort pins the O(n) quickselect band assignment
+// bit-identical to the full-sort reference over random populations: 30
+// seeds x three contention shapes (mirroring the policy differential
+// suites), random band sets, usage maps with deliberate ties.
+func TestSLOSelectionMatchesSort(t *testing.T) {
+	shapes := []struct {
+		name  string
+		users int
+		tie   int64 // usage values are multiples of tie (ties across users)
+	}{
+		{"calm", 40, 1},
+		{"contended", 500, 50}, // heavy ties: rank order falls to the id
+		{"split", 2000, 1000},  // few distinct usage levels
+	}
+	bandSets := [][]int{{50}, {25, 75}, {10, 50, 90}, {1, 99}, {100}}
+	for _, sh := range shapes {
+		for seed := int64(0); seed < 30; seed++ {
+			rng := rand.New(rand.NewSource(seed*977 + int64(sh.users)))
+			usage := make(map[int]int64, sh.users)
+			for u := 0; u < sh.users; u++ {
+				// Sparse, shuffled ids; values quantized to force ties.
+				id := u*3 + rng.Intn(3)
+				usage[id] = (1 + rng.Int63n(100)) * sh.tie
+			}
+			quantiles := bandSets[int(seed)%len(bandSets)]
+			hasDefault := seed%2 == 0
+
+			var tag SLOTag
+			for _, q := range quantiles {
+				tag.Classes = append(tag.Classes, SLOClass{Quantile: q, Target: slo.Target{Wait: 3600 * int64(q)}})
+			}
+			if hasDefault {
+				tag.Classes = append(tag.Classes, SLOClass{Default: true, Target: slo.Target{Wait: 999 * 3600}})
+			}
+			var jobs []*job.Job
+			id := job.ID(1)
+			for u, ps := range usage {
+				jobs = append(jobs, &job.Job{ID: id, User: u, Runtime: ps, Estimate: ps, Nodes: 1})
+				id++
+			}
+			b := slo.NewBuilder()
+			if err := tag.ContributeSLO(jobs, b); err != nil {
+				t.Fatalf("%s seed %d: %v", sh.name, seed, err)
+			}
+			asg := b.Build()
+			want := referenceQuantileAssign(usage, quantiles, hasDefault)
+			got := make(map[int]string, len(want))
+			if asg != nil {
+				for _, ut := range asg.Users() {
+					got[ut.User] = ut.Class
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s seed %d: tagged %d users, reference tagged %d", sh.name, seed, len(got), len(want))
+			}
+			for u, cls := range want {
+				if got[u] != cls {
+					t.Fatalf("%s seed %d: user %d in %q, reference says %q", sh.name, seed, u, got[u], cls)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantileBoundary(t *testing.T) {
+	// Pin the closed form against the percentile definition it encodes.
+	for n := 0; n <= 137; n++ {
+		for _, q := range []int{1, 10, 25, 50, 90, 99, 100} {
+			want := 0
+			for k := 1; k <= n; k++ {
+				if 100*k/n <= q {
+					want = k
+				}
+			}
+			if got := quantileBoundary(q, n); got != want {
+				t.Fatalf("quantileBoundary(%d, %d) = %d, want %d", q, n, got, want)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fairsched/internal/fairshare"
 	"fairsched/internal/job"
 	"fairsched/internal/profile"
+	"fairsched/internal/userdex"
 )
 
 // Event kinds on the future event list.
@@ -84,9 +85,11 @@ type Simulator struct {
 	// userNodes aggregates the running jobs' node counts per user (each
 	// user at most once), maintained incrementally by Start/release so
 	// advanceTo hands fairshare accrual a ready aggregation instead of
-	// rebuilding one per event. userIdx locates a user's entry.
+	// rebuilding one per event. userIdx locates a user's entry; it rides
+	// the paged user index so population-scale id spaces (10^5..10^6
+	// users) pay two array indexes, not a hash probe, per start/release.
 	userNodes []fairshare.Usage
-	userIdx   map[int]int
+	userIdx   userdex.Map[int32]
 	// queuedNodes tracks the total nodes requested by queued jobs
 	// (arrivals minus starts), so advanceTo does not walk the policy's
 	// queue at every event.
@@ -237,7 +240,7 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 	s.q.Grow(2 * len(workload))
 	s.records = newRecordIndex(len(workload), maxID, s.sparseRecords)
 	s.order = make([]*Record, 0, len(workload))
-	s.userIdx = make(map[int]int)
+	s.userIdx = userdex.Map[int32]{}
 	for _, j := range workload {
 		for _, sub := range s.submissionsFor(j) {
 			s.pushJob(sub.Submit, evArrival, sub)
@@ -308,18 +311,18 @@ func (s *Simulator) advanceTo(t int64) {
 // dropping users whose count returns to zero (so the aggregation always
 // mirrors an aggregation of the live running set).
 func (s *Simulator) addUserNodes(user, delta int) {
-	if i, ok := s.userIdx[user]; ok {
+	if i, ok := s.userIdx.Get(user); ok {
 		s.userNodes[i].Nodes += delta
 		if s.userNodes[i].Nodes == 0 {
 			last := len(s.userNodes) - 1
 			s.userNodes[i] = s.userNodes[last]
-			s.userIdx[s.userNodes[i].User] = i
+			s.userIdx.Set(s.userNodes[i].User, i)
 			s.userNodes = s.userNodes[:last]
-			delete(s.userIdx, user)
+			s.userIdx.Delete(user)
 		}
 		return
 	}
-	s.userIdx[user] = len(s.userNodes)
+	s.userIdx.Set(user, int32(len(s.userNodes)))
 	s.userNodes = append(s.userNodes, fairshare.Usage{User: user, Nodes: delta})
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"fairsched/internal/job"
 	"fairsched/internal/sim"
+	"fairsched/internal/userdex"
 )
 
 // SlowdownBound is the runtime floor of the bounded-slowdown judgment,
@@ -76,8 +77,13 @@ type Assignment struct {
 	classes  []Class
 	classIdx map[string]int
 	users    []UserTarget // ascending user id
-	idx      map[int]int  // user -> index into users
-	classOf  []int        // users[i]'s index into classes
+	// idx maps user -> index into users on the paged user index: the
+	// JobStarted/JobCompleted hooks hit it once per event, and at
+	// population scale (quantile bands tag 10^5..10^6 users) the dense
+	// pages beat a hash probe. Frozen at Build, so the concurrent
+	// policy-parallel readers need no locking.
+	idx     userdex.Map[int32]
+	classOf []int // users[i]'s index into classes
 }
 
 // NumUsers returns how many users carry a target.
@@ -112,7 +118,7 @@ func (a *Assignment) Lookup(user int) (UserTarget, bool) {
 	if a == nil {
 		return UserTarget{}, false
 	}
-	i, ok := a.idx[user]
+	i, ok := a.idx.Get(user)
 	if !ok {
 		return UserTarget{}, false
 	}
@@ -161,7 +167,6 @@ func (b *Builder) Build() *Assignment {
 	a := &Assignment{
 		classes:  append([]Class(nil), b.classes...),
 		classIdx: make(map[string]int, len(b.classes)),
-		idx:      make(map[int]int, len(b.users)),
 	}
 	for i, c := range a.classes {
 		a.classIdx[c.Name] = i
@@ -176,7 +181,7 @@ func (b *Builder) Build() *Assignment {
 		if a.classes[ci].Target.IsZero() {
 			continue // best-effort class: no objective, nothing to track
 		}
-		a.idx[u] = len(a.users)
+		a.idx.Set(u, int32(len(a.users)))
 		a.users = append(a.users, UserTarget{User: u, Class: a.classes[ci].Name, Target: a.classes[ci].Target})
 		a.classOf = append(a.classOf, ci)
 		a.classes[ci].Users++
@@ -287,7 +292,7 @@ func (t *Tracker) JobStarted(j *job.Job, start, fairStart int64, hasFST bool) {
 	if j.Segment > 1 {
 		return
 	}
-	si, ok := t.asg.idx[j.User]
+	si, ok := t.asg.idx.Get(j.User)
 	if !ok {
 		return
 	}
@@ -327,7 +332,7 @@ func (t *Tracker) JobStarted(j *job.Job, start, fairStart int64, hasFST bool) {
 		if t.chains == nil {
 			t.chains = make(map[job.ID]*chainState)
 		}
-		t.chains[j.Parent] = &chainState{si: si, submit: j.Submit, waitOK: waitOK}
+		t.chains[j.Parent] = &chainState{si: int(si), submit: j.Submit, waitOK: waitOK}
 	}
 }
 
@@ -344,7 +349,7 @@ func (t *Tracker) JobCompleted(j *job.Job, start, complete int64) {
 	if j.Segment > 1 {
 		return
 	}
-	si, ok := t.asg.idx[j.User]
+	si, ok := t.asg.idx.Get(j.User)
 	if !ok {
 		return
 	}

@@ -90,6 +90,7 @@ func ParseManifest(r io.Reader, path string) (*Manifest, error) {
 		return &ManifestError{Path: path, Line: line, Err: fmt.Errorf(format, args...)}
 	}
 	var cur *ManifestEntry
+	var sectionLines []int // Entries[i]'s [trace.NAME] line, for positional errors
 	seen := map[string]bool{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -116,6 +117,7 @@ func ParseManifest(r io.Reader, path string) (*Manifest, error) {
 				return nil, fail(line, "duplicate trace %q", name)
 			}
 			seen[name] = true
+			sectionLines = append(sectionLines, line)
 			m.Entries = append(m.Entries, ManifestEntry{Name: name})
 			cur = &m.Entries[len(m.Entries)-1]
 			continue
@@ -179,7 +181,13 @@ func ParseManifest(r io.Reader, path string) (*Manifest, error) {
 	}
 	for i, e := range m.Entries {
 		if e.Path == "" {
-			return nil, fail(0, "trace %q: missing path", m.Entries[i].Name)
+			// An entry with only a url is a natural mistake — the url key is
+			// provenance documentation, not a fetch instruction. Point at the
+			// entry's section line either way.
+			if e.URL != "" {
+				return nil, fail(sectionLines[i], "trace %q: url fetch not yet supported; provide path", e.Name)
+			}
+			return nil, fail(sectionLines[i], "trace %q: missing path", e.Name)
 		}
 	}
 	if len(m.Entries) == 0 {

@@ -89,7 +89,9 @@ func TestParseManifestErrors(t *testing.T) {
 		{"bad int", "[trace.X]\nmax-nodes = many", "positive integer", 2},
 		{"no equals", "[trace.X]\npath \"x\"", "key = value", 2},
 		{"unterminated quote", "[trace.X]\npath = \"x", "unterminated quoted", 2},
-		{"missing path", "[trace.X]\nepoch = 5", "missing path", 0},
+		{"missing path", "[trace.X]\nepoch = 5", "missing path", 1},
+		{"missing path points at its section", "[trace.A]\npath = \"a\"\n\n[trace.B]\nepoch = 5", `trace "B": missing path`, 4},
+		{"url without path", "[trace.X]\nurl = \"https://example.org/t.swf\"", "url fetch not yet supported; provide path", 1},
 		{"empty", "# nothing\n", "no [trace.NAME]", 0},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,111 @@
+package userdex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMapMatchesReference drives a Map and a plain Go map through the same
+// random operation stream — dense, adversarially sparse, negative and
+// past-DenseCap keys — and requires identical contents after every batch.
+func TestMapMatchesReference(t *testing.T) {
+	keySpaces := [][]int{
+		{0, 1, 2, 3, 1023, 1024, 1025, 4095},               // dense, page straddling
+		{-5, -1, 0, 7, DenseCap - 1, DenseCap, 1 << 30},    // every fallback class
+		{0, PageSize, 2 * PageSize, 7 * PageSize, 1 << 20}, // one key per page
+	}
+	for si, keys := range keySpaces {
+		rng := rand.New(rand.NewSource(int64(si) + 1))
+		var m Map[int]
+		ref := map[int]int{}
+		for op := 0; op < 5000; op++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Intn(1000)
+				m.Set(k, v)
+				ref[k] = v
+			case 2:
+				m.Delete(k)
+				delete(ref, k)
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("space %d op %d: Len %d, want %d", si, op, m.Len(), len(ref))
+			}
+		}
+		for _, k := range keys {
+			gv, gok := m.Get(k)
+			rv, rok := ref[k]
+			if gok != rok || gv != rv {
+				t.Fatalf("space %d: Get(%d) = %d,%v want %d,%v", si, k, gv, gok, rv, rok)
+			}
+		}
+		// Range must visit exactly the reference contents, in ascending order.
+		var got []int
+		m.Range(func(k, v int) bool {
+			if rv, ok := ref[k]; !ok || rv != v {
+				t.Fatalf("space %d: Range visited (%d,%d), reference has %d,%v", si, k, v, rv, ok)
+			}
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(ref) {
+			t.Fatalf("space %d: Range visited %d keys, want %d", si, len(got), len(ref))
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("space %d: Range order not ascending: %v", si, got)
+		}
+	}
+}
+
+func TestMapRangeEarlyStop(t *testing.T) {
+	var m Map[string]
+	for _, k := range []int{3, 1, 4, 1 << 28, -2} {
+		m.Set(k, "x")
+	}
+	visits := 0
+	m.Range(func(int, string) bool { visits++; return visits < 2 })
+	if visits != 2 {
+		t.Fatalf("Range visited %d entries after early stop, want 2", visits)
+	}
+}
+
+func TestMapZeroValueUsable(t *testing.T) {
+	var m Map[float64]
+	if _, ok := m.Get(42); ok {
+		t.Fatal("empty map reports a value")
+	}
+	m.Delete(42) // no-op, must not panic
+	m.Range(func(int, float64) bool { t.Fatal("empty map visited an entry"); return false })
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+// BenchmarkGetDense compares the paged lookup against a Go map on a dense
+// million-user id space (the population-scale hot-path shape).
+func BenchmarkGetDense(b *testing.B) {
+	const n = 1 << 20
+	var m Map[int32]
+	ref := make(map[int]int32, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, int32(i))
+		ref[i] = int32(i)
+	}
+	b.Run("paged", func(b *testing.B) {
+		var sink int32
+		for i := 0; i < b.N; i++ {
+			v, _ := m.Get(i & (n - 1))
+			sink += v
+		}
+		_ = sink
+	})
+	b.Run("map", func(b *testing.B) {
+		var sink int32
+		for i := 0; i < b.N; i++ {
+			sink += ref[i&(n-1)]
+		}
+		_ = sink
+	})
+}

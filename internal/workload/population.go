@@ -1,0 +1,493 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fairsched/internal/job"
+)
+
+// Population-scale generative workloads (DESIGN.md §15). Where Generate
+// reproduces the paper's single 96-user CPlant trace from its published
+// tables, GeneratePopulation draws campaigns over user populations of
+// 10^4..10^6: cohorts with distinct arrival periodicity (diurnal/weekly
+// modulation via Poisson thinning against the calibrated hour/day
+// profiles), Zipf-distributed user activity over a sliding churn window,
+// and heavy-tailed per-user demand (a stateless bounded-Pareto multiplier
+// hashed from (seed, user), times a lognormal per-job base). Jobs are
+// emitted strictly in submit order, and the working state is O(cohorts) —
+// independent of the population size — so a million-user cell's peak
+// memory is bounded by the emitted jobs, never the user count.
+
+// PopCohort describes one cohort: a contiguous block of users sharing an
+// arrival rhythm, an activity skew and a demand distribution. Zero fields
+// are completed per cohort by withDefaults.
+type PopCohort struct {
+	// Users is the cohort's population size.
+	Users int
+	// JobShare weights the cohort's share of PopConfig.Jobs (default 1).
+	JobShare float64
+	// Zipf is the user-activity skew exponent (> 1; larger = a heavier
+	// head of very active users). Default 1.3.
+	Zipf float64
+	// Churn is the fraction of the active user window replaced per week:
+	// 0 keeps every user active for the whole horizon; 1 replaces the
+	// window once a week. Users enter and leave in id order, so the
+	// cohort's distinct-user count stays ~Users across the horizon.
+	Churn float64
+	// Diurnal in [0,1] blends the hour-of-day arrival profile in (0 =
+	// flat, 1 = the full calibrated cycle). Default 0.6.
+	Diurnal float64
+	// Weekly in [0,1] blends the day-of-week profile in. Default 0.5.
+	Weekly float64
+	// PhaseHours shifts the cohort's diurnal cycle (timezone offset).
+	PhaseHours int
+	// Alpha is the tail index of the per-user demand multiplier (bounded
+	// Pareto on [1, DemandSpread]; smaller = heavier tail). Default 1.1.
+	Alpha float64
+	// DemandSpread caps the per-user demand multiplier. Default 64.
+	DemandSpread float64
+	// RuntimeMedian is the median of the lognormal per-job base runtime in
+	// seconds (default 600); RuntimeSigma its log-space spread (default 1.6).
+	RuntimeMedian int64
+	RuntimeSigma  float64
+	// MaxRuntime caps realized runtimes (default 48h).
+	MaxRuntime int64
+	// MaxNodes caps job widths (further clamped to the system size).
+	// Default 64.
+	MaxNodes int
+}
+
+// withDefaults fills exactly-zero fields; out-of-range non-zero values are
+// left for validate to reject, never silently clamped.
+func (c PopCohort) withDefaults() PopCohort {
+	if c.JobShare == 0 {
+		c.JobShare = 1
+	}
+	if c.Zipf == 0 {
+		c.Zipf = 1.3
+	}
+	if c.Diurnal == 0 {
+		c.Diurnal = 0.6
+	}
+	if c.Weekly == 0 {
+		c.Weekly = 0.5
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.1
+	}
+	if c.DemandSpread <= 1 {
+		c.DemandSpread = 64
+	}
+	if c.RuntimeMedian <= 0 {
+		c.RuntimeMedian = 600
+	}
+	if c.RuntimeSigma <= 0 {
+		c.RuntimeSigma = 1.6
+	}
+	if c.MaxRuntime <= 0 {
+		c.MaxRuntime = 48 * 3600
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 64
+	}
+	c.PhaseHours = ((c.PhaseHours % 24) + 24) % 24
+	return c
+}
+
+// PopConfig parameterizes a population draw. The zero value (plus a seed)
+// is completed by defaults: 10^4 users in 4 derived cohorts, 2*10^4 jobs
+// over 4 weeks.
+type PopConfig struct {
+	// Seed drives every random choice (same seed, same jobs).
+	Seed int64
+	// SystemSize clamps job widths (default 1000).
+	SystemSize int
+	// Weeks is the horizon (default 4).
+	Weeks int
+	// Users is the total population across derived cohorts (default
+	// 10000). Ignored when Cohorts is set explicitly.
+	Users int
+	// Jobs is the expected total job count (default 20000); the realized
+	// count is the deterministic draw of the cohorts' thinned Poisson
+	// processes, close to but not exactly Jobs.
+	Jobs int
+	// NumCohorts splits Users into this many derived cohorts with phased
+	// diurnal cycles and tilted activity skews (default 4). Ignored when
+	// Cohorts is set.
+	NumCohorts int
+	// Churn, Zipf, Alpha, Diurnal, Weekly and MaxNodes seed the derived
+	// cohorts' corresponding fields (defaults 0.25, 1.3, 1.1, 0.6, 0.5,
+	// 64). Ignored when Cohorts is set.
+	Churn    float64
+	Zipf     float64
+	Alpha    float64
+	Diurnal  float64
+	Weekly   float64
+	MaxNodes int
+	// UnderestimateProb is the chance a job's wall-clock limit understates
+	// its runtime (default 0.05; negative disables), as in Config.
+	UnderestimateProb float64
+	// Cohorts, when non-empty, is the explicit cohort mix; the aggregate
+	// knobs above are ignored.
+	Cohorts []PopCohort
+}
+
+// Population bounds: generous for research workloads, tight enough that a
+// fuzzed spec cannot make a campaign cell unbounded.
+const (
+	MaxPopUsers   = 8_000_000
+	MaxPopJobs    = 5_000_000
+	MaxPopWeeks   = 260
+	MaxPopCohorts = 64
+)
+
+func (cfg PopConfig) withDefaults() PopConfig {
+	if cfg.SystemSize <= 0 {
+		cfg.SystemSize = 1000
+	}
+	if cfg.Weeks <= 0 {
+		cfg.Weeks = 4
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 10_000
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 20_000
+	}
+	if cfg.NumCohorts <= 0 {
+		cfg.NumCohorts = 4
+	}
+	if cfg.Churn == 0 {
+		cfg.Churn = 0.25
+	}
+	if cfg.Zipf == 0 {
+		cfg.Zipf = 1.3
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1.1
+	}
+	if cfg.Diurnal == 0 {
+		cfg.Diurnal = 0.6
+	}
+	if cfg.Weekly == 0 {
+		cfg.Weekly = 0.5
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 64
+	}
+	switch {
+	case cfg.UnderestimateProb == 0:
+		cfg.UnderestimateProb = 0.05
+	case cfg.UnderestimateProb < 0 || cfg.UnderestimateProb >= 1:
+		cfg.UnderestimateProb = 0
+	}
+	if len(cfg.Cohorts) == 0 {
+		cfg.Cohorts = derivedCohorts(cfg)
+	}
+	for i := range cfg.Cohorts {
+		cfg.Cohorts[i] = cfg.Cohorts[i].withDefaults()
+	}
+	return cfg
+}
+
+// derivedCohorts splits cfg.Users into cfg.NumCohorts cohorts sharing the
+// aggregate knobs but with phased diurnal cycles (timezone spread) and a
+// mild ascending activity-skew tilt, so even the grammar-driven single-knob
+// form produces genuinely distinct arrival rhythms per cohort.
+func derivedCohorts(cfg PopConfig) []PopCohort {
+	n := cfg.NumCohorts
+	out := make([]PopCohort, n)
+	base, rem := cfg.Users/n, cfg.Users%n
+	for i := range out {
+		users := base
+		if i < rem {
+			users++
+		}
+		s := cfg.Zipf + 0.1*float64(i)
+		if s > 5 {
+			s = 5
+		}
+		out[i] = PopCohort{
+			Users:      users,
+			Zipf:       s,
+			Churn:      cfg.Churn,
+			Diurnal:    cfg.Diurnal,
+			Weekly:     cfg.Weekly,
+			PhaseHours: i * 24 / n,
+			Alpha:      cfg.Alpha,
+			MaxNodes:   cfg.MaxNodes,
+		}
+	}
+	return out
+}
+
+// validate rejects configurations outside the supported envelope, after
+// defaults are applied.
+func (cfg PopConfig) validate() error {
+	if cfg.Weeks > MaxPopWeeks {
+		return fmt.Errorf("population: %d weeks (max %d)", cfg.Weeks, MaxPopWeeks)
+	}
+	if cfg.Jobs > MaxPopJobs {
+		return fmt.Errorf("population: %d jobs (max %d)", cfg.Jobs, MaxPopJobs)
+	}
+	if len(cfg.Cohorts) > MaxPopCohorts {
+		return fmt.Errorf("population: %d cohorts (max %d)", len(cfg.Cohorts), MaxPopCohorts)
+	}
+	total := 0
+	for i, c := range cfg.Cohorts {
+		if c.Users < 1 {
+			return fmt.Errorf("population: cohort %d has %d users (want >= 1)", i, c.Users)
+		}
+		total += c.Users
+		if bad(c.JobShare) || bad(c.Zipf) || bad(c.Churn) || bad(c.Diurnal) ||
+			bad(c.Weekly) || bad(c.Alpha) || bad(c.DemandSpread) || bad(c.RuntimeSigma) {
+			return fmt.Errorf("population: cohort %d has a non-finite parameter", i)
+		}
+		if c.JobShare <= 0 {
+			return fmt.Errorf("population: cohort %d job share %v (want > 0)", i, c.JobShare)
+		}
+		if c.Zipf <= 1 || c.Zipf > 8 {
+			return fmt.Errorf("population: cohort %d zipf %v out of range (1, 8]", i, c.Zipf)
+		}
+		if c.Churn < 0 || c.Churn > 52 {
+			return fmt.Errorf("population: cohort %d churn %v out of range [0, 52]", i, c.Churn)
+		}
+		if c.Diurnal < 0 || c.Diurnal > 1 || c.Weekly < 0 || c.Weekly > 1 {
+			return fmt.Errorf("population: cohort %d diurnal/weekly blend out of [0, 1]", i)
+		}
+		if c.Alpha <= 0.05 || c.Alpha > 8 {
+			return fmt.Errorf("population: cohort %d alpha %v out of range (0.05, 8]", i, c.Alpha)
+		}
+	}
+	if total > MaxPopUsers {
+		return fmt.Errorf("population: %d users (max %d)", total, MaxPopUsers)
+	}
+	return nil
+}
+
+func bad(f float64) bool { return math.IsNaN(f) || math.IsInf(f, 0) }
+
+// popCohortState is one cohort's in-flight generation state: its own RNG
+// stream (so the merge order never perturbs another cohort's draws), the
+// thinned-Poisson arrival clock, and the one pending job. This struct is
+// the entire per-cohort memory of a streaming generation.
+type popCohortState struct {
+	c      PopCohort
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	base   int     // first user id of the cohort's block
+	window int     // active-user window width
+	slide  int     // Users - window (maximum window start)
+	lam    float64 // peak arrival rate (jobs/sec) before thinning
+	clock  float64 // arrival process time
+	next   *job.Job
+	// hourW/dayW are the cohort's blended modulation tables, normalized so
+	// the peak is 1 (the thinning acceptance probability).
+	hourW [24]float64
+	dayW  [7]float64
+}
+
+// splitmix advances the splitmix64 hash one step — the stateless per-user
+// and per-cohort stream derivation.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// userDemand returns user's demand multiplier in [1, spread]: a bounded
+// Pareto draw keyed by hash(seed, user), so a user's appetite is consistent
+// across every job it submits without any per-user state being stored.
+func userDemand(seed int64, user int, alpha, spread float64) float64 {
+	h := splitmix(uint64(seed) ^ splitmix(uint64(user)))
+	u := float64(h>>11) / (1 << 53) // uniform [0, 1)
+	// Inverse CDF of the bounded Pareto on [1, spread] with tail alpha.
+	return math.Pow(1-u*(1-math.Pow(spread, -alpha)), -1/alpha)
+}
+
+// newPopCohortState prepares cohort ci for generation.
+func newPopCohortState(cfg PopConfig, ci, userBase int, share float64, horizon int64) *popCohortState {
+	c := cfg.Cohorts[ci]
+	st := &popCohortState{
+		c:    c,
+		rng:  rand.New(rand.NewSource(int64(splitmix(uint64(cfg.Seed) ^ splitmix(uint64(ci+1)))))),
+		base: userBase,
+	}
+	// Active window: with churn c per week the cohort's Users distinct ids
+	// are spread over a window sliding across the id block, sized so the
+	// whole block is visited by the end of the horizon.
+	weeks := float64(horizon) / (7 * 24 * 3600)
+	w := int(math.Round(float64(c.Users) / (1 + c.Churn*weeks)))
+	if w < 1 {
+		w = 1
+	}
+	if w > c.Users {
+		w = c.Users
+	}
+	st.window = w
+	st.slide = c.Users - w
+	if w > 1 {
+		st.zipf = rand.NewZipf(st.rng, c.Zipf, 1, uint64(w-1))
+	}
+	// Blend the calibrated hour/day profiles in by Diurnal/Weekly strength
+	// and normalize each table's peak to 1, so the thinning acceptance
+	// probability is the table product and the peak rate is lam.
+	var maxH, maxD float64
+	for _, v := range hourWeights {
+		maxH = math.Max(maxH, v)
+	}
+	for _, v := range dayWeights {
+		maxD = math.Max(maxD, v)
+	}
+	var meanH, meanD float64
+	for h := 0; h < 24; h++ {
+		st.hourW[h] = 1 - c.Diurnal + c.Diurnal*hourWeights[h]/maxH
+		meanH += st.hourW[h]
+	}
+	meanH /= 24
+	for d := 0; d < 7; d++ {
+		st.dayW[d] = 1 - c.Weekly + c.Weekly*dayWeights[d]/maxD
+		meanD += st.dayW[d]
+	}
+	meanD /= 7
+	// Peak rate such that the thinned process's expected count over the
+	// horizon is the cohort's job budget.
+	st.lam = share * float64(cfg.Jobs) / (float64(horizon) * meanH * meanD)
+	return st
+}
+
+// advance draws the cohort's next job, or sets next to nil at the horizon.
+func (st *popCohortState) advance(cfg PopConfig, horizon int64) {
+	for {
+		st.clock += st.rng.ExpFloat64() / st.lam
+		if st.clock >= float64(horizon) {
+			st.next = nil
+			return
+		}
+		sec := int64(st.clock)
+		hour := int((sec/3600 + int64(st.c.PhaseHours)) % 24)
+		day := int(sec / (24 * 3600) % 7)
+		if st.rng.Float64() >= st.hourW[hour]*st.dayW[day] {
+			continue // thinned out
+		}
+		// Active user: Zipf rank inside the window sliding across the block.
+		start := 0
+		if st.slide > 0 {
+			start = int(int64(st.slide) * sec / horizon)
+		}
+		rank := 0
+		if st.zipf != nil {
+			rank = int(st.zipf.Uint64())
+		}
+		user := st.base + start + rank
+		// Runtime: lognormal per-job base times the user's consistent
+		// bounded-Pareto demand multiplier.
+		base := float64(st.c.RuntimeMedian) * math.Exp(st.c.RuntimeSigma*st.rng.NormFloat64())
+		mult := userDemand(cfg.Seed, user, st.c.Alpha, st.c.DemandSpread)
+		runtime := int64(base * mult)
+		if runtime < 1 {
+			runtime = 1
+		}
+		if runtime > st.c.MaxRuntime {
+			runtime = st.c.MaxRuntime
+		}
+		// Width: geometric over the width categories (narrow jobs dominate,
+		// as in the calibrated trace), drawn from the standard menus.
+		sys := st.c.MaxNodes
+		if sys > cfg.SystemSize {
+			sys = cfg.SystemSize
+		}
+		maxCat := 0
+		for w := 0; w < job.NumWidthCategories; w++ {
+			if lo, _ := job.WidthBounds(w); lo <= sys {
+				maxCat = w
+			}
+		}
+		cat := 0
+		for cat < maxCat && st.rng.Float64() < 0.55 {
+			cat++
+		}
+		nodes := sampleWidth(st.rng, cat, sys)
+		st.next = &job.Job{
+			User:     user,
+			Group:    st.base, // cohorts are the accounting groups
+			Submit:   sec,
+			Runtime:  runtime,
+			Estimate: drawEstimate(Config{UnderestimateProb: cfg.UnderestimateProb}, st.rng, runtime),
+			Nodes:    nodes,
+		}
+		return
+	}
+}
+
+// StreamPopulation generates the population workload in submit order,
+// calling emit for each job as it is produced. Working memory is
+// O(cohorts), independent of both the population size and the job count;
+// an emit that does not retain its argument keeps the whole generation
+// allocation-bounded. Returns the number of jobs emitted.
+func StreamPopulation(cfg PopConfig, emit func(*job.Job) error) (int, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	horizon := int64(cfg.Weeks) * 7 * 24 * 3600
+	var totalShare float64
+	for _, c := range cfg.Cohorts {
+		totalShare += c.JobShare
+	}
+	states := make([]*popCohortState, len(cfg.Cohorts))
+	userBase := 1
+	for i, c := range cfg.Cohorts {
+		states[i] = newPopCohortState(cfg, i, userBase, c.JobShare/totalShare, horizon)
+		states[i].advance(cfg, horizon)
+		userBase += c.Users
+	}
+	// Merge the cohorts' nondecreasing arrival streams: repeatedly emit the
+	// earliest pending job (ties to the lowest cohort index), assigning ids
+	// in emission order so the output is sorted by (submit, id).
+	count := 0
+	for {
+		best := -1
+		for i, st := range states {
+			if st.next == nil {
+				continue
+			}
+			if best < 0 || st.next.Submit < states[best].next.Submit {
+				best = i
+			}
+		}
+		if best < 0 {
+			return count, nil
+		}
+		j := states[best].next
+		count++
+		j.ID = job.ID(count)
+		if err := emit(j); err != nil {
+			return count, err
+		}
+		states[best].advance(cfg, horizon)
+	}
+}
+
+// GeneratePopulation materializes the streamed population as a validated
+// job slice (memory O(jobs), still independent of the population size).
+func GeneratePopulation(cfg PopConfig) ([]*job.Job, error) {
+	cfg = cfg.withDefaults()
+	jobs := make([]*job.Job, 0, cfg.Jobs+cfg.Jobs/8)
+	if _, err := StreamPopulation(cfg, func(j *job.Job) error {
+		jobs = append(jobs, j)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := job.ValidateAll(jobs, cfg.SystemSize); err != nil {
+		return nil, fmt.Errorf("workload: generated population invalid: %w", err)
+	}
+	return jobs, nil
+}

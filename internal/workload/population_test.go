@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"fairsched/internal/job"
+)
+
+func TestPopulationDeterministicPerSeed(t *testing.T) {
+	cfg := PopConfig{Seed: 7, Users: 2000, Jobs: 3000, Weeks: 2}
+	a, err := GeneratePopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different job counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("job %d differs between identical draws: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := GeneratePopulation(PopConfig{Seed: 8, Users: 2000, Jobs: 3000, Weeks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(c) == len(a)
+	if same {
+		for i := range a {
+			if *a[i] != *c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+func TestPopulationSubmitOrderAndValidity(t *testing.T) {
+	cfg := PopConfig{Seed: 42, Users: 5000, Jobs: 8000, Weeks: 3, SystemSize: 500}
+	jobs, err := GeneratePopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	horizon := int64(3 * 7 * 24 * 3600)
+	for i, j := range jobs {
+		if j.ID != job.ID(i+1) {
+			t.Fatalf("job %d: id %d, want %d", i, j.ID, i+1)
+		}
+		if i > 0 && j.Submit < jobs[i-1].Submit {
+			t.Fatalf("submit order violated at %d: %d after %d", i, j.Submit, jobs[i-1].Submit)
+		}
+		if j.Submit < 0 || j.Submit >= horizon {
+			t.Fatalf("job %d submitted at %d, outside [0, %d)", i, j.Submit, horizon)
+		}
+		if j.Nodes > 64 {
+			t.Fatalf("job %d: %d nodes exceeds the default cohort width cap", i, j.Nodes)
+		}
+	}
+	// The thinned processes' realized total must track the configured
+	// budget (it is a Poisson draw around it).
+	if got, want := float64(len(jobs)), float64(cfg.Jobs); math.Abs(got-want) > 0.10*want {
+		t.Fatalf("generated %d jobs, want within 10%% of %d", len(jobs), cfg.Jobs)
+	}
+}
+
+func TestPopulationCohortsAndChurn(t *testing.T) {
+	cfg := PopConfig{Seed: 3, Users: 8000, Jobs: 12000, Weeks: 4, NumCohorts: 4, Churn: 1.0}
+	jobs, err := GeneratePopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four cohorts of 2000 users: ids 1..2000, 2001..4000, ...; groups are
+	// the cohort bases.
+	groups := map[int]bool{}
+	distinct := map[int]bool{}
+	half := int64(2 * 7 * 24 * 3600)
+	earlyMax, lateMin := 0, 1<<30
+	for _, j := range jobs {
+		groups[j.Group] = true
+		distinct[j.User] = true
+		co := (j.User - 1) / 2000
+		if base := co*2000 + 1; j.Group != base {
+			t.Fatalf("user %d in group %d, want cohort base %d", j.User, j.Group, base)
+		}
+		if co == 0 { // track churn inside the first cohort
+			if j.Submit < half {
+				if j.User > earlyMax {
+					earlyMax = j.User
+				}
+			} else if j.User < lateMin {
+				lateMin = j.User
+			}
+		}
+	}
+	if len(groups) != 4 {
+		t.Fatalf("saw %d cohorts, want 4", len(groups))
+	}
+	// Churn 1.0/week over 4 weeks: the active window is ~1/5 of the cohort,
+	// so early jobs cannot touch the block's top and late jobs cannot touch
+	// its bottom.
+	if earlyMax >= 1900 {
+		t.Fatalf("churn: first-half jobs reached user %d of cohort 1 (window did not slide)", earlyMax)
+	}
+	if lateMin <= 100 {
+		t.Fatalf("churn: second-half jobs still hit user %d (departed users still active)", lateMin)
+	}
+	// Zipf activity over a sliding window still visits a broad user set.
+	if len(distinct) < 1000 {
+		t.Fatalf("only %d distinct users across 8000-user population", len(distinct))
+	}
+}
+
+func TestPopulationHeavyTailedDemand(t *testing.T) {
+	jobs, err := GeneratePopulation(PopConfig{Seed: 11, Users: 3000, Jobs: 10000, Weeks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := map[int]int64{}
+	for _, j := range jobs {
+		usage[j.User] += j.ProcSeconds()
+	}
+	var total, top float64
+	max := int64(0)
+	for _, v := range usage {
+		total += float64(v)
+		if v > max {
+			max = v
+		}
+	}
+	var heavy []float64
+	for _, v := range usage {
+		heavy = append(heavy, float64(v))
+	}
+	// Top 10% of users must hold a disproportionate share of the demand
+	// (heavy tail); under an even split they would hold exactly 10%.
+	n := len(heavy)
+	for i := 0; i < n; i++ { // selection-free: just sum above the 90th percentile threshold via sort-lite
+		for k := i + 1; k < n; k++ {
+			if heavy[k] > heavy[i] {
+				heavy[i], heavy[k] = heavy[k], heavy[i]
+			}
+		}
+		if i > n/10 {
+			break
+		}
+	}
+	for i := 0; i <= n/10; i++ {
+		top += heavy[i]
+	}
+	if top < 0.3*total {
+		t.Fatalf("top 10%% of users hold %.1f%% of demand, want >= 30%% (heavy tail missing)", 100*top/total)
+	}
+}
+
+// TestStreamPopulationHeapBounded is the PR's bounded-memory contract: a
+// million-user streaming generation must not grow the heap with the
+// population — working state is O(cohorts), so the allocation ceiling is a
+// small constant (mirrors the swf.Scanner streaming test).
+func TestStreamPopulationHeapBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-user generation in -short mode")
+	}
+	cfg := PopConfig{Seed: 1, Users: 1_000_000, Jobs: 50_000, Weeks: 4}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	count, maxUser := 0, 0
+	_, err := StreamPopulation(cfg, func(j *job.Job) error {
+		count++
+		if j.User > maxUser {
+			maxUser = j.User
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if count < 40_000 {
+		t.Fatalf("generated only %d jobs", count)
+	}
+	if maxUser < 860_000 {
+		t.Fatalf("max user id %d: the million-user population was not exercised", maxUser)
+	}
+	grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if grew > 4<<20 {
+		t.Fatalf("heap grew %d bytes streaming a million-user population (want <= 4MiB)", grew)
+	}
+}
+
+func TestPopulationConfigRejected(t *testing.T) {
+	bad := []PopConfig{
+		{Seed: 1, Users: MaxPopUsers + 1},
+		{Seed: 1, Jobs: MaxPopJobs + 1},
+		{Seed: 1, Weeks: MaxPopWeeks + 1},
+		{Seed: 1, Cohorts: []PopCohort{{Users: 10, Zipf: 0.5}}},
+		{Seed: 1, Cohorts: []PopCohort{{Users: 10, Churn: -1}}},
+		{Seed: 1, Cohorts: []PopCohort{{Users: 10, Diurnal: 2}}},
+		{Seed: 1, Cohorts: []PopCohort{{Users: 10, Alpha: math.NaN()}}},
+		{Seed: 1, Cohorts: make([]PopCohort, MaxPopCohorts+1)},
+	}
+	for i, cfg := range bad {
+		if _, err := GeneratePopulation(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}
