@@ -128,7 +128,7 @@ type report struct {
 
 var eventPolicies = []string{
 	"cplant24.nomax.all", "cplant24.depth2", "easy", "easy.sjf",
-	"cons.nomax", "consdyn.nomax", "depth8", "list.fairshare",
+	"cons.nomax", "consdyn.nomax", "depth8", "list.fairshare", "srpt",
 }
 
 func main() {
@@ -421,7 +421,8 @@ func benchPolicy(name string, jobs []*job.Job, repeat int) (policyBench, error) 
 			return policyBench{}, err
 		}
 		t0 := time.Now()
-		res, err := sim.New(sim.Config{SystemSize: 250}, pol).Run(jobs)
+		cfg := sim.Config{SystemSize: 250, Preemptable: spec.PreemptTrigger != ""}
+		res, err := sim.New(cfg, pol).Run(jobs)
 		if err != nil {
 			return policyBench{}, err
 		}

@@ -157,6 +157,16 @@ func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 		Split:          cfg.Split,
 		Kill:           cfg.Kill,
 		Validate:       cfg.Validate,
+		// Only preemptive specs pay the preemption path (per-job workload
+		// clones, remainder requeues); everything else runs the byte-stable
+		// classic path.
+		Preemptable: spec.PreemptTrigger != "",
+	}
+	if simCfg.Preemptable && simCfg.MaxRuntime > 0 {
+		// Preemption and max-runtime splitting both drive the chain
+		// machinery and do not compose (see sim.Run); surface the conflict
+		// here with the policy name attached rather than mid-run.
+		return nil, fmt.Errorf("core: %s: checkpoint preemption does not compose with max-runtime splitting", spec.String())
 	}
 	col := metrics.NewCollector(cfg.SystemSize)
 	observers := []sim.Observer{col}
@@ -176,13 +186,21 @@ func Execute(cfg StudyConfig, spec Spec, workload []*job.Job) (*Run, error) {
 		// arrival) to split breaches into policy-caused and infeasible;
 		// with SkipFST it still tracks attainment, unclassified.
 		sloObs = fairness.NewSLOObserver(cfg.SLO, fst)
-		if cfg.Split == sim.SplitChained {
-			// Chained splits model one logical job as a checkpoint chain:
-			// judge its slowdown once, at the last segment's completion,
-			// against the original submit (DESIGN.md §11).
+		if cfg.Split == sim.SplitChained || simCfg.Preemptable {
+			// Chained splits — and preemption, which resubmits a victim's
+			// remainder as a chained segment — model one logical job as a
+			// checkpoint chain: judge its slowdown once, at the last
+			// segment's completion, against the original submit
+			// (DESIGN.md §11, §16).
 			sloObs.SetChained(true)
 		}
 		observers = append(observers, sloObs)
+		// Deadline-aware components (order=edf, preempt=deadline.*) read
+		// the run's SLO signals: the assignment supplies per-user
+		// deadlines, the online observer the breach-risk promotion. With
+		// no assignment the context stays unset — the edf order degrades
+		// to FCFS and the deadline trigger never fires.
+		pol.SetSLOContext(cfg.SLO, sloObs)
 	}
 	s := sim.New(simCfg, pol, observers...)
 	res, err := s.Run(workload)

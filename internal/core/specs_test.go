@@ -75,6 +75,19 @@ func TestEverySpecBuildsAPolicy(t *testing.T) {
 		if pol.Name() != key {
 			t.Errorf("%s built policy named %q", key, pol.Name())
 		}
+		if spec.PreemptTrigger != "" {
+			// Preemptive policies must refuse an environment that cannot
+			// checkpoint (sim.Config.Preemptable unset).
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: Reset accepted a preempt-incapable environment", key)
+					}
+				}()
+				pol.Reset(nil)
+			}()
+			continue
+		}
 		pol.Reset(nil)
 	}
 }

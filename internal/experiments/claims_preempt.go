@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fairsched/internal/hypothesis"
+)
+
+// preemptClaims evaluate the checkpoint-preemption extension (the preempt=
+// scheduler component) against plain EASY backfilling. The scenario gives
+// every user one 30-minute wait target with arrivals compressed 1.5x, so
+// both the slowdown plane and the SLO attainment plane are live. Registered
+// alongside the paper claims (cmd/hypotheses runs them) but NOT part of
+// PaperHypotheses — the paper's schedulers never preempt; these pin the
+// extension's measured behavior, positive and negative. Tier 3: recorded,
+// never gating.
+//
+// The negative results are registered deliberately. Checkpointing the
+// lowest-priority running job without also reordering the queue
+// (easy.preempt) pays the restart tax — every preempted remainder re-queues
+// behind the same FCFS order that caused the wait — and measures WORSE than
+// plain EASY on every seed (avg_bsld ~4100-5200 vs ~2700-4100). Likewise
+// deadline-triggered preemption under a uniform target (edf.preempt)
+// thrashes: with everyone's deadline equally near, each breach-triggered
+// checkpoint creates the next breacher, and attainment collapses to
+// ~15-19% vs EASY's ~30-37%. Preemption only pays when the order sends the
+// freed nodes somewhere better — which is exactly what srpt shows.
+var preemptClaims = []struct{ spec, statement string }{
+	{
+		// Holds 10/10 at full scale with ~30-60x margins (avg_bsld
+		// ~50-143 vs ~2700-4100): preempting the lowest-priority running
+		// job whenever the shortest-work head would otherwise wait
+		// converts EASY into SRPT, and short jobs stop queueing.
+		"claim preempt-srpt-bsld: " +
+			"srpt@load=1.5+slo=default:30m#avg_bsld < easy@load=1.5+slo=default:30m#avg_bsld" +
+			" tier 3 seeds 42..51",
+		"With arrivals compressed 1.5x, SRPT-style checkpoint preemption (sjf order, reserve-triggered, lowest-priority victim) beats plain EASY backfilling on average bounded slowdown",
+	},
+	{
+		// Holds 10/10 at full scale: ~97% attainment vs EASY's ~30-37%
+		// under the same uniform 30m wait target.
+		"claim preempt-srpt-attainment: " +
+			"srpt@load=1.5+slo=default:30m#slo.all.attain_pct >= easy@load=1.5+slo=default:30m#slo.all.attain_pct" +
+			" tier 3 seeds 42..51",
+		"Under a uniform 30-minute wait target at 1.5x load, SRPT-style checkpoint preemption attains at least plain EASY's rate (measured ~97% vs ~34%)",
+	},
+	{
+		// Refutes 0/10 at full scale — the honest negative result: the
+		// restart tax without a better order is a pure loss.
+		"claim preempt-easy-restart-tax: " +
+			"easy.preempt@load=1.5+slo=default:30m#avg_bsld < easy@load=1.5+slo=default:30m#avg_bsld" +
+			" tier 3 seeds 42..51",
+		"Checkpoint preemption grafted onto unchanged FCFS+EASY (easy.preempt) improves average bounded slowdown over plain EASY — REFUTED on every seed: preempted remainders re-queue behind the same order that starved them, so the restart tax is a pure loss",
+	},
+	{
+		// Confirms 10/10 at full scale: deadline-triggered preemption
+		// under a uniform target LOWERS attainment (~15-19% vs ~30-37%).
+		"claim preempt-edf-uniform-thrash: " +
+			"edf.preempt@load=1.5+slo=default:30m#slo.all.attain_pct <= easy@load=1.5+slo=default:30m#slo.all.attain_pct" +
+			" tier 3 seeds 42..51",
+		"Under a uniform wait target, deadline-triggered preemption (edf.preempt) attains at most plain EASY's rate: with every deadline equally near, each breach-triggered checkpoint just creates the next breacher",
+	},
+}
+
+// PreemptHypotheses returns the checkpoint-preemption demonstration claims.
+func PreemptHypotheses() []hypothesis.Spec {
+	out := make([]hypothesis.Spec, len(preemptClaims))
+	for i, c := range preemptClaims {
+		s, err := hypothesis.Parse(c.spec)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: preempt claim %d: %v", i, err))
+		}
+		s.Statement = c.statement
+		out[i] = s
+	}
+	return out
+}
+
+func init() {
+	for _, s := range PreemptHypotheses() {
+		hypothesis.Register(s)
+	}
+}

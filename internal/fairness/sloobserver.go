@@ -57,6 +57,12 @@ func (o *SLOObserver) JobCompleted(env sim.Env, j *job.Job, start int64) {
 // completion against the original submit.
 func (o *SLOObserver) SetChained(on bool) { o.t.SetChained(on) }
 
+// UserAtRisk implements sched.BreachRisk over the online tracker: a user
+// reads as at-risk once at least one breach (wait or slowdown) is on the
+// books this run. The deadline-aware order (order=edf) promotes such
+// users' queued jobs ahead of everything else.
+func (o *SLOObserver) UserAtRisk(user int) bool { return o.t.UserBreached(user) }
+
 // Tracker exposes the accounting core, so partitioned runs can merge the
 // per-partition observers into one report (slo.Tracker.Merge).
 func (o *SLOObserver) Tracker() *slo.Tracker { return o.t }

@@ -33,12 +33,22 @@ type engine interface {
 type Composite struct {
 	spec   Spec
 	engine engine
+	order  Order
+
+	// slo carries the run's SLO signals (deadlines, breach risk) for the
+	// edf order and the deadline preemption trigger; SetSLOContext fills it
+	// in. Zero when the run has no SLO assignment.
+	slo sloContext
 
 	// scratch is the reusable mutable copy of the environment's shared
 	// availability profile: engines that place reservations copy the
 	// per-event base profile into it instead of rebuilding the running
 	// jobs' release timeline from scratch.
 	scratch profile.Profile
+
+	// victimBuf is the reused victim-candidate buffer of the preemption
+	// pass (see preempt.go).
+	victimBuf []victim
 }
 
 // New assembles the runnable policy for a spec.
@@ -54,7 +64,10 @@ func New(spec Spec) (*Composite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sched: policy %q: %w", spec.String(), err)
 	}
-	c := &Composite{spec: norm}
+	c := &Composite{spec: norm, order: ord}
+	if e, ok := ord.(*edfOrder); ok {
+		e.ctx = &c.slo
+	}
 	switch norm.Backfill {
 	case BackfillNone:
 		c.engine = &listEngine{order: ord}
@@ -100,23 +113,63 @@ func MustParse(spec string) *Composite {
 // Spec returns the spec the policy was assembled from (normalized).
 func (c *Composite) Spec() Spec { return c.spec }
 
+// SetSLOContext attaches the run's per-user SLO signals: the deadline
+// source (slo.Assignment) feeding the edf order and the deadline preemption
+// trigger, and the breach-risk signal (fairness.SLOObserver) promoting
+// users about to breach. Either may be nil; with no deadlines the edf order
+// degrades to FCFS and the deadline trigger never fires. Call before the
+// run starts (core.Execute does).
+func (c *Composite) SetSLOContext(deadlines DeadlineSource, risk BreachRisk) {
+	c.slo.deadlines = deadlines
+	c.slo.risk = risk
+}
+
 // Name implements sim.Policy.
 func (c *Composite) Name() string { return c.spec.Key }
 
 // Reset implements sim.Policy.
-func (c *Composite) Reset(sim.Env) { c.engine.reset() }
+func (c *Composite) Reset(env sim.Env) {
+	if c.spec.PreemptTrigger != "" {
+		if _, ok := env.(sim.Preempter); !ok {
+			panic(fmt.Sprintf("sched: policy %s needs a preempt-capable environment (sim.Config.Preemptable)", c.Name()))
+		}
+	}
+	c.engine.reset()
+}
 
 // Arrive implements sim.Policy.
-func (c *Composite) Arrive(env sim.Env, j *job.Job) { c.engine.arrive(env, j) }
+func (c *Composite) Arrive(env sim.Env, j *job.Job) {
+	c.engine.arrive(env, j)
+	c.preemptPass(env)
+}
 
 // Complete implements sim.Policy.
-func (c *Composite) Complete(env sim.Env, j *job.Job) { c.engine.complete(env, j) }
+func (c *Composite) Complete(env sim.Env, j *job.Job) {
+	c.engine.complete(env, j)
+	c.preemptPass(env)
+}
 
 // Wake implements sim.Policy.
-func (c *Composite) Wake(env sim.Env) { c.engine.schedule(env) }
+func (c *Composite) Wake(env sim.Env) {
+	c.engine.schedule(env)
+	c.preemptPass(env)
+}
 
-// NextWake implements sim.Policy.
-func (c *Composite) NextWake(now int64) (int64, bool) { return c.engine.nextWake(now) }
+// NextWake implements sim.Policy. Deadline-triggered preemption adds the
+// earliest future SLO deadline among queued jobs to the engine's own wake
+// schedule: deadlines pass between events, and the trigger can only act
+// inside one.
+func (c *Composite) NextWake(now int64) (int64, bool) {
+	at, ok := c.engine.nextWake(now)
+	if c.spec.PreemptTrigger == PreemptDeadline && c.slo.deadlines != nil {
+		for _, j := range c.engine.queued() {
+			if d, dok := c.deadlineOf(j); dok && d > now && (!ok || d < at) {
+				at, ok = d, true
+			}
+		}
+	}
+	return at, ok
+}
 
 // Queued implements sim.Policy.
 func (c *Composite) Queued() []*job.Job { return c.engine.queued() }

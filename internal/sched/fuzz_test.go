@@ -23,6 +23,16 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("starve=24h.abs100001")
 	f.Add("starve=24h.q100")
 	f.Add("starve=24h.abs0")
+	f.Add("order=fcfs+bf=easy+preempt=reserve")
+	f.Add("order=edf+bf=easy+preempt=deadline.newest")
+	f.Add("preempt=reserve.lowpri+bf=depth+depth=3")
+	f.Add("preempt=deadline")
+	f.Add("preempt=reserve.")
+	f.Add("preempt=.newest")
+	f.Add("order=edf+bf=conservative")
+	f.Add("order=edf")
+	f.Add("srpt")
+	f.Add("edf.preempt")
 	f.Fuzz(func(t *testing.T, in string) {
 		s, err := ParseSpec(in)
 		if err != nil {

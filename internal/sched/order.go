@@ -112,7 +112,79 @@ func (narrowestOrder) Less(_ sim.Env, a, b *job.Job) bool {
 	return arrivalLess(a, b)
 }
 
-// orders is the Order registry, in listing order.
+// DeadlineSource supplies per-user SLO wait targets: a user's deadline for
+// a queued job is submit + target. slo.Assignment implements it; the
+// interface is redeclared here so sched stays import-cycle-free below the
+// SLO subsystem.
+type DeadlineSource interface {
+	// WaitTarget returns the user's maximum acceptable queuing delay in
+	// seconds; ok is false when the user carries no wait target.
+	WaitTarget(user int) (int64, bool)
+}
+
+// BreachRisk flags users whose SLO is at risk: the deadline-aware order
+// promotes their queued jobs ahead of everything else.
+// fairness.SLOObserver implements it over the online attainment tracker.
+type BreachRisk interface {
+	// UserAtRisk reports whether the user has already breached (or is
+	// flagged as about to breach) an SLO target this run.
+	UserAtRisk(user int) bool
+}
+
+// sloContext carries the per-run SLO signals a deadline-aware Composite
+// reads: set by Composite.SetSLOContext, zero when the run has no SLO
+// assignment (the edf order then degrades to FCFS and the deadline
+// preemption trigger never fires).
+type sloContext struct {
+	deadlines DeadlineSource
+	risk      BreachRisk
+}
+
+// edfOrder is earliest-deadline-first over the per-user SLO wait targets:
+// jobs of users the breach-risk signal flags sort first (ties by deadline),
+// then targeted jobs by deadline (submit + wait target), then untargeted
+// jobs in arrival order. Unlike the other orders it is stateful — it reads
+// the run's SLO context — so every Composite gets a fresh instance wired to
+// its own context instead of a shared singleton.
+type edfOrder struct {
+	ctx *sloContext
+}
+
+func (*edfOrder) Name() string { return "edf" }
+
+// deadline returns the job's deadline under the attached SLO context.
+func (o *edfOrder) deadline(j *job.Job) (int64, bool) {
+	if o.ctx == nil || o.ctx.deadlines == nil {
+		return 0, false
+	}
+	w, ok := o.ctx.deadlines.WaitTarget(j.User)
+	if !ok || w <= 0 {
+		return 0, false
+	}
+	return j.Submit + w, true
+}
+
+func (o *edfOrder) Less(_ sim.Env, a, b *job.Job) bool {
+	if o.ctx != nil && o.ctx.risk != nil {
+		ra, rb := o.ctx.risk.UserAtRisk(a.User), o.ctx.risk.UserAtRisk(b.User)
+		if ra != rb {
+			return ra
+		}
+	}
+	da, oka := o.deadline(a)
+	db, okb := o.deadline(b)
+	if oka != okb {
+		return oka // targeted jobs ahead of untargeted ones
+	}
+	if oka && da != db {
+		return da < db
+	}
+	return arrivalLess(a, b)
+}
+
+// orders is the Order registry, in listing order. The edf entry is a
+// context-free prototype for listing and validation; OrderByName returns a
+// fresh instance so each Composite can attach its own SLO context.
 var orders = []Order{
 	fairshareOrder{},
 	fcfsOrder{},
@@ -120,6 +192,7 @@ var orders = []Order{
 	lxfOrder{},
 	widestOrder{},
 	narrowestOrder{},
+	&edfOrder{},
 }
 
 // OrderNames lists the registered queue orders in listing order.
@@ -131,8 +204,13 @@ func OrderNames() []string {
 	return out
 }
 
-// OrderByName resolves a queue order by its grammar token.
+// OrderByName resolves a queue order by its grammar token. The stateless
+// orders are shared singletons; "edf" returns a fresh instance (it carries
+// a per-run SLO context the Composite attaches).
 func OrderByName(name string) (Order, error) {
+	if name == "edf" {
+		return &edfOrder{}, nil
+	}
 	for _, o := range orders {
 		if o.Name() == name {
 			return o, nil

@@ -109,6 +109,19 @@ var builtins = []Builtin{
 		"depth-8 backfilling over an FCFS queue"},
 	{Spec{Key: "cplant24.depth2", Order: "fairshare", Backfill: BackfillNoGuarantee, Wait: hours24, Heavy: HeavyAll, Depth: 2},
 		"baseline CPlant with the first 2 starvation-queue heads reserved"},
+
+	// Preemptive and deadline-aware policies: checkpoint preemption
+	// (preempt=) and the SLO-deadline order (order=edf) open the
+	// SRPT/heSRPT line (Berg et al.) against the paper's non-preemptive
+	// disciplines, with the SLO attainment tables as the scoreboard.
+	{Spec{Key: "easy.preempt", Order: "fcfs", Backfill: BackfillEASY, PreemptTrigger: PreemptReserve, PreemptVictim: VictimLowPri},
+		"EASY backfilling that checkpoints the lowest-priority running job when the head would wait"},
+	{Spec{Key: "srpt", Order: "sjf", Backfill: BackfillEASY, PreemptTrigger: PreemptReserve, PreemptVictim: VictimLowPri},
+		"SRPT-style: shortest-estimate-first with checkpoint preemption (remainders carry shrunken estimates, so preempted work re-sorts by remaining size)"},
+	{Spec{Key: "edf", Order: "edf", Backfill: BackfillEASY},
+		"earliest-SLO-deadline-first (submit + wait target, breach-risk users promoted) with EASY backfilling"},
+	{Spec{Key: "edf.preempt", Order: "edf", Backfill: BackfillEASY, PreemptTrigger: PreemptDeadline, PreemptVictim: VictimLowPri},
+		"EDF over SLO deadlines that checkpoints low-priority running jobs once a deadline is missed"},
 }
 
 // Builtins returns the named-policy registry in listing order. The returned

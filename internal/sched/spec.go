@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -81,6 +82,44 @@ var backfills = []string{
 	BackfillDepth, BackfillConservative, BackfillConservativeDynamic,
 }
 
+// Preemption trigger tokens: the first component of `preempt=<trigger>.<victim>`.
+const (
+	// PreemptReserve checkpoints running jobs when the blocked queue head —
+	// the job the backfill discipline is holding a reservation for — would
+	// otherwise wait for nodes.
+	PreemptReserve = "reserve"
+	// PreemptDeadline checkpoints running jobs when a queued job of an
+	// SLO-targeted user is already past its deadline (submit + wait
+	// target). Requires an SLO assignment to act on; without one the
+	// trigger never fires.
+	PreemptDeadline = "deadline"
+)
+
+// Preemption victim tokens: the second component of `preempt=`, selecting
+// which running jobs are checkpointed first (default lowpri).
+const (
+	// VictimLowPri checkpoints the running job that sorts last under the
+	// queue order (the lowest-priority work on the machine).
+	VictimLowPri = "lowpri"
+	// VictimNewest checkpoints the most recently started running job (the
+	// least sunk service; ties broken toward the higher job id).
+	VictimNewest = "newest"
+)
+
+var preemptTriggers = []string{PreemptReserve, PreemptDeadline}
+var preemptVictims = []string{VictimLowPri, VictimNewest}
+
+// componentErr tags a cross-component validation error with the grammar key
+// of the offending component, so ParseSpec can report the byte position of
+// that component in the chain.
+type componentErr struct {
+	key string
+	err error
+}
+
+func (e *componentErr) Error() string { return e.err.Error() }
+func (e *componentErr) Unwrap() error { return e.err }
+
 // Spec is one point in the policy design space: pure data naming the
 // composed components. Specs are comparable, serializable and cheap to
 // copy; New assembles the runnable policy.
@@ -110,6 +149,17 @@ type Spec struct {
 	// checkpoint/restart segments. Recorded here so a Spec fully names a
 	// configuration; the simulator, not the policy, enforces it.
 	MaxRuntime int64
+	// PreemptTrigger, when non-empty, enables checkpoint preemption: the
+	// policy may terminate running jobs and resubmit their remainders as
+	// chained segments (see the Preempt* trigger constants). Compatible
+	// with the bf=none/easy/depth disciplines only — conservative promises
+	// and the starvation queue's reservation set would be broken by
+	// preemption, and noguarantee has no blocked-head reservation to
+	// protect.
+	PreemptTrigger string
+	// PreemptVictim selects which running jobs are checkpointed first
+	// (meaningful only with PreemptTrigger; default lowpri).
+	PreemptVictim string
 }
 
 // normalized returns the spec with defaults filled in.
@@ -125,6 +175,9 @@ func (s Spec) normalized() Spec {
 	}
 	if s.Depth == 0 && (s.Wait > 0 || s.Backfill == BackfillDepth) {
 		s.Depth = 1
+	}
+	if s.PreemptTrigger != "" && s.PreemptVictim == "" {
+		s.PreemptVictim = VictimLowPri
 	}
 	return s
 }
@@ -175,7 +228,53 @@ func (s Spec) Validate() error {
 	if s.MaxRuntime < 0 {
 		return fmt.Errorf("max runtime %d is negative", s.MaxRuntime)
 	}
+	if s.PreemptTrigger != "" {
+		if !containsToken(preemptTriggers, s.PreemptTrigger) {
+			return &componentErr{"preempt", fmt.Errorf("unknown preempt trigger %q (want %s)",
+				s.PreemptTrigger, strings.Join(preemptTriggers, ", "))}
+		}
+		if !containsToken(preemptVictims, s.PreemptVictim) {
+			return &componentErr{"preempt", fmt.Errorf("unknown preempt victim %q (want %s)",
+				s.PreemptVictim, strings.Join(preemptVictims, ", "))}
+		}
+		switch s.Backfill {
+		case BackfillNone, BackfillEASY, BackfillDepth:
+		case BackfillConservative, BackfillConservativeDynamic:
+			return &componentErr{"preempt", fmt.Errorf(
+				"preempt is incompatible with bf=%s (conservative start-time promises would be broken by checkpointing running jobs; want bf=none, easy or depth)", s.Backfill)}
+		default:
+			return &componentErr{"preempt", fmt.Errorf(
+				"preempt is incompatible with bf=%s (no blocked-head reservation to protect; want bf=none, easy or depth)", s.Backfill)}
+		}
+		if s.Wait > 0 {
+			return &componentErr{"preempt", errors.New(
+				"preempt is incompatible with starve (the starvation queue owns the reservation set preemption would override)")}
+		}
+		if s.MaxRuntime > 0 {
+			return &componentErr{"preempt", errors.New(
+				"preempt is incompatible with max (maximum-runtime splitting and preemption both extend checkpoint chains; their segment numbering conflicts)")}
+		}
+	} else if s.PreemptVictim != "" {
+		return &componentErr{"preempt", fmt.Errorf("preempt victim %q without a preempt trigger", s.PreemptVictim)}
+	}
+	if s.Order == "edf" {
+		switch s.Backfill {
+		case BackfillConservative, BackfillConservativeDynamic:
+			return &componentErr{"order", fmt.Errorf(
+				"order=edf is incompatible with bf=%s (the conservative revalidation cache assumes priorities change only with the clock and usage; deadline-risk promotion reorders on observer state it cannot see)", s.Backfill)}
+		}
+	}
 	return nil
+}
+
+// containsToken reports whether tok is one of the listed grammar tokens.
+func containsToken(list []string, tok string) bool {
+	for _, t := range list {
+		if t == tok {
+			return true
+		}
+	}
+	return false
 }
 
 // Canonical renders the normalized spec as its full grammar chain:
@@ -202,6 +301,12 @@ func (s Spec) Canonical() string {
 		b.WriteString("+max=")
 		b.WriteString(fmtDur(s.MaxRuntime))
 	}
+	if s.PreemptTrigger != "" {
+		b.WriteString("+preempt=")
+		b.WriteString(s.PreemptTrigger)
+		b.WriteString(".")
+		b.WriteString(s.PreemptVictim)
+	}
 	return b.String()
 }
 
@@ -218,7 +323,10 @@ func (s Spec) String() string {
 // "depth<N>" also resolves), or an ad-hoc chain of key=value components
 // joined with "+", mirroring scenario.Parse:
 //
-//	order=fairshare|fcfs|sjf|lxf|widest|narrowest   queue order (default fairshare)
+//	order=fairshare|fcfs|sjf|lxf|widest|narrowest|edf
+//	                                                queue order (default fairshare; edf:
+//	                                                earliest submit+SLO-wait-target first,
+//	                                                breach-risk users promoted)
 //	bf=none|noguarantee|easy|depth|conservative|consdyn
 //	                                                backfill discipline (default noguarantee)
 //	starve=24h[.all|.nonheavy|.q75|.abs280h]        starvation-queue threshold + admission
@@ -226,9 +334,15 @@ func (s Spec) String() string {
 //	                                                abs<S>: above S decayed proc-seconds)
 //	depth=2                                         reservation depth (with starve or bf=depth)
 //	max=72h                                         maximum-runtime limit (simulator-enforced)
+//	preempt=reserve|deadline[.lowpri|.newest]       checkpoint preemption: trigger (blocked
+//	                                                reservation / missed SLO deadline) and
+//	                                                victim rule (default lowpri)
 //
 // Example: "order=fairshare+bf=easy+starve=24h.nonheavy+depth=2". Parse
-// errors name the byte position of the offending component.
+// errors name the byte position of the offending component; component
+// combinations the composition rules reject (preempt= over conservative
+// backfilling, order=edf over the revalidation cache, ...) are positional
+// errors too.
 func ParseSpec(spec string) (Spec, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -250,6 +364,14 @@ func ParseSpec(spec string) (Spec, error) {
 		pos += len(part) + 1 // the '+' separator
 	}
 	if err := s.Validate(); err != nil {
+		// Cross-component errors carry the offending component's grammar
+		// key; point at where that component appears in the chain.
+		var ce *componentErr
+		if errors.As(err, &ce) {
+			if p, ok := seen[ce.key]; ok {
+				return Spec{}, fmt.Errorf("sched: policy spec %q: position %d: %w", spec, p, ce.err)
+			}
+		}
 		return Spec{}, fmt.Errorf("sched: policy spec %q: %w", spec, err)
 	}
 	s = s.normalized()
@@ -317,8 +439,22 @@ func parseComponent(part string, pos int, seen map[string]int, s *Spec) error {
 			return fmt.Errorf("position %d: max runtime %q must be positive", valPos, val)
 		}
 		s.MaxRuntime = m
+	case "preempt":
+		trigger, victim, hasVictim := strings.Cut(val, ".")
+		if !containsToken(preemptTriggers, trigger) {
+			return fmt.Errorf("position %d: unknown preempt trigger %q (want %s)",
+				valPos, trigger, strings.Join(preemptTriggers, ", "))
+		}
+		if !hasVictim {
+			victim = VictimLowPri
+		}
+		if !containsToken(preemptVictims, victim) {
+			return fmt.Errorf("position %d: unknown preempt victim %q (want %s)",
+				valPos+len(trigger)+1, victim, strings.Join(preemptVictims, ", "))
+		}
+		s.PreemptTrigger, s.PreemptVictim = trigger, victim
 	default:
-		return fmt.Errorf("position %d: unknown component %q (want order, bf, starve, depth or max)", pos, key)
+		return fmt.Errorf("position %d: unknown component %q (want order, bf, starve, depth, max or preempt)", pos, key)
 	}
 	return nil
 }

@@ -39,6 +39,16 @@ func TestParseSpecChains(t *testing.T) {
 			Spec{Order: "lxf", Backfill: BackfillConservativeDynamic, MaxRuntime: 72 * 3600}},
 		{"bf=depth+depth=3",
 			Spec{Order: "fairshare", Backfill: BackfillDepth, Depth: 3}},
+		{"order=fcfs+bf=easy+preempt=reserve", // victim defaults to lowpri
+			Spec{Order: "fcfs", Backfill: BackfillEASY, PreemptTrigger: PreemptReserve, PreemptVictim: VictimLowPri}},
+		{"order=edf+bf=easy+preempt=deadline.newest",
+			Spec{Order: "edf", Backfill: BackfillEASY, PreemptTrigger: PreemptDeadline, PreemptVictim: VictimNewest}},
+		{"preempt=reserve+bf=easy", // component order is free
+			Spec{Order: "fairshare", Backfill: BackfillEASY, PreemptTrigger: PreemptReserve, PreemptVictim: VictimLowPri}},
+		{"order=fcfs+bf=depth+depth=2+preempt=reserve",
+			Spec{Order: "fcfs", Backfill: BackfillDepth, Depth: 2, PreemptTrigger: PreemptReserve, PreemptVictim: VictimLowPri}},
+		{"order=edf+bf=none",
+			Spec{Order: "edf", Backfill: BackfillNone}},
 	}
 	for _, tc := range cases {
 		got, err := ParseSpec(tc.in)
@@ -68,6 +78,15 @@ func TestParseSpecErrorsCarryPosition(t *testing.T) {
 		{"bf=easy+bf=none", "position 8", "duplicate bf="},
 		{"order=fairshare+starve=0h", "position 23", "must be positive"},
 		{"order=fairshare+bf", "position 16", "not key=value"},
+		{"preempt=bogus.lowpri", "position 8", "unknown preempt trigger"},
+		{"preempt=reserve.bogus", "position 16", "unknown preempt victim"},
+		{"order=sjf+bf=conservative+preempt=reserve", "position 26", "preempt is incompatible with bf=conservative"},
+		{"order=sjf+bf=consdyn+preempt=deadline", "position 21", "preempt is incompatible with bf=consdyn"},
+		{"preempt=deadline.newest+bf=noguarantee", "position 0", "no blocked-head reservation"},
+		{"order=fcfs+bf=easy+starve=24h+preempt=reserve", "position 30", "preempt is incompatible with starve"},
+		{"order=fcfs+bf=easy+preempt=reserve+max=72h", "position 19", "preempt is incompatible with max"},
+		{"order=edf+bf=conservative", "position 0", "order=edf is incompatible with bf=conservative"},
+		{"order=edf+bf=consdyn", "position 0", "order=edf is incompatible with bf=consdyn"},
 	}
 	for _, tc := range cases {
 		_, err := ParseSpec(tc.in)
@@ -103,6 +122,14 @@ func TestSpecValidationRejectsIncompatibleCombos(t *testing.T) {
 		{Backfill: "optimistic"},
 		{Wait: -1},
 		{MaxRuntime: -5},
+		{Backfill: BackfillEASY, PreemptTrigger: "sometimes"}, // unknown trigger
+		{Backfill: BackfillEASY, PreemptTrigger: PreemptReserve, PreemptVictim: "oldest"},     // unknown victim
+		{Backfill: BackfillEASY, PreemptVictim: VictimLowPri},                                 // victim without trigger
+		{Backfill: BackfillConservative, PreemptTrigger: PreemptReserve},                      // preempt × cons
+		{Backfill: BackfillNoGuarantee, PreemptTrigger: PreemptReserve},                       // preempt × noguarantee
+		{Backfill: BackfillEASY, PreemptTrigger: PreemptReserve, Wait: 3600, Heavy: HeavyAll}, // preempt × starve
+		{Backfill: BackfillEASY, PreemptTrigger: PreemptReserve, MaxRuntime: 3600},            // preempt × max
+		{Order: "edf", Backfill: BackfillConservative},                                        // edf × cons cache
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {

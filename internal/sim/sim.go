@@ -71,6 +71,13 @@ type Config struct {
 	// Validate enables per-event invariant checking (used in tests; cheap
 	// enough to leave on for small runs).
 	Validate bool
+	// Preemptable enables the checkpoint-preemption path (Env implementors
+	// expose it via the Preempter extension): policies may terminate a
+	// running job at the current instant and have its remainder resubmitted
+	// as a chained segment. The simulator then runs on private clones of
+	// the workload jobs, because preemption extends a job's chain metadata
+	// in place; non-preemptable runs share workload slices untouched.
+	Preemptable bool
 	// FirstSegmentID, when positive, raises the floor for the ids allocated
 	// to split segments (normally workload max + 1). Multi-partition runs
 	// hand each partition's loop a disjoint range (see SegmentIDBudget) so
@@ -143,6 +150,26 @@ type Env interface {
 	Start(j *job.Job) error
 }
 
+// Preempter is the optional Env extension preemption-capable environments
+// provide (the Simulator implements it when Config.Preemptable is set).
+// Policies discover it by type assertion — env.(Preempter) — so existing
+// Env implementations stay valid.
+type Preempter interface {
+	// CanPreempt reports whether j can be checkpointed right now: the run
+	// is preemptable and j is running with at least one second of realized
+	// service and one second of scheduled service left. Policies use it to
+	// select victim sets that Preempt will accept in full, so a multi-victim
+	// preemption never fails half-way through.
+	CanPreempt(j *job.Job) bool
+	// Preempt checkpoints a running job at the current instant: the job is
+	// terminated (its record finalized as preempted), its remainder is
+	// resubmitted as a chained segment at the same instant, and chain
+	// metadata (Parent/Segment/Segments/ChainRuntime) ties the pieces into
+	// one logical job for the fairness and SLO accounting. Only valid from
+	// inside a policy scheduling callback.
+	Preempt(j *job.Job) error
+}
+
 // Policy is a scheduling policy under test. The simulator calls exactly one
 // of Arrive/Complete/Wake per scheduling event; the policy reacts by calling
 // Env.Start for every job it launches.
@@ -213,6 +240,11 @@ type Record struct {
 	// Killed marks a job terminated at its wall-clock limit by a kill
 	// policy; Complete then reflects the truncated runtime.
 	Killed bool
+	// Preempted marks a job checkpointed by a preemptive policy; Complete
+	// reflects the service realized before the checkpoint, and the
+	// remainder re-entered the queue as a chained segment with its own
+	// record.
+	Preempted bool
 }
 
 // Wait returns the queuing delay.

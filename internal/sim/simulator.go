@@ -17,11 +17,15 @@ const (
 	evCompletion
 	evWake
 	evWCLCheck
+	evRequeue
 )
 
 // Same-instant event priorities: completions release nodes and must be
 // observed by every other event at that time, wall-clock-limit checks come
-// next, then arrivals, then wake-ups.
+// next, then arrivals, then preemption requeues (a checkpointed remainder
+// re-enters the queue after the regular submissions of the same instant),
+// then wake-ups. Requeue events exist only in preemptable runs, so the
+// non-preemptive event order is untouched.
 func eventPrio(kind int) int {
 	switch kind {
 	case evCompletion:
@@ -30,8 +34,10 @@ func eventPrio(kind int) int {
 		return 1
 	case evArrival:
 		return 2
-	default:
+	case evRequeue:
 		return 3
+	default:
+		return 4
 	}
 }
 
@@ -67,7 +73,12 @@ type Simulator struct {
 	// splitOriginals maps an original job id to the original job while its
 	// segment chain is in flight.
 	splitOriginals map[job.ID]*job.Job
-	wakeVer        int64 // current wake event version; older wakes are stale
+	// preempted marks jobs checkpointed by Preempt whose originally
+	// scheduled completion (and wall-clock-limit check) events are still on
+	// the list; those events are stale and must be dropped, exactly like a
+	// killed job's full-runtime completion under KillWhenNeeded.
+	preempted map[job.ID]bool
+	wakeVer   int64 // current wake event version; older wakes are stale
 	// pendingWake/pendingWakeOK describe the currently valid wake event on
 	// the list, so rescheduleWake can skip re-pushing an identical wake
 	// (the dominant case: the next reservation or promotion instant rarely
@@ -192,6 +203,137 @@ func (s *Simulator) pushJob(t int64, kind int, j *job.Job) {
 	s.q.Push(eventq.Event[evPayload]{Time: t, Prio: eventPrio(kind), Kind: kind, Payload: evPayload{job: j}})
 }
 
+// runningIndex locates a job in the running set, -1 if not running.
+func (s *Simulator) runningIndex(id job.ID) int {
+	for i, r := range s.running {
+		if r.Job.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// scheduledEnd returns when the running job will actually leave the
+// machine: start + runtime, truncated to the estimate under KillAlways
+// (Start scheduled the truncated completion directly).
+func (s *Simulator) scheduledEnd(r RunningJob) int64 {
+	runtime := r.Job.Runtime
+	if s.cfg.Kill == KillAlways && r.Job.Estimate < runtime {
+		runtime = r.Job.Estimate
+	}
+	return r.Start + runtime
+}
+
+// CanPreempt implements Preempter: j is preemptable when the run allows
+// preemption, j is running with at least one second of realized service
+// (a checkpoint needs something to save) and at least one second of
+// service left before its scheduled end (checkpointing a job in its final
+// second is pointless — the remainder would be empty).
+func (s *Simulator) CanPreempt(j *job.Job) bool {
+	if !s.cfg.Preemptable || !s.inEvent {
+		return false
+	}
+	idx := s.runningIndex(j.ID)
+	if idx < 0 {
+		return false
+	}
+	r := s.running[idx]
+	return s.now-r.Start >= 1 && s.scheduledEnd(r)-s.now >= 1
+}
+
+// Preempt implements Preempter: checkpoint a running job at the current
+// instant and resubmit its remainder as a chained segment. The job's record
+// is finalized as preempted (its realized service so far), its chain
+// metadata is extended (ChainRuntime set so fairness and chained-SLO
+// accounting price the chain as one logical job), observers see a regular
+// JobCompleted, and the remainder — a fresh job carrying the next segment
+// index, the remaining runtime and the remaining estimate budget — arrives
+// via a same-instant requeue event, after the instant's regular arrivals.
+// The checkpoint cost model is pure requeue delay: the remainder pays queue
+// wait (and the chained-SLO judgment prices it) but no explicit
+// checkpoint/restore I/O time is added (DESIGN.md §16).
+//
+// Only policies drive Preempt, from inside a scheduling callback, and only
+// when Config.Preemptable is set (the simulator then runs on private clones
+// of the workload jobs, so the chain-metadata mutation never leaks into
+// job slices shared across concurrent runs).
+func (s *Simulator) Preempt(j *job.Job) error {
+	if !s.cfg.Preemptable {
+		return fmt.Errorf("sim: Preempt(%d): run is not preemptable (Config.Preemptable unset)", j.ID)
+	}
+	if !s.inEvent {
+		return fmt.Errorf("sim: Preempt(%d) outside a scheduling event", j.ID)
+	}
+	idx := s.runningIndex(j.ID)
+	if idx < 0 {
+		return fmt.Errorf("sim: Preempt(%d): not running", j.ID)
+	}
+	r := s.running[idx]
+	ran := s.now - r.Start
+	left := s.scheduledEnd(r) - s.now
+	if ran < 1 || left < 1 {
+		return fmt.Errorf("sim: Preempt(%d): ran %ds, %ds left — not preemptable", j.ID, ran, left)
+	}
+	// Extend the chain metadata before observers fire: EffectiveRuntime
+	// (and with it the hybrid-FST availability key start+EffectiveRuntime)
+	// must read the same value JobStarted saw, so ChainRuntime is set to
+	// the full runtime only when the job was not already a chain segment.
+	if j.ChainRuntime == 0 {
+		j.ChainRuntime = j.Runtime
+	}
+	if j.Parent == 0 {
+		j.Parent = j.ID
+		j.Segment = 1
+	}
+	j.Segments = j.Segment + 1
+	rem := &job.Job{
+		ID:           s.allocID(),
+		User:         j.User,
+		Group:        j.Group,
+		Submit:       s.now,
+		Runtime:      j.Runtime - ran,
+		Estimate:     j.Estimate - ran,
+		Nodes:        j.Nodes,
+		Parent:       j.Parent,
+		Segment:      j.Segment + 1,
+		Segments:     j.Segment + 1,
+		ChainRuntime: j.ChainRuntime - ran,
+	}
+	if rem.Estimate < 1 {
+		rem.Estimate = 1
+	}
+	// Release the nodes and finalize the record at the checkpoint instant.
+	copy(s.running[idx:], s.running[idx+1:])
+	s.running[len(s.running)-1] = RunningJob{}
+	s.running = s.running[:len(s.running)-1]
+	s.used -= j.Nodes
+	s.addUserNodes(j.User, -j.Nodes)
+	s.availDirty = true
+	rec := s.records.get(j.ID)
+	rec.Complete = s.now
+	rec.Finished = true
+	rec.Preempted = true
+	// KillAlways marks the record killed at Start, anticipating the
+	// truncated completion; a preemption before that instant supersedes the
+	// kill (the remainder re-enters with the remaining estimate budget, and
+	// its own record carries the truncation if it still applies).
+	rec.Killed = false
+	if s.preempted == nil {
+		s.preempted = make(map[job.ID]bool)
+	}
+	s.preempted[j.ID] = true // the original completion/WCL events are now stale
+	for _, o := range s.observers {
+		o.JobCompleted(s, j, r.Start)
+	}
+	// The remainder arrives through the event list rather than a recursive
+	// handleArrival: Preempt runs inside a policy callback, and dispatching
+	// policy.Arrive reentrantly from here would hand the policy a nested
+	// scheduling pass over state it is mid-way through mutating.
+	s.pushJob(s.now, evRequeue, rem)
+	s.pendingReal++
+	return nil
+}
+
 // Run executes the policy over the workload and returns the result. The
 // workload must validate against the system size; it is not mutated (split
 // segments are fresh Job values).
@@ -201,6 +343,15 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 	}
 	if err := job.ValidateAll(workload, s.cfg.SystemSize); err != nil {
 		return nil, err
+	}
+	if s.cfg.Preemptable && s.cfg.MaxRuntime > 0 {
+		// Both features drive the chain machinery: splitting derives segment
+		// k+1 from the recorded original at fixed MaxRuntime offsets, while
+		// preemption rewrites a victim's Segments and resubmits an ad-hoc
+		// remainder. Composed, a preempted split segment would orphan the
+		// original's later chunks, so the combination is rejected outright
+		// (sched.Spec.Validate already rejects preempt= with max=).
+		return nil, fmt.Errorf("sim: Preemptable and MaxRuntime are mutually exclusive")
 	}
 	maxID := job.ID(0)
 	for _, j := range workload {
@@ -243,6 +394,13 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 	s.userIdx = userdex.Map[int32]{}
 	for _, j := range workload {
 		for _, sub := range s.submissionsFor(j) {
+			if s.cfg.Preemptable && sub == j {
+				// Preemption mutates the preempted job's chain metadata;
+				// run on private clones so workload slices shared across
+				// concurrent runs (campaign cells, policy-parallel tasks)
+				// are never written to.
+				sub = j.Clone()
+			}
 			s.pushJob(sub.Submit, evArrival, sub)
 			s.pendingReal++
 		}
@@ -266,7 +424,7 @@ func (s *Simulator) Run(workload []*job.Job) (*Result, error) {
 			s.pendingReal--
 		}
 		switch e.Kind {
-		case evArrival:
+		case evArrival, evRequeue:
 			s.handleArrival(e.Payload.job)
 		case evCompletion:
 			s.handleCompletionBatch(e.Payload.job)
@@ -417,11 +575,12 @@ func (s *Simulator) release(j *job.Job, killed bool) (start int64, ok bool) {
 		}
 	}
 	if idx < 0 {
-		if killed || s.cfg.Kill == KillWhenNeeded {
+		if killed || s.cfg.Kill == KillWhenNeeded || s.preempted[j.ID] {
 			// Under KillWhenNeeded the job's original full-runtime
 			// completion event still fires after an earlier kill; it is
-			// stale. (KillAlways schedules the completion at the truncated
-			// time directly, so a missing job there is a bug.)
+			// stale. Likewise a preempted job's originally scheduled
+			// completion. (KillAlways schedules the completion at the
+			// truncated time directly, so a missing job there is a bug.)
 			return 0, false
 		}
 		panic(fmt.Sprintf("sim: completion for job %d not running", j.ID))

@@ -150,9 +150,15 @@ func (s *Simulator) allocID() job.ID {
 // SegmentIDBudget returns how many fresh ids a run over workload can
 // allocate to split segments under the given maximum-runtime limit: every
 // job longer than the limit becomes ceil(runtime/max) segments, each with
-// its own id, in every split mode (chained chains always run to their
-// last segment — kills still submit the follow-on). Multi-partition runs
-// use it to carve disjoint Config.FirstSegmentID ranges.
+// its own id, in every split mode. The budget is exact — never an upper
+// bound — because chained chains always reach their last segment: interior
+// segments are announced at exactly their runtime (makeSegment pins
+// est = max = runtime for idx < segments), so no kill policy can truncate
+// them, and their completion always submits the follow-on (a kill would
+// too — handleKill resubmits — but only the FINAL segment can ever be
+// killed, when the original under-estimated, and it has no follow-on).
+// Multi-partition runs use it to carve disjoint Config.FirstSegmentID
+// ranges.
 func SegmentIDBudget(workload []*job.Job, maxRuntime int64) int64 {
 	if maxRuntime <= 0 {
 		return 0

@@ -182,3 +182,52 @@ func TestSegmentIDsAreFresh(t *testing.T) {
 		}
 	}
 }
+
+// TestSegmentIDBudgetExactUnderKills pins the SegmentIDBudget contract
+// against the kill × split matrix: the budget is exact (not an upper
+// bound) in every mode because chained chains always reach their last
+// segment — interior segments are announced at exactly their runtime, so
+// no kill policy can truncate them; only the final segment of an
+// under-estimated original can die at the wall-clock limit.
+func TestSegmentIDBudgetExactUnderKills(t *testing.T) {
+	// Three originals: over-estimated (3 segments), under-estimated
+	// (4 segments, final one killable under KillAlways: estimate budget
+	// left = 250-216=34h < 40h runtime), and unsplit filler that keeps
+	// the machine contended so KillWhenNeeded has queued work to kill for.
+	jobs := []*job.Job{
+		{ID: 1, User: 1, Submit: 0, Runtime: 200 * h, Estimate: 250 * h, Nodes: 8},
+		{ID: 2, User: 2, Submit: 0, Runtime: 256 * h, Estimate: 250 * h, Nodes: 8},
+		{ID: 3, User: 3, Submit: 1, Runtime: 60 * h, Estimate: 70 * h, Nodes: 56},
+		{ID: 4, User: 4, Submit: 2, Runtime: 60 * h, Estimate: 70 * h, Nodes: 56},
+	}
+	budget := SegmentIDBudget(jobs, 72*h)
+	if budget != 3+4 {
+		t.Fatalf("budget = %d, want 7", budget)
+	}
+	for _, mode := range []SplitMode{SplitUpfront, SplitStaggered, SplitChained} {
+		for _, kill := range []KillPolicy{KillNever, KillWhenNeeded, KillAlways} {
+			cfg := Config{SystemSize: 64, MaxRuntime: 72 * h, Split: mode, Kill: kill, Validate: true}
+			var cl []*job.Job
+			for _, j := range jobs {
+				cl = append(cl, j.Clone())
+			}
+			res, err := New(cfg, &greedy{}).Run(cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs := segments(res)
+			if int64(len(segs)) != budget {
+				t.Errorf("%v/%v: %d segment ids allocated, budget says %d", mode, kill, len(segs), budget)
+			}
+			maxID := job.ID(4)
+			for _, s := range segs {
+				if s.Job.ID <= 4 || s.Job.ID > maxID+job.ID(budget) {
+					t.Errorf("%v/%v: segment id %d outside (4, %d]", mode, kill, s.Job.ID, 4+budget)
+				}
+				if s.Killed && s.Job.Segment < s.Job.Segments {
+					t.Errorf("%v/%v: interior segment %d/%d killed", mode, kill, s.Job.Segment, s.Job.Segments)
+				}
+			}
+		}
+	}
+}

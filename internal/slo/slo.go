@@ -125,6 +125,17 @@ func (a *Assignment) Lookup(user int) (UserTarget, bool) {
 	return a.users[i], true
 }
 
+// WaitTarget returns the user's maximum acceptable queuing delay in
+// seconds; ok is false when the user carries no wait target. It implements
+// sched.DeadlineSource: a queued job's SLO deadline is submit + target.
+func (a *Assignment) WaitTarget(user int) (int64, bool) {
+	ut, ok := a.Lookup(user)
+	if !ok || ut.Target.Wait <= 0 {
+		return 0, false
+	}
+	return ut.Target.Wait, true
+}
+
 // Builder accumulates an Assignment: classes registered first (their
 // registration order is the report order), users tagged into them.
 // Re-registering a class replaces its target in place; re-tagging a user
@@ -258,7 +269,32 @@ type chainState struct {
 // judged at the first segment's start (the chain's queuing delay). In the
 // default (non-chained) mode, restarts are skipped and the chain is
 // judged once at its first segment.
+//
+// Killed chains are judged on realized service: a chain whose final
+// segment dies at its wall-clock limit still resolves at that kill (kills
+// run the same completion hooks), with runSum summing what actually ran —
+// consistent with the non-chained convention that a killed job's slowdown
+// uses its realized (truncated) runtime. Interior split segments cannot
+// be killed (their estimate equals their runtime by construction), so a
+// chain always reaches its final segment and no chain state outlives the
+// run. The same holds for preemption-created chains: the remainder always
+// resubmits and eventually completes (or is killed at its clamped
+// estimate, which also resolves the chain).
 func (t *Tracker) SetChained(on bool) { t.chained = on }
+
+// UserBreached reports whether the user has at least one breach (wait or
+// slowdown) on the books so far this run. fairness.SLOObserver forwards it
+// as the online breach-risk signal behind sched.BreachRisk: the
+// deadline-aware order promotes a user's queued jobs once the user starts
+// breaching. Users outside the assignment never read as breached.
+func (t *Tracker) UserBreached(user int) bool {
+	si, ok := t.asg.idx.Get(user)
+	if !ok {
+		return false
+	}
+	u := &t.users[si]
+	return u.WaitBreaches > 0 || u.SlowBreaches > 0
+}
 
 // NewTracker builds a tracker over an assignment. The assignment is read
 // only; one tracker serves one run. A nil assignment (Builder.Build with
@@ -386,7 +422,33 @@ func (t *Tracker) JobCompleted(j *job.Job, start, complete int64) {
 func (t *Tracker) chainCompleted(j *job.Job, start, complete int64) {
 	st, ok := t.chains[j.Parent]
 	if !ok {
-		return
+		// No state with a head segment in hand means the chain was created
+		// mid-flight by checkpoint preemption: the head started as an
+		// ordinary job (no chain markers yet), so JobStarted recorded
+		// nothing. The simulator mutates the head's Job in place before
+		// completing it and leaves Submit untouched, so everything
+		// JobStarted would have seen is still here — recreate the state
+		// retroactively, exactly as a FromRecordsChained replay would.
+		// Stateless NON-head segments belong to users with no slowdown
+		// target (or no target at all); their attainment settled at the
+		// head's start.
+		if j.Segment != 1 {
+			return
+		}
+		si, idxOK := t.asg.idx.Get(j.User)
+		if !idxOK {
+			return
+		}
+		tgt := t.asg.users[si].Target
+		if tgt.Slowdown <= 0 {
+			return
+		}
+		wait := start - j.Submit
+		st = &chainState{si: int(si), submit: j.Submit, waitOK: tgt.Wait <= 0 || wait <= tgt.Wait}
+		if t.chains == nil {
+			t.chains = make(map[job.ID]*chainState)
+		}
+		t.chains[j.Parent] = st
 	}
 	st.runSum += complete - start
 	if j.Segment < j.Segments {

@@ -220,6 +220,12 @@ func (t *Topology) Validate() error {
 			if q.Policy.MaxRuntime > 0 {
 				return fmt.Errorf("topology: queue %q: per-queue policies cannot set max= (the maximum-runtime split is run-global)", q.Path)
 			}
+			if q.Policy.PreemptTrigger != "" {
+				return fmt.Errorf("topology: queue %q: per-queue policies cannot set preempt= (checkpoint preemption needs the flat event loop's requeue path)", q.Path)
+			}
+			if q.Policy.Order == "edf" {
+				return fmt.Errorf("topology: queue %q: per-queue policies cannot use order=edf (partitioned loops carry no per-run SLO context)", q.Path)
+			}
 		}
 	}
 	for _, q := range t.Queues {
